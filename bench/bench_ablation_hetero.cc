@@ -1,0 +1,134 @@
+// Ablations of the heterogeneity machinery (beyond the paper's tables).
+//
+//   A. Conversion cost on/off — quantifies §2.3's claim that "the cost of
+//      data conversion does not substantially increase the overall cost of
+//      paging across the network" on the whole-application level.
+//      (With conversion disabled the modeled cost vanishes; results would
+//      be wrong on a real system, which is the point of the mechanism.)
+//   B. Partial-page transfer on/off — the paper's allocated-extent
+//      optimization; measured in bytes moved for a sparse working set.
+//   C. Same-type source preference on/off — §2.3: "transferring a page from
+//      a host of the same type whenever possible"; measured in conversions
+//      avoided for read-shared data in a mixed Sun/Firefly cluster.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace mermaid {
+namespace {
+
+using Reg = arch::TypeRegistry;
+
+void AblationConversion() {
+  benchutil::PrintHeader("Ablation A: data conversion cost on/off "
+                         "(MM 256x256, master Sun + 4 Fireflies, 8 threads)");
+  apps::MatMulConfig mm;
+  mm.n = 256;
+  mm.num_threads = 8;
+  mm.worker_hosts = benchutil::WorkerIds(4);
+  mm.verify = false;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 4u << 20;
+
+  cfg.convert_enabled = true;
+  auto with = benchutil::RunMatMulOnce(
+      cfg, benchutil::MasterPlusFireflies(benchutil::Sun(), 4), mm);
+  cfg.convert_enabled = false;
+  auto without = benchutil::RunMatMulOnce(
+      cfg, benchutil::MasterPlusFireflies(benchutil::Sun(), 4), mm);
+  std::printf("with conversion:    %7.1f s  (%lld page conversions)\n",
+              with.seconds, static_cast<long long>(with.conversions));
+  std::printf("without conversion: %7.1f s\n", without.seconds);
+  std::printf("conversion adds %.1f%% to the response time\n",
+              100.0 * (with.seconds - without.seconds) / without.seconds);
+}
+
+void AblationPartialTransfer() {
+  benchutil::PrintHeader(
+      "Ablation B: partial-page transfer (page holding only 64 allocated "
+      "ints of its 8 KB)");
+  for (bool partial : {true, false}) {
+    sim::Engine eng;
+    dsm::SystemConfig cfg;
+    cfg.region_bytes = 1u << 20;
+    cfg.partial_page_transfer = partial;
+    dsm::System sys(eng, cfg, {&benchutil::Sun(), &benchutil::Ffly()});
+    sys.Start();
+    sys.SpawnThread(0, "writer", [&](dsm::Host& h) {
+      dsm::GlobalAddr a = sys.Alloc(0, Reg::kInt, 64);
+      for (int i = 0; i < 64; ++i) h.Write<std::int32_t>(a + 4 * i, i);
+      sys.sync(0).EventSet(1);
+    });
+    sys.SpawnThread(1, "reader", [&](dsm::Host& h) {
+      sys.sync(1).EventWait(1);
+      std::int64_t sum = 0;
+      for (int i = 0; i < 64; ++i) sum += h.Read<std::int32_t>(4 * i);
+      if (sum != 64 * 63 / 2) std::printf("BAD SUM\n");
+    });
+    eng.Run();
+    std::printf(
+        "partial=%-5s bytes moved: %-6lld conversion delay on the "
+        "receiving Firefly scales with the same extent\n",
+        partial ? "on" : "off",
+        static_cast<long long>(sys.host(1).stats().Count("dsm.bytes_in")));
+  }
+}
+
+void AblationSameTypeSource() {
+  benchutil::PrintHeader(
+      "Ablation C: same-type source preference for read-shared pages "
+      "(1 Sun owner, 3 Sun + 3 Ffly readers)");
+  for (bool pref : {false, true}) {
+    sim::Engine eng;
+    dsm::SystemConfig cfg;
+    cfg.region_bytes = 1u << 20;
+    cfg.prefer_same_type_source = pref;
+    std::vector<const arch::ArchProfile*> hosts{&benchutil::Sun()};
+    for (int i = 0; i < 3; ++i) hosts.push_back(&benchutil::Sun());
+    for (int i = 0; i < 3; ++i) hosts.push_back(&benchutil::Ffly());
+    dsm::System sys(eng, cfg, hosts);
+    sys.Start();
+    sys.SpawnThread(0, "owner", [&](dsm::Host& h) {
+      dsm::GlobalAddr a = sys.Alloc(0, Reg::kInt, 16 * 2048);
+      std::vector<std::int32_t> fill(16 * 2048, 1);
+      h.WriteBlock<std::int32_t>(a, fill.data(), fill.size());
+      sys.sync(0).SemInit(1, 0);
+      sys.sync(0).EventSet(2);
+      // Readers replicate the data; Firefly readers last, so same-type
+      // copies exist when the preference can apply.
+      for (int r = 1; r <= 6; ++r) sys.sync(0).P(1);
+    });
+    for (int r = 1; r <= 6; ++r) {
+      sys.SpawnThread(r, "reader" + std::to_string(r), [&, r](dsm::Host& h) {
+        sys.sync(r).EventWait(2);
+        // Stagger: Suns first, then Fireflies.
+        h.Compute(r >= 4 ? 200000.0 : 1000.0);
+        std::vector<std::int32_t> buf(16 * 2048);
+        h.ReadBlock<std::int32_t>(0, buf.size(), buf.data());
+        sys.sync(r).V(1);
+      });
+    }
+    eng.Run();
+    std::int64_t conversions = 0, same_type = 0;
+    for (int i = 0; i < 7; ++i) {
+      conversions += sys.host(i).stats().Count("dsm.conversions");
+      same_type += sys.host(i).stats().Count("dsm.same_type_source");
+    }
+    std::printf(
+        "preference=%-5s conversions=%-4lld same-type grants=%lld\n",
+        pref ? "on" : "off", static_cast<long long>(conversions),
+        static_cast<long long>(same_type));
+  }
+  std::printf("(reads served from same-representation replicas skip "
+              "conversion entirely)\n");
+}
+
+}  // namespace
+}  // namespace mermaid
+
+int main() {
+  mermaid::AblationConversion();
+  mermaid::AblationPartialTransfer();
+  mermaid::AblationSameTypeSource();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 4 — Matrix multiplication with the master on a Sun and slaves on
+// one or more Fireflies (response time vs number of threads).
+//
+// The paper's representative heterogeneous configuration: a workstation
+// front-end driving compute servers. Performance improves up to ~14
+// threads, beyond which communication overhead dominates. The homogeneous
+// column (master on a Firefly) shows §3.2's "heterogeneous vs homogeneous"
+// comparison: very little degradation despite every page crossing
+// representations (integer conversion on each transfer).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace mermaid;
+  using benchutil::Ffly;
+  using benchutil::Sun;
+  benchutil::PrintHeader(
+      "Figure 4: MM 256x256, master on Sun, slaves on 1-4 Fireflies");
+  std::printf("%-8s %10s %14s %12s %14s %12s\n", "threads", "fireflies",
+              "hetero (s)", "speedup", "homo (s)", "conversions");
+
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 4u << 20;
+  // Keep 8 KB DSM pages for the all-Firefly (homogeneous) comparison runs,
+  // matching the paper's Sun-containing network configuration.
+  cfg.page_bytes_override = 8192;
+  double hetero_base = 0;
+  for (int threads : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {
+    const int fireflies = std::min(4, threads);
+    apps::MatMulConfig mm;
+    mm.n = 256;
+    mm.num_threads = threads;
+    mm.master_host = 0;
+    mm.worker_hosts = benchutil::WorkerIds(fireflies);
+    mm.verify = false;
+
+    auto hetero = benchutil::RunMatMulOnce(
+        cfg, benchutil::MasterPlusFireflies(Sun(), fireflies), mm);
+    auto homo = benchutil::RunMatMulOnce(
+        cfg, benchutil::MasterPlusFireflies(Ffly(), fireflies), mm);
+    if (threads == 1) hetero_base = hetero.seconds;
+
+    std::printf("%-8d %10d %14.1f %11.2fx %14.1f %12lld\n", threads,
+                fireflies, hetero.seconds, hetero_base / hetero.seconds,
+                homo.seconds, static_cast<long long>(hetero.conversions));
+  }
+  std::printf("(paper: speedup up to 14 threads, then communication "
+              "overhead; hetero ~= homo)\n");
+  return 0;
+}

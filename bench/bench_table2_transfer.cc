@@ -1,0 +1,78 @@
+// Table 2 — Cost of transferring a page (ms).
+//
+//    from \ to     Sun   Firefly  |   Sun   Firefly
+//    Sun            18     27     |   5.1    7.6
+//    Firefly        25     33     |   7.3    6.7
+//    page size        8 KB        |      1 KB
+//
+// Sends one page-sized message through the full user-level stack
+// (fragmentation -> datagram network -> reassembly) for every ordered host
+// pair and reports the end-to-end delivery time in virtual milliseconds.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mermaid/base/rng.h"
+#include "mermaid/net/fragment.h"
+
+namespace mermaid {
+namespace {
+
+double MeasureTransferMs(std::size_t bytes, const arch::ArchProfile& from,
+                         const arch::ArchProfile& to) {
+  sim::Engine eng;
+  net::Network net(eng, {});
+  auto rx = net.Attach(1, &to);
+  net.Attach(0, &from);
+  std::vector<std::uint8_t> payload(bytes, 0x5A);
+  double ms = -1;
+  eng.Spawn("sender", [&] {
+    net::Fragmenter frag(eng, net, 0);
+    net::Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.kind = net::MsgKind::kData;
+    m.payload = payload;
+    frag.Send(std::move(m));
+  });
+  eng.Spawn("receiver", [&] {
+    net::Reassembler re(eng);
+    while (auto pkt = rx.Recv()) {
+      if (auto msg = re.OnPacket(*pkt)) {
+        ms = ToMillis(eng.Now());
+        return;
+      }
+    }
+  });
+  eng.Run();
+  return ms;
+}
+
+}  // namespace
+}  // namespace mermaid
+
+int main() {
+  using namespace mermaid;
+  using benchutil::Ffly;
+  using benchutil::Sun;
+  const double paper8[2][2] = {{18, 27}, {25, 33}};
+  const double paper1[2][2] = {{5.1, 7.6}, {7.3, 6.7}};
+  const arch::ArchProfile* profs[2] = {&Sun(), &Ffly()};
+  const char* names[2] = {"Sun", "Firefly"};
+
+  benchutil::PrintHeader("Table 2: cost of transferring a page (ms)");
+  for (std::size_t size : {std::size_t{8192}, std::size_t{1024}}) {
+    std::printf("\npage size %zu KB  (measured | paper)\n", size / 1024);
+    std::printf("%-10s %20s %20s\n", "from\\to", "Sun", "Firefly");
+    for (int f = 0; f < 2; ++f) {
+      std::printf("%-10s", names[f]);
+      for (int t = 0; t < 2; ++t) {
+        const double ms = MeasureTransferMs(size, *profs[f], *profs[t]);
+        const double paper =
+            size == 8192 ? paper8[f][t] : paper1[f][t];
+        std::printf("     %8.1f | %5.1f", ms, paper);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Table 4 — End-to-end page fault delays for 8 KB pages (ms).
+//
+// Scenarios (R = requester, M = fixed page manager, O = owner):
+//   R/M -> O      requester is the manager (one control hop, data back)
+//   R -> M/O      manager is the owner (request hop, served directly)
+//   R -> M -> O   all distinct (request forwarded through the manager)
+// Columns are requester->owner host-type pairs; integer conversion is
+// included whenever requester and owner types differ. The paper reports the
+// lowest observed values; we report the minimum over repeated faults.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace mermaid {
+namespace {
+
+enum class Scenario { kRequesterIsManager, kManagerIsOwner, kSeparate };
+
+double MeasureMs(Scenario sc, const arch::ArchProfile& requester,
+                 const arch::ArchProfile& owner, bool write_fault) {
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  // The paper's testbed always included a Sun, so Table 4 is for 8 KB DSM
+  // pages even in the Firefly-to-Firefly column.
+  cfg.page_bytes_override = 8192;
+  std::vector<const arch::ArchProfile*> hosts;
+  net::HostId owner_id = 0;
+  dsm::PageNum target = 0;
+  switch (sc) {
+    case Scenario::kRequesterIsManager:
+      hosts = {&requester, &owner};
+      owner_id = 1;
+      target = 0;  // managed by host 0 == requester
+      break;
+    case Scenario::kManagerIsOwner:
+      hosts = {&requester, &owner};
+      owner_id = 1;
+      target = 1;  // managed by host 1 == owner
+      break;
+    case Scenario::kSeparate:
+      // The middle manager host gets the requester's type (the paper does
+      // not pin the manager's type; see EXPERIMENTS.md).
+      hosts = {&requester, &requester, &owner};
+      owner_id = 2;
+      target = 1;  // managed by host 1, owned by host 2
+      break;
+  }
+  dsm::System sys(eng, cfg, hosts);
+  sys.Start();
+  constexpr int kIters = 4;
+  const dsm::GlobalAddr page_b = 8192;
+
+  sys.SpawnThread(owner_id, "owner", [&](dsm::Host& h) {
+    dsm::GlobalAddr a = sys.Alloc(h.id(), arch::TypeRegistry::kInt, 4096);
+    std::vector<std::int32_t> fill(2048, 3);
+    for (int it = 0; it < kIters; ++it) {
+      // Take (back) exclusive ownership of the target page.
+      h.WriteBlock<std::int32_t>(a + target * page_b, fill.data(),
+                                 fill.size());
+      sys.sync(h.id()).V(1);
+      sys.sync(h.id()).P(2);
+    }
+  });
+  sys.SpawnThread(0, "requester", [&](dsm::Host& h) {
+    sys.sync(0).SemInit(1, 0);
+    sys.sync(0).SemInit(2, 0);
+    for (int it = 0; it < kIters; ++it) {
+      sys.sync(0).P(1);
+      h.Touch(target * page_b,
+              write_fault ? dsm::Access::kWrite : dsm::Access::kRead);
+      sys.sync(0).V(2);
+    }
+  });
+  eng.Run();
+  return sys.host(0).stats().DistCopy("dsm.fault_delay_ms").min();
+}
+
+}  // namespace
+}  // namespace mermaid
+
+int main() {
+  using namespace mermaid;
+  using benchutil::Ffly;
+  using benchutil::Sun;
+  struct Pair {
+    const char* name;
+    const arch::ArchProfile* r;
+    const arch::ArchProfile* o;
+  };
+  const Pair pairs[] = {
+      {"Sun->Sun", &Sun(), &Sun()},
+      {"Ffly->Sun", &Ffly(), &Sun()},
+      {"Sun->Ffly", &Sun(), &Ffly()},
+      {"Ffly->Ffly", &Ffly(), &Ffly()},
+  };
+  struct Row {
+    const char* name;
+    Scenario sc;
+    // Paper values: {pair}{R,W}
+    double paper[4][2];
+  };
+  const Row rows[] = {
+      {"R/M->O", Scenario::kRequesterIsManager,
+       {{26.4, 26.7}, {47.7, 48.3}, {56.3, 47.8}, {46.5, 46.4}}},
+      {"R->M/O", Scenario::kManagerIsOwner,
+       {{29.6, 27.9}, {50.9, 51.6}, {58.6, 59.4}, {49.6, 49.1}}},
+      {"R->M->O", Scenario::kSeparate,
+       {{31.7, 31.3}, {54.7, 55.5}, {61.9, 61.3}, {54.4, 53.6}}},
+  };
+
+  benchutil::PrintHeader(
+      "Table 4: end-to-end page fault delays for 8 KB pages (ms), "
+      "measured | paper");
+  std::printf("%-9s", "");
+  for (const Pair& p : pairs) std::printf(" %21s", p.name);
+  std::printf("\n%-9s", "");
+  for (int i = 0; i < 4; ++i) std::printf(" %10s %10s", "R", "W");
+  std::printf("\n");
+  for (const Row& row : rows) {
+    std::printf("%-9s", row.name);
+    for (int p = 0; p < 4; ++p) {
+      for (int w = 0; w < 2; ++w) {
+        const double ms =
+            MeasureMs(row.sc, *pairs[p].r, *pairs[p].o, w == 1);
+        std::printf(" %4.1f|%4.1f", ms, row.paper[p][w]);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("(requester->owner pairs; integer conversion included when "
+              "types differ)\n");
+  return 0;
+}

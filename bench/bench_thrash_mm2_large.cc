@@ -1,0 +1,71 @@
+// §3.3 "Thrashing" — MM2 with the large page-size algorithm.
+//
+// An 8 KB result page holds 8 rows; MM2 deals rows round-robin, so up to 8
+// threads on different Fireflies write-share every result page. The paper
+// observed wild run-to-run fluctuation, rare speedup over sequential, and
+// execution times up to 10x sequential, with page-transfer counts
+// exploding. We run several seeds with latency jitter enabled and report
+// the spread plus the transfer explosion relative to the well-behaved MM1.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace mermaid;
+  using benchutil::Sun;
+  benchutil::PrintHeader(
+      "Thrashing: MM2 under the large page size algorithm (256x256)");
+
+  // The paper's size: a 1 KB result row per thread, so every 8 KB result
+  // page is written by up to 8 round-robin threads at once.
+  apps::MatMulConfig mm;
+  mm.n = 256;
+  mm.master_host = 0;
+  mm.verify = false;
+  mm.element_writes = true;  // the original element-interleaved stores
+
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 4u << 20;
+  cfg.page_policy = dsm::PageSizePolicy::kLargest;
+
+  // Sequential baseline (one thread, one Firefly).
+  mm.num_threads = 1;
+  mm.worker_hosts = {1};
+  auto seq = benchutil::RunMatMulOnce(
+      cfg, benchutil::MasterPlusFireflies(Sun(), 1), mm);
+  std::printf("sequential baseline: %.1f s, %lld page transfers\n\n",
+              seq.seconds, static_cast<long long>(seq.pages_transferred));
+
+  std::printf("%-22s %6s %12s %12s %14s\n", "configuration", "seed",
+              "time (s)", "vs seq", "transfers");
+  for (int fireflies : {2, 3}) {
+    const int threads = 8;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      cfg.net.jitter = 0.1;  // the paper's runs fluctuated between repeats
+      cfg.net.seed = seed;
+      mm.num_threads = threads;
+      mm.worker_hosts = benchutil::WorkerIds(fireflies);
+      mm.round_robin_rows = true;
+      auto run = benchutil::RunMatMulOnce(
+          cfg, benchutil::MasterPlusFireflies(Sun(), fireflies), mm);
+      std::printf("MM2 %2d thr / %d Ffly   %6llu %12.1f %11.2fx %14lld\n",
+                  threads, fireflies, static_cast<unsigned long long>(seed),
+                  run.seconds, run.seconds / seq.seconds,
+                  static_cast<long long>(run.pages_transferred));
+    }
+  }
+
+  // MM1 at the same sizes, for the transfer-count contrast.
+  cfg.net.jitter = 0;
+  mm.round_robin_rows = false;
+  mm.num_threads = 8;
+  mm.worker_hosts = benchutil::WorkerIds(3);
+  auto mm1 = benchutil::RunMatMulOnce(
+      cfg, benchutil::MasterPlusFireflies(Sun(), 3), mm);
+  std::printf("\nMM1  8 thr / 3 Ffly          %12.1f %11.2fx %14lld\n",
+              mm1.seconds, mm1.seconds / seq.seconds,
+              static_cast<long long>(mm1.pages_transferred));
+  std::printf("(paper: MM2+large fluctuates wildly, up to 10x sequential, "
+              "with very large page-transfer counts)\n");
+  return 0;
+}

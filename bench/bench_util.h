@@ -1,0 +1,88 @@
+// Shared helpers for the benchmark binaries. Each bench regenerates one
+// table or figure of the paper; runs happen in deterministic virtual time,
+// so "measured" numbers are reproducible modeled results (see
+// EXPERIMENTS.md for the calibration story).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mermaid/apps/matmul.h"
+#include "mermaid/apps/pcb.h"
+#include "mermaid/arch/arch.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::benchutil {
+
+inline const arch::ArchProfile& Sun() { return arch::Sun3Profile(); }
+inline const arch::ArchProfile& Ffly() { return arch::FireflyProfile(); }
+
+// Host set: one master profile + `fireflies` worker Fireflies.
+inline std::vector<const arch::ArchProfile*> MasterPlusFireflies(
+    const arch::ArchProfile& master, int fireflies) {
+  std::vector<const arch::ArchProfile*> v{&master};
+  for (int i = 0; i < fireflies; ++i) v.push_back(&Ffly());
+  return v;
+}
+
+inline std::vector<net::HostId> WorkerIds(int fireflies) {
+  std::vector<net::HostId> v;
+  for (int i = 1; i <= fireflies; ++i) {
+    v.push_back(static_cast<net::HostId>(i));
+  }
+  return v;
+}
+
+struct MmRun {
+  double seconds = 0;
+  bool correct = false;
+  std::int64_t pages_transferred = 0;
+  std::int64_t bytes_in = 0;
+  std::int64_t conversions = 0;
+};
+
+// One complete matrix-multiplication run on a fresh system.
+inline MmRun RunMatMulOnce(const dsm::SystemConfig& sys_cfg,
+                           const std::vector<const arch::ArchProfile*>& hosts,
+                           const apps::MatMulConfig& mm_cfg) {
+  sim::Engine eng;
+  dsm::System sys(eng, sys_cfg, hosts);
+  sys.Start();
+  apps::MatMulResult result;
+  apps::SetupMatMul(sys, mm_cfg, &result);
+  eng.Run();
+  MmRun run;
+  run.seconds = ToSeconds(result.elapsed);
+  run.correct = result.done && result.correct;
+  auto& stats = sys.GatherStats();
+  run.pages_transferred = stats.Count("dsm.pages_in");
+  run.bytes_in = stats.Count("dsm.bytes_in");
+  run.conversions = stats.Count("dsm.conversions");
+  return run;
+}
+
+struct PcbRun {
+  double seconds = 0;
+  bool correct = false;
+};
+
+inline PcbRun RunPcbOnce(const dsm::SystemConfig& sys_cfg,
+                         const std::vector<const arch::ArchProfile*>& hosts,
+                         apps::PcbConfig pcb_cfg) {
+  sim::Engine eng;
+  dsm::System sys(eng, sys_cfg, hosts);
+  arch::TypeId stats_type = apps::RegisterPcbTypes(sys.registry());
+  sys.Start();
+  apps::PcbResult result;
+  apps::SetupPcb(sys, stats_type, pcb_cfg, &result);
+  eng.Run();
+  return PcbRun{ToSeconds(result.elapsed), result.done && result.correct};
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace mermaid::benchutil

@@ -1,0 +1,114 @@
+// Heterogeneous data conversion in depth (§2.3).
+//
+// Demonstrates the pieces of Mermaid's conversion machinery:
+//   1. user-defined record types composed from field descriptors — the
+//      "conversion routine calls the appropriate conversion routine for
+//      each field" scheme (and what the paper's planned preprocessor would
+//      have generated automatically);
+//   2. a fully custom per-element converter for an opaque type;
+//   3. pointer relocation: converting DSM addresses by the inter-host base
+//      offset (zero in this system, demonstrated standalone here);
+//   4. the paper's precision caveat: VAX-D has 55 fraction bits to IEEE
+//      double's 52, so values can change when pages bounce between
+//      representations.
+#include <cmath>
+#include <cstdio>
+
+#include "mermaid/arch/scalar.h"
+#include "mermaid/arch/type_registry.h"
+#include "mermaid/arch/vaxfloat.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+using namespace mermaid;
+using Reg = arch::TypeRegistry;
+
+int main() {
+  sim::Engine engine;
+  dsm::SystemConfig config;
+  config.region_bytes = 1u << 20;
+  dsm::System sys(engine, config,
+                  {&arch::Sun3Profile(), &arch::FireflyProfile()});
+
+  // --- 1. a record type: struct { int id; float xy[2]; short flags[2]; }
+  arch::TypeId point = sys.registry().RegisterRecord(
+      "point", {{Reg::kInt, 1}, {Reg::kFloat, 2}, {Reg::kShort, 2}});
+  std::printf("registered record 'point' (%zu bytes)\n",
+              sys.registry().SizeOf(point));
+
+  // --- 2. an opaque type with a custom converter: a 4-byte tag that is
+  // nibble-swapped between host families (stand-in for any app-specific
+  // encoding the descriptor scheme cannot express).
+  arch::TypeId tag = sys.registry().RegisterCustom(
+      "tag4", 4, [](std::span<std::uint8_t> bytes, const arch::ConvertContext&) {
+        for (auto& b : bytes) {
+          b = static_cast<std::uint8_t>((b << 4) | (b >> 4));
+        }
+      });
+
+  sys.Start();
+
+  constexpr sync::SyncId kReady = 1, kDone = 2;
+  sys.SpawnThread(0, "sun", [&](dsm::Host& h) {
+    dsm::GlobalAddr pts = sys.Alloc(0, point, 4);
+    const std::size_t sz = sys.registry().SizeOf(point);
+    for (int i = 0; i < 4; ++i) {
+      h.Write<std::int32_t>(pts + i * sz + 0, 100 + i);
+      h.Write<float>(pts + i * sz + 4, 0.5f * i);
+      h.Write<float>(pts + i * sz + 8, -0.5f * i);
+      h.Write<std::int16_t>(pts + i * sz + 12, static_cast<std::int16_t>(i));
+      h.Write<std::int16_t>(pts + i * sz + 14, -1);
+    }
+    dsm::GlobalAddr tags = sys.Alloc(0, tag, 2);
+    h.Write<std::uint8_t>(tags, 0xAB);
+    sys.sync(0).EventSet(kReady);
+    sys.sync(0).EventWait(kDone);
+  });
+  sys.SpawnThread(1, "firefly", [&](dsm::Host& h) {
+    sys.sync(1).EventWait(kReady);
+    const std::size_t sz = sys.registry().SizeOf(point);
+    std::printf("\nFirefly reads the records back (after byte-swap + "
+                "IEEE->VAX-F conversion):\n");
+    for (int i = 0; i < 4; ++i) {
+      std::printf("  point %d: id=%d  xy=(%.1f, %.1f) flags=(%d, %d)\n", i,
+                  h.Read<std::int32_t>(i * sz + 0), h.Read<float>(i * sz + 4),
+                  h.Read<float>(i * sz + 8), h.Read<std::int16_t>(i * sz + 12),
+                  h.Read<std::int16_t>(i * sz + 14));
+    }
+    sys.sync(1).EventSet(kDone);
+  });
+  engine.Run();
+
+  // --- 3. pointer relocation, standalone: hosts mapping the DSM region at
+  // different bases adjust embedded pointers by the base delta.
+  {
+    Reg reg;
+    std::uint8_t mem[8];
+    arch::StoreScalar<std::uint64_t>(arch::Sun3Profile(), mem, 0x4000);
+    arch::ConvertContext ctx;
+    ctx.src = &arch::Sun3Profile();
+    ctx.dst = &arch::FireflyProfile();
+    ctx.pointer_delta = 0x10000;  // Firefly maps the region 64 KB higher
+    reg.ConvertBuffer(Reg::kPointer, mem, 1, ctx);
+    std::printf("\npointer 0x4000 on the Sun relocates to 0x%llx on the "
+                "Firefly\n",
+                static_cast<unsigned long long>(
+                    arch::LoadScalar<std::uint64_t>(arch::FireflyProfile(),
+                                                    mem)));
+  }
+
+  // --- 4. precision: a double whose 53rd-55th mantissa bits are populated
+  // survives IEEE->VAX-D exactly, but a VAX-D value with more precision
+  // than IEEE can hold is rounded when it travels the other way.
+  {
+    std::uint8_t vax[8];
+    arch::IeeeToVaxD(1.0, vax);
+    vax[6] |= 0x07;  // set the three extra VAX-D fraction bits
+    double back = 0;
+    arch::VaxDToIeee(vax, &back);
+    std::printf("VAX-D (1 + 7*2^-55) reads back as %.17g on IEEE hosts — "
+                "the paper's precision-loss caveat\n",
+                back);
+  }
+  return 0;
+}

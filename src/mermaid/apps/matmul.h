@@ -1,0 +1,45 @@
+// Parallel matrix multiplication on Mermaid DSM (§3.2, §3.3).
+//
+// The computation of the rows of the result matrix C = A * B is performed by
+// slave threads; A and B are read-shared (replicated on demand), C is
+// write-shared. The master creates and coordinates the slaves but performs
+// no multiplication itself. Two work divisions:
+//   MM1 — each thread gets a contiguous block of rows (good locality);
+//   MM2 — rows are dealt round-robin (deliberate page contention; with the
+//         large page-size algorithm this is the paper's thrashing workload).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mermaid/dsm/system.h"
+
+namespace mermaid::apps {
+
+struct MatMulConfig {
+  int n = 256;       // square matrix dimension (paper: 256)
+  int num_threads = 1;
+  net::HostId master_host = 0;
+  std::vector<net::HostId> worker_hosts;  // threads dealt round-robin
+  bool round_robin_rows = false;          // false = MM1, true = MM2
+  // Write each result element as it is computed (the original programs'
+  // access pattern) instead of flushing the row in one block. Equivalent
+  // when rows are not write-shared; required to reproduce §3.3's thrashing,
+  // where concurrent element writes to one 8 KB page ping-pong it.
+  bool element_writes = false;
+  std::uint64_t seed = 1990;
+  bool verify = true;
+};
+
+struct MatMulResult {
+  bool done = false;
+  bool correct = false;
+  SimDuration elapsed = 0;  // parallel phase only (spawn .. all joined)
+};
+
+// Spawns the master thread on cfg.master_host; results are written to *out
+// before the engine run completes. Call before Engine::Run().
+void SetupMatMul(dsm::System& sys, const MatMulConfig& cfg, MatMulResult* out);
+
+}  // namespace mermaid::apps

@@ -1,0 +1,285 @@
+#include "mermaid/apps/pcb.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "mermaid/base/check.h"
+#include "mermaid/base/rng.h"
+
+namespace mermaid::apps {
+
+namespace {
+
+using Reg = arch::TypeRegistry;
+
+inline bool IsConductor(std::uint8_t v) { return v != kEmpty; }
+
+// Images are stored column-major (index = col * height + row) so that the
+// master's column stripes are contiguous in memory and stripe borders share
+// only a page or two — the same locality the paper's striping relies on.
+inline std::size_t Idx(int height, int r, int c) {
+  return static_cast<std::size_t>(c) * height + r;
+}
+
+// Per-pixel rule evaluation against any random-access pixel source.
+// `Pix(r, c)` must return kEmpty outside the board.
+template <typename PixFn>
+bool CheckPixel(PixFn&& pix, int height, int width, int r, int c,
+                PcbStats* stats) {
+  const std::uint8_t v = pix(r, c);
+  bool bad = false;
+  if (IsConductor(v)) {
+    // Rule 1: minimum conductor width. Thickness of the ribbon through this
+    // pixel = min(horizontal run, vertical run), runs capped at kMinWidth.
+    int h_run = 1, v_run = 1;
+    for (int d = 1; d < kMinWidth && IsConductor(pix(r, c - d)); ++d) ++h_run;
+    for (int d = 1; d < kMinWidth && IsConductor(pix(r, c + d)); ++d) ++h_run;
+    for (int d = 1; d < kMinWidth && IsConductor(pix(r - d, c)); ++d) ++v_run;
+    for (int d = 1; d < kMinWidth && IsConductor(pix(r + d, c)); ++d) ++v_run;
+    if (std::min(h_run, v_run) < kMinWidth) {
+      ++stats->narrow;
+      bad = true;
+    }
+    // Rule 3: pads must have a drill hole nearby.
+    if (v == kPad) {
+      bool hole = false;
+      for (int dr = -kHoleRadius; dr <= kHoleRadius && !hole; ++dr) {
+        for (int dc = -kHoleRadius; dc <= kHoleRadius; ++dc) {
+          if (pix(r + dr, c + dc) == kHole) {
+            hole = true;
+            break;
+          }
+        }
+      }
+      if (!hole) {
+        ++stats->missing_hole;
+        bad = true;
+      }
+    }
+  } else {
+    // Rule 2: minimum spacing — an empty pixel squeezed between conductors.
+    if ((IsConductor(pix(r, c - 1)) && IsConductor(pix(r, c + 1))) ||
+        (IsConductor(pix(r - 1, c)) && IsConductor(pix(r + 1, c)))) {
+      ++stats->spacing;
+      bad = true;
+    }
+  }
+  (void)height;
+  (void)width;
+  return bad;
+}
+
+constexpr sync::SyncId kPcbDoneSem = 2001;
+
+struct Shared {
+  dsm::GlobalAddr board = 0;
+  dsm::GlobalAddr overlay = 0;
+  dsm::GlobalAddr stats = 0;  // PcbStats record per thread
+  std::size_t stats_stride = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> GenerateBoard(int height, int width,
+                                        std::uint64_t seed) {
+  std::vector<std::uint8_t> img(static_cast<std::size_t>(height) * width,
+                                kEmpty);
+  base::Rng rng(seed);
+  auto hline = [&](int r, int c0, int c1, int w, std::uint8_t val) {
+    for (int rr = r; rr < std::min(r + w, height); ++rr) {
+      for (int cc = std::max(0, c0); cc < std::min(c1, width); ++cc) {
+        img[Idx(height, rr, cc)] = val;
+      }
+    }
+  };
+  auto vline = [&](int c, int r0, int r1, int w, std::uint8_t val) {
+    for (int cc = c; cc < std::min(c + w, width); ++cc) {
+      for (int rr = std::max(0, r0); rr < std::min(r1, height); ++rr) {
+        img[Idx(height, rr, cc)] = val;
+      }
+    }
+  };
+
+  // Feature density grows along the board: section s of 16 carries s-scaled
+  // feature counts, giving the unbalanced stripes of §3.2.
+  const int sections = 16;
+  const int sec_w = width / sections;
+  for (int s = 0; s < sections; ++s) {
+    const int c0 = s * sec_w;
+    const int traces = 1 + (3 * s) / 4;
+    for (int t = 0; t < traces; ++t) {
+      const int r = static_cast<int>(rng.NextBelow(height - 8));
+      // Width 2 is a deliberate narrow-conductor violation (~1 in 6).
+      const int w = rng.NextBool(0.17) ? 2 : 3 + static_cast<int>(
+                                                     rng.NextBelow(3));
+      hline(r, c0 + 2, c0 + sec_w - 2, w, kCopper);
+      // Occasionally draw a parallel trace one pixel away: spacing flaw.
+      if (rng.NextBool(0.2)) {
+        hline(r + w + 1, c0 + 4, c0 + sec_w / 2, 3, kCopper);
+      }
+    }
+    const int pads = 1 + s / 2;
+    for (int t = 0; t < pads; ++t) {
+      const int r = 4 + static_cast<int>(rng.NextBelow(height - 20));
+      const int c = c0 + 4 + static_cast<int>(
+                                 rng.NextBelow(std::max(1, sec_w - 20)));
+      // 10x10 pad; ~1 in 5 lacks its hole (a flaw).
+      for (int rr = r; rr < r + 10; ++rr) {
+        for (int cc = c; cc < c + 10; ++cc) {
+          if (rr < height && cc < width) img[Idx(height, rr, cc)] = kPad;
+        }
+      }
+      if (!rng.NextBool(0.2)) {
+        for (int rr = r + 4; rr < r + 6; ++rr) {
+          for (int cc = c + 4; cc < c + 6; ++cc) {
+            if (rr < height && cc < width) img[Idx(height, rr, cc)] = kHole;
+          }
+        }
+      }
+    }
+    // Vertical connectors between sections.
+    if (s + 1 < sections && rng.NextBool(0.7)) {
+      const int c = c0 + sec_w - 3;
+      vline(c, 10, height - 10, 3 + static_cast<int>(rng.NextBelow(2)), kCopper);
+    }
+  }
+  return img;
+}
+
+PcbStats CheckBoardReference(const std::vector<std::uint8_t>& board,
+                             int height, int width,
+                             std::vector<std::uint8_t>* overlay) {
+  overlay->assign(board.size(), 0);
+  PcbStats stats;
+  auto pix = [&](int r, int c) -> std::uint8_t {
+    if (r < 0 || r >= height || c < 0 || c >= width) return kEmpty;
+    return board[Idx(height, r, c)];
+  };
+  for (int c = 0; c < width; ++c) {
+    for (int r = 0; r < height; ++r) {
+      if (CheckPixel(pix, height, width, r, c, &stats)) {
+        (*overlay)[Idx(height, r, c)] = 1;
+      }
+    }
+  }
+  return stats;
+}
+
+arch::TypeId RegisterPcbTypes(arch::TypeRegistry& registry) {
+  return registry.RegisterRecord("pcb_stats", {{Reg::kInt, 3}});
+}
+
+void SetupPcb(dsm::System& sys, arch::TypeId stats_type, const PcbConfig& cfg,
+              PcbResult* out) {
+  MERMAID_CHECK(!cfg.worker_hosts.empty());
+  sys.SpawnThread(cfg.master_host, "pcb-master", [&sys, stats_type, cfg,
+                                                  out](dsm::Host& h) {
+    const int height = cfg.height;
+    const int width = cfg.width;
+    const auto npix = static_cast<std::uint64_t>(height) * width;
+    auto board_img = GenerateBoard(height, width, cfg.seed);
+
+    auto* sh = new Shared;
+    sh->board = sys.Alloc(h.id(), Reg::kChar, npix);
+    sh->overlay = sys.Alloc(h.id(), Reg::kChar, npix);
+    sh->stats = sys.Alloc(h.id(), stats_type, cfg.num_threads);
+    sh->stats_stride = std::bit_ceil(sys.registry().SizeOf(stats_type));
+
+    // "Two digital images ... are taken by a camera, digitized, and then
+    // stored as large matrices": the master loads the image into DSM.
+    h.WriteBlock<std::uint8_t>(sh->board, board_img.data(), npix);
+    for (int t = 0; t < cfg.num_threads; ++t) {
+      const dsm::GlobalAddr rec = sh->stats + t * sh->stats_stride;
+      h.Write<std::int32_t>(rec + 0, 0);
+      h.Write<std::int32_t>(rec + 4, 0);
+      h.Write<std::int32_t>(rec + 8, 0);
+    }
+
+    sys.sync(h.id()).SemInit(kPcbDoneSem, 0);
+    const SimTime start = h.runtime().Now();
+    const int per = (width + cfg.num_threads - 1) / cfg.num_threads;
+    for (int t = 0; t < cfg.num_threads; ++t) {
+      const int c0 = t * per;
+      const int c1 = std::min(width, (t + 1) * per);
+      const net::HostId wh = cfg.worker_hosts[t % cfg.worker_hosts.size()];
+      sys.SpawnThread(
+          wh, "pcb-worker-" + std::to_string(t),
+          [&sys, cfg, sh, t, c0, c1, height, width](dsm::Host& hh) {
+            PcbStats local;
+            // Fault the stripe plus its overlap margins in (read-shared
+            // replication), then check against the local copy — after the
+            // first touch the pages are local anyway; this keeps identical
+            // DSM traffic with far fewer simulated instructions.
+            const int m0 = std::max(0, c0 - cfg.overlap);
+            const int m1 = std::min(width, c1 + cfg.overlap);
+            std::vector<std::uint8_t> stripe(
+                static_cast<std::size_t>(m1 - m0) * height);
+            hh.ReadBlock<std::uint8_t>(sh->board + Idx(height, 0, m0),
+                                       stripe.size(), stripe.data());
+            auto pix = [&](int r, int c) -> std::uint8_t {
+              if (r < 0 || r >= height || c < m0 || c >= m1) return kEmpty;
+              return stripe[Idx(height, r, c - m0)];
+            };
+            std::vector<std::uint8_t> ocol(height);
+            for (int c = c0; c < c1; ++c) {
+              int copper = 0;
+              bool any = false;
+              std::fill(ocol.begin(), ocol.end(), 0);
+              for (int r = 0; r < height; ++r) {
+                if (IsConductor(pix(r, c))) ++copper;
+                if (CheckPixel(pix, height, width, r, c, &local)) {
+                  ocol[r] = 1;
+                  any = true;
+                }
+              }
+              if (any) {
+                hh.WriteBlock<std::uint8_t>(sh->overlay + Idx(height, 0, c),
+                                            ocol.data(), height);
+              }
+              // Modeled rule-checking cost: a base scan per pixel plus
+              // feature work on conductors (calibrated so the sequential
+              // 2 cm x 16 cm check takes minutes on a Sun3/60, as reported).
+              hh.Compute(height * 200.0 + copper * 700.0);
+            }
+            const dsm::GlobalAddr rec = sh->stats + t * sh->stats_stride;
+            hh.Write<std::int32_t>(rec + 0, local.narrow);
+            hh.Write<std::int32_t>(rec + 4, local.spacing);
+            hh.Write<std::int32_t>(rec + 8, local.missing_hole);
+            sys.sync(hh.id()).V(kPcbDoneSem);
+          });
+    }
+    for (int t = 0; t < cfg.num_threads; ++t) sys.sync(h.id()).P(kPcbDoneSem);
+    out->elapsed = h.runtime().Now() - start;
+
+    // Aggregate the per-thread statistics records (their pages migrate back
+    // to the master, converting between representations if heterogeneous).
+    PcbStats total;
+    for (int t = 0; t < cfg.num_threads; ++t) {
+      const dsm::GlobalAddr rec = sh->stats + t * sh->stats_stride;
+      total.narrow += h.Read<std::int32_t>(rec + 0);
+      total.spacing += h.Read<std::int32_t>(rec + 4);
+      total.missing_hole += h.Read<std::int32_t>(rec + 8);
+    }
+    out->stats = total;
+
+    if (cfg.verify) {
+      std::vector<std::uint8_t> ref_overlay;
+      PcbStats ref = CheckBoardReference(board_img, height, width,
+                                         &ref_overlay);
+      bool ok = ref.narrow == total.narrow && ref.spacing == total.spacing &&
+                ref.missing_hole == total.missing_hole;
+      if (ok) {
+        std::vector<std::uint8_t> got(npix);
+        h.ReadBlock<std::uint8_t>(sh->overlay, npix, got.data());
+        ok = got == ref_overlay;
+      }
+      out->correct = ok;
+    } else {
+      out->correct = true;
+    }
+    out->done = true;
+    delete sh;
+  });
+}
+
+}  // namespace mermaid::apps

@@ -1,0 +1,82 @@
+// Printed-circuit-board inspection on Mermaid DSM (§3.2).
+//
+// The paper's PCB application checks digitized board images for design-rule
+// violations: conductor widths, wire holes, and spacing. The camera and real
+// boards are substituted by a seeded synthetic board generator that draws
+// traces and pads and injects violations of three rules:
+//   1. minimum conductor width (traces thinner than kMinWidth),
+//   2. minimum spacing (distinct conductors closer than kMinGap),
+//   3. pad hole presence (pads without a drill hole nearby).
+// The checker is a real image-processing pass over the board; violations are
+// highlighted in an overlay image ("high-lighted in red in a third image")
+// and counted in per-thread statistics records — a user-defined DSM record
+// type exercising compound conversion.
+//
+// Work division follows the paper: the master (on a workstation host)
+// divides the board into column stripes with small overlaps "so that
+// features on the borders are checked properly" and creates checker threads
+// on the compute-server hosts. Feature density grows along the board, so
+// stripes are unbalanced — the paper's first scalability limitation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mermaid/dsm/system.h"
+
+namespace mermaid::apps {
+
+// Pixel values in the board image (stored as DSM char data — image bytes
+// need no representation conversion, exactly as in Figure 2's example).
+inline constexpr std::uint8_t kEmpty = 0;
+inline constexpr std::uint8_t kCopper = 1;
+inline constexpr std::uint8_t kPad = 2;
+inline constexpr std::uint8_t kHole = 3;
+
+inline constexpr int kMinWidth = 3;  // pixels
+inline constexpr int kMinGap = 2;    // pixels
+inline constexpr int kHoleRadius = 6;
+
+struct PcbConfig {
+  int height = 200;   // 2 cm at 10 px/mm
+  int width = 1600;   // 16 cm
+  int num_threads = 1;
+  net::HostId master_host = 0;
+  std::vector<net::HostId> worker_hosts;
+  int overlap = 8;    // stripe overlap margin (pixels)
+  std::uint64_t seed = 42;
+  bool verify = true;
+};
+
+struct PcbStats {
+  std::int32_t narrow = 0;
+  std::int32_t spacing = 0;
+  std::int32_t missing_hole = 0;
+};
+
+struct PcbResult {
+  bool done = false;
+  bool correct = false;
+  SimDuration elapsed = 0;
+  PcbStats stats;
+};
+
+// Generates the synthetic board image (plain memory; the master copies it
+// into DSM, standing in for the camera + digitizer).
+std::vector<std::uint8_t> GenerateBoard(int height, int width,
+                                        std::uint64_t seed);
+
+// Reference sequential checker over a plain image; fills overlay (same size,
+// 0/1) and returns rule-violation counts.
+PcbStats CheckBoardReference(const std::vector<std::uint8_t>& board,
+                             int height, int width,
+                             std::vector<std::uint8_t>* overlay);
+
+// Spawns the master; *out is complete before the engine run returns. The
+// PcbStats record type is registered on sys.registry() — call before Start()
+// ... handled internally via RegisterPcbTypes.
+arch::TypeId RegisterPcbTypes(arch::TypeRegistry& registry);
+void SetupPcb(dsm::System& sys, arch::TypeId stats_type,
+              const PcbConfig& cfg, PcbResult* out);
+
+}  // namespace mermaid::apps

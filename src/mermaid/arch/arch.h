@@ -1,0 +1,87 @@
+// Architecture profiles.
+//
+// A profile captures everything about a host type that the paper's
+// heterogeneity handling depends on: byte order, floating-point format,
+// native VM page size, and the calibrated cost model (CPU work rates,
+// fault-handling costs from Table 1, conversion rates from Table 3). The two
+// shipped profiles, SUN3 (M68020: big-endian, IEEE, 8 KB pages) and FIREFLY
+// (CVAX: little-endian, VAX F/D floats, 1 KB pages), are calibrated from the
+// paper's own microbenchmarks; tests also use synthetic profiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mermaid/base/bytes.h"
+#include "mermaid/base/time.h"
+
+namespace mermaid::arch {
+
+enum class FloatFormat : std::uint8_t {
+  kIeee754,  // IEEE 754 single/double
+  kVax,      // VAX F_floating (32-bit) / D_floating (64-bit)
+};
+
+enum class ArchKind : std::uint8_t { kSun3, kFirefly, kGeneric };
+
+// Per-element modeled conversion costs (ns), calibrated from Table 3.
+struct ConvertCosts {
+  double per_char_ns = 0;  // character data is never converted
+  double per_short_ns = 0;
+  double per_int_ns = 0;
+  double per_float_ns = 0;
+  double per_double_ns = 0;
+};
+
+struct ArchProfile {
+  std::string name;
+  ArchKind kind = ArchKind::kGeneric;
+  base::ByteOrder byte_order = base::ByteOrder::kLittle;
+  FloatFormat float_format = FloatFormat::kIeee754;
+  std::uint32_t vm_page_size = 4096;
+  // Processors usable for application threads (the Firefly is a small-scale
+  // multiprocessor; threads beyond this count time-share).
+  std::uint16_t cpu_count = 1;
+
+  // --- cost model -------------------------------------------------------
+  // Handling a DSM page fault up to and including sending the request
+  // (user-level handler invocation + page table processing + send), Table 1.
+  SimDuration fault_cost_read = 0;
+  SimDuration fault_cost_write = 0;
+  // Processing one protocol request at a manager/owner/server.
+  SimDuration server_op_cost = 0;
+  // Installing a received page (map + permission change).
+  SimDuration page_install_cost = 0;
+  // One abstract unit of application work: an integer multiply-accumulate
+  // including loop/index overhead (≈10 instructions on a ~3 MIPS CPU).
+  SimDuration int_work_cost = 0;
+  // Same for a floating-point element of work.
+  SimDuration float_work_cost = 0;
+
+  ConvertCosts convert;
+
+  bool SameRepresentation(const ArchProfile& other) const {
+    return byte_order == other.byte_order &&
+           float_format == other.float_format;
+  }
+};
+
+// Per-link (ordered host-type pair) message cost parameters, calibrated from
+// Table 2 by fitting fixed + per-packet + wire terms (see EXPERIMENTS.md):
+//   data message latency  = data_fixed + per_packet * n_packets + wire * bytes
+//   control message latency = control_fixed + wire * bytes
+struct LinkCost {
+  SimDuration control_fixed = 0;
+  SimDuration data_fixed = 0;
+  SimDuration per_packet = 0;
+  double wire_ns_per_byte = 0;
+};
+
+// Built-in calibrated profiles.
+const ArchProfile& Sun3Profile();
+const ArchProfile& FireflyProfile();
+
+// Link parameters for an ordered (src, dst) host-type pair.
+LinkCost LinkCostFor(const ArchProfile& src, const ArchProfile& dst);
+
+}  // namespace mermaid::arch

@@ -1,0 +1,66 @@
+// Single-scalar access to a host's representation-faithful memory.
+//
+// Application threads in the simulation run on the build machine but operate
+// on memory images laid out for their simulated host: a SUN3 image stores
+// big-endian integers and big-endian IEEE floats; a FIREFLY image stores
+// little-endian integers and VAX F/D floats. These helpers are the "machine
+// instructions" of a simulated host — every typed DSM accessor bottoms out
+// here. Lossy cases (storing an IEEE NaN into VAX memory) follow the same
+// clamping policy as the page converters.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/arch/vaxfloat.h"
+#include "mermaid/base/bytes.h"
+
+namespace mermaid::arch {
+
+template <typename T>
+T LoadScalar(const ArchProfile& host, const void* p) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (host.float_format == FloatFormat::kVax) {
+      float out = 0;
+      VaxFToIeee(static_cast<const std::uint8_t*>(p), &out);
+      return out;
+    }
+    auto bits = base::LoadAs<std::uint32_t>(p, host.byte_order);
+    return std::bit_cast<float>(bits);
+  } else if constexpr (std::is_same_v<T, double>) {
+    if (host.float_format == FloatFormat::kVax) {
+      double out = 0;
+      VaxDToIeee(static_cast<const std::uint8_t*>(p), &out);
+      return out;
+    }
+    auto bits = base::LoadAs<std::uint64_t>(p, host.byte_order);
+    return std::bit_cast<double>(bits);
+  } else {
+    static_assert(std::is_integral_v<T>);
+    return base::LoadAs<T>(p, host.byte_order);
+  }
+}
+
+template <typename T>
+void StoreScalar(const ArchProfile& host, void* p, T v) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (host.float_format == FloatFormat::kVax) {
+      IeeeToVaxF(v, static_cast<std::uint8_t*>(p));
+      return;
+    }
+    base::StoreAs(p, std::bit_cast<std::uint32_t>(v), host.byte_order);
+  } else if constexpr (std::is_same_v<T, double>) {
+    if (host.float_format == FloatFormat::kVax) {
+      IeeeToVaxD(v, static_cast<std::uint8_t*>(p));
+      return;
+    }
+    base::StoreAs(p, std::bit_cast<std::uint64_t>(v), host.byte_order);
+  } else {
+    static_assert(std::is_integral_v<T>);
+    base::StoreAs(p, v, host.byte_order);
+  }
+}
+
+}  // namespace mermaid::arch

@@ -1,0 +1,190 @@
+#include "mermaid/arch/vaxfloat.h"
+
+#include <bit>
+#include <limits>
+
+namespace mermaid::arch {
+
+namespace {
+
+// Packs logical VAX-F fields into the 4-byte memory image: two little-endian
+// 16-bit words, word0 = s<<15 | e<<7 | f<22:16>, word1 = f<15:0>.
+void PackVaxF(std::uint32_t s, std::uint32_t e, std::uint32_t f,
+              std::uint8_t out[4]) {
+  const std::uint16_t w0 =
+      static_cast<std::uint16_t>((s << 15) | (e << 7) | (f >> 16));
+  const std::uint16_t w1 = static_cast<std::uint16_t>(f & 0xFFFF);
+  out[0] = static_cast<std::uint8_t>(w0 & 0xFF);
+  out[1] = static_cast<std::uint8_t>(w0 >> 8);
+  out[2] = static_cast<std::uint8_t>(w1 & 0xFF);
+  out[3] = static_cast<std::uint8_t>(w1 >> 8);
+}
+
+void UnpackVaxF(const std::uint8_t in[4], std::uint32_t* s, std::uint32_t* e,
+                std::uint32_t* f) {
+  const std::uint16_t w0 = static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+  const std::uint16_t w1 = static_cast<std::uint16_t>(in[2] | (in[3] << 8));
+  *s = w0 >> 15;
+  *e = (w0 >> 7) & 0xFF;
+  *f = (static_cast<std::uint32_t>(w0 & 0x7F) << 16) | w1;
+}
+
+// VAX-D image: four little-endian 16-bit words, word0 = s<<15|e<<7|f<54:48>,
+// then f<47:32>, f<31:16>, f<15:0>.
+void PackVaxD(std::uint32_t s, std::uint32_t e, std::uint64_t f,
+              std::uint8_t out[8]) {
+  const std::uint16_t w0 = static_cast<std::uint16_t>(
+      (s << 15) | (e << 7) | static_cast<std::uint32_t>(f >> 48));
+  const std::uint16_t w1 = static_cast<std::uint16_t>((f >> 32) & 0xFFFF);
+  const std::uint16_t w2 = static_cast<std::uint16_t>((f >> 16) & 0xFFFF);
+  const std::uint16_t w3 = static_cast<std::uint16_t>(f & 0xFFFF);
+  out[0] = static_cast<std::uint8_t>(w0 & 0xFF);
+  out[1] = static_cast<std::uint8_t>(w0 >> 8);
+  out[2] = static_cast<std::uint8_t>(w1 & 0xFF);
+  out[3] = static_cast<std::uint8_t>(w1 >> 8);
+  out[4] = static_cast<std::uint8_t>(w2 & 0xFF);
+  out[5] = static_cast<std::uint8_t>(w2 >> 8);
+  out[6] = static_cast<std::uint8_t>(w3 & 0xFF);
+  out[7] = static_cast<std::uint8_t>(w3 >> 8);
+}
+
+void UnpackVaxD(const std::uint8_t in[8], std::uint32_t* s, std::uint32_t* e,
+                std::uint64_t* f) {
+  const std::uint16_t w0 = static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+  const std::uint16_t w1 = static_cast<std::uint16_t>(in[2] | (in[3] << 8));
+  const std::uint16_t w2 = static_cast<std::uint16_t>(in[4] | (in[5] << 8));
+  const std::uint16_t w3 = static_cast<std::uint16_t>(in[6] | (in[7] << 8));
+  *s = w0 >> 15;
+  *e = (w0 >> 7) & 0xFF;
+  *f = (static_cast<std::uint64_t>(w0 & 0x7F) << 48) |
+       (static_cast<std::uint64_t>(w1) << 32) |
+       (static_cast<std::uint64_t>(w2) << 16) | w3;
+}
+
+}  // namespace
+
+VaxConvertResult IeeeToVaxF(float v, std::uint8_t out[4]) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t s = bits >> 31;
+  const std::uint32_t ieee_e = (bits >> 23) & 0xFF;
+  const std::uint32_t frac = bits & 0x7FFFFF;
+
+  if (ieee_e == 0xFF) {
+    // NaN or infinity: clamp to the largest finite VAX magnitude, keeping
+    // the sign for infinities.
+    PackVaxF(s, 255, 0x7FFFFF, out);
+    return VaxConvertResult::kClampedSpecial;
+  }
+  if (ieee_e == 0) {
+    // Zero or IEEE denormal. The smallest VAX-F normal is 2^-128 while IEEE
+    // single denormals are < 2^-126; a denormal with value >= 2^-128 could
+    // in principle be represented, but like the original VAX conversion
+    // libraries we flush all denormals to (true) zero.
+    PackVaxF(0, 0, 0, out);
+    return frac == 0 ? VaxConvertResult::kExact
+                     : VaxConvertResult::kUnderflowedToZero;
+  }
+  const std::uint32_t e = ieee_e + 2;  // rebias 127 -> 129 (hidden-bit shift)
+  if (e > 255) {
+    PackVaxF(s, 255, 0x7FFFFF, out);
+    return VaxConvertResult::kClampedOverflow;
+  }
+  PackVaxF(s, e, frac, out);
+  return VaxConvertResult::kExact;
+}
+
+VaxConvertResult VaxFToIeee(const std::uint8_t in[4], float* out) {
+  std::uint32_t s = 0, e = 0, f = 0;
+  UnpackVaxF(in, &s, &e, &f);
+  if (e == 0) {
+    if (s == 0) {
+      *out = 0.0f;  // VAX treats e=0,s=0 as zero regardless of fraction
+      return VaxConvertResult::kExact;
+    }
+    *out = std::numeric_limits<float>::quiet_NaN();
+    return VaxConvertResult::kReservedOperand;
+  }
+  const std::int32_t ieee_e = static_cast<std::int32_t>(e) - 2;
+  std::uint32_t bits;
+  if (ieee_e <= 0) {
+    // e in {1, 2}: below the smallest IEEE single normal; emit a denormal.
+    const std::uint32_t mant24 = 0x800000u | f;
+    const std::uint32_t shift = static_cast<std::uint32_t>(1 - ieee_e);
+    bits = (s << 31) | (mant24 >> shift);
+  } else {
+    bits = (s << 31) | (static_cast<std::uint32_t>(ieee_e) << 23) | f;
+  }
+  *out = std::bit_cast<float>(bits);
+  return VaxConvertResult::kExact;
+}
+
+VaxConvertResult IeeeToVaxD(double v, std::uint8_t out[8]) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  const std::uint32_t s = static_cast<std::uint32_t>(bits >> 63);
+  const std::uint32_t ieee_e = static_cast<std::uint32_t>((bits >> 52) & 0x7FF);
+  const std::uint64_t frac = bits & 0xFFFFFFFFFFFFFull;
+
+  if (ieee_e == 0x7FF) {
+    PackVaxD(s, 255, 0x7FFFFFFFFFFFF8ull, out);
+    return VaxConvertResult::kClampedSpecial;
+  }
+  if (ieee_e == 0) {
+    PackVaxD(0, 0, 0, out);
+    return frac == 0 ? VaxConvertResult::kExact
+                     : VaxConvertResult::kUnderflowedToZero;
+  }
+  // VAX-D exponent: value = 1.f * 2^(e-129); IEEE: 1.F * 2^(E-1023).
+  const std::int32_t e = static_cast<std::int32_t>(ieee_e) - 1023 + 129;
+  if (e > 255) {
+    PackVaxD(s, 255, 0x7FFFFFFFFFFFF8ull, out);
+    return VaxConvertResult::kClampedOverflow;
+  }
+  if (e < 1) {
+    PackVaxD(0, 0, 0, out);
+    return VaxConvertResult::kUnderflowedToZero;
+  }
+  // Widen the 52-bit IEEE fraction to the 55-bit VAX-D fraction.
+  PackVaxD(s, static_cast<std::uint32_t>(e), frac << 3, out);
+  return VaxConvertResult::kExact;
+}
+
+VaxConvertResult VaxDToIeee(const std::uint8_t in[8], double* out) {
+  std::uint32_t s = 0, e = 0;
+  std::uint64_t f = 0;
+  UnpackVaxD(in, &s, &e, &f);
+  if (e == 0) {
+    if (s == 0) {
+      *out = 0.0;
+      return VaxConvertResult::kExact;
+    }
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return VaxConvertResult::kReservedOperand;
+  }
+  std::uint64_t ieee_e = static_cast<std::uint64_t>(e) + 894;  // e-129+1023
+  // Round the 55-bit fraction to 52 bits, half away from zero. A carry out
+  // of the fraction bumps the exponent (staying far below the IEEE max).
+  std::uint64_t rounded = f + 4;
+  if (rounded >> 55 != 0) {
+    rounded = 0;
+    ++ieee_e;
+  }
+  const std::uint64_t frac52 = (rounded >> 3) & 0xFFFFFFFFFFFFFull;
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(s) << 63) | (ieee_e << 52) | frac52;
+  *out = std::bit_cast<double>(bits);
+  return VaxConvertResult::kExact;
+}
+
+float VaxFMaxAsIeee() {
+  // e=255, f=all ones: (2 - 2^-23) * 2^126.
+  return std::bit_cast<float>((253u << 23) | 0x7FFFFFu);
+}
+
+double VaxDMaxAsIeee() {
+  // The VAX-D max is (2 - 2^-55) * 2^126; the largest IEEE double not
+  // exceeding it truncates the fraction to 52 bits: (2 - 2^-52) * 2^126,
+  // i.e. exponent field 1149 (126 + 1023) with an all-ones fraction.
+  return std::bit_cast<double>((1149ull << 52) | 0xFFFFFFFFFFFFFull);
+}
+
+}  // namespace mermaid::arch

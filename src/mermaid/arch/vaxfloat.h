@@ -1,0 +1,38 @@
+// IEEE 754 <-> VAX floating-point codecs.
+//
+// The Firefly's CVAX stores F_floating (32-bit) and D_floating (64-bit)
+// values: sign, 8-bit excess-128 exponent, hidden-bit 0.1m mantissa, laid
+// out as little-endian 16-bit words with the sign/exponent word first. IEEE
+// specials (NaN, infinity, denormals) have no VAX representation — the paper
+// notes they are "detected with two additional comparison operations" — so
+// the codec reports what it had to do (clamp / flush to zero) and the
+// conversion layer counts those events. VAX D has 55 mantissa bits to IEEE
+// double's 52, so D→IEEE rounds — the paper's "floating point numbers can
+// lose precision when they are converted".
+#pragma once
+
+#include <cstdint>
+
+namespace mermaid::arch {
+
+enum class VaxConvertResult : std::uint8_t {
+  kExact,             // value representable exactly (module rounding for D)
+  kUnderflowedToZero, // magnitude below the target's smallest normal
+  kClampedOverflow,   // magnitude above the target's largest finite
+  kClampedSpecial,    // IEEE NaN/Inf mapped to the largest finite VAX value
+  kReservedOperand,   // VAX reserved operand (s=1,e=0) mapped to IEEE NaN
+};
+
+// 32-bit F_floating. `out`/`in` are the 4-byte VAX memory image.
+VaxConvertResult IeeeToVaxF(float v, std::uint8_t out[4]);
+VaxConvertResult VaxFToIeee(const std::uint8_t in[4], float* out);
+
+// 64-bit D_floating. `out`/`in` are the 8-byte VAX memory image.
+VaxConvertResult IeeeToVaxD(double v, std::uint8_t out[8]);
+VaxConvertResult VaxDToIeee(const std::uint8_t in[8], double* out);
+
+// Largest finite magnitudes representable (handy for tests and clamping).
+float VaxFMaxAsIeee();
+double VaxDMaxAsIeee();
+
+}  // namespace mermaid::arch

@@ -1,0 +1,72 @@
+// Byte-order primitives.
+//
+// The DSM memory images are representation-faithful: a big-endian host's
+// image stores big-endian bytes. These helpers load/store fixed-width
+// integers in an explicit byte order regardless of the build machine's
+// native order, and perform the byte swapping the Mermaid conversion
+// routines are built from.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace mermaid::base {
+
+enum class ByteOrder : std::uint8_t { kLittle, kBig };
+
+constexpr ByteOrder NativeOrder() {
+  return std::endian::native == std::endian::little ? ByteOrder::kLittle
+                                                    : ByteOrder::kBig;
+}
+
+constexpr std::uint16_t ByteSwap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+
+constexpr std::uint32_t ByteSwap32(std::uint32_t v) {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
+
+constexpr std::uint64_t ByteSwap64(std::uint64_t v) {
+  return (static_cast<std::uint64_t>(ByteSwap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         ByteSwap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+template <typename T>
+constexpr T ByteSwap(T v) {
+  static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                sizeof(T) == 8);
+  if constexpr (sizeof(T) == 1) {
+    return v;
+  } else if constexpr (sizeof(T) == 2) {
+    auto u = std::bit_cast<std::uint16_t>(v);
+    return std::bit_cast<T>(ByteSwap16(u));
+  } else if constexpr (sizeof(T) == 4) {
+    auto u = std::bit_cast<std::uint32_t>(v);
+    return std::bit_cast<T>(ByteSwap32(u));
+  } else {
+    auto u = std::bit_cast<std::uint64_t>(v);
+    return std::bit_cast<T>(ByteSwap64(u));
+  }
+}
+
+// Loads a T stored at `p` in byte order `order`.
+template <typename T>
+T LoadAs(const void* p, ByteOrder order) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  if (order != NativeOrder()) v = ByteSwap(v);
+  return v;
+}
+
+// Stores `v` at `p` in byte order `order`.
+template <typename T>
+void StoreAs(void* p, T v, ByteOrder order) {
+  if (order != NativeOrder()) v = ByteSwap(v);
+  std::memcpy(p, &v, sizeof(T));
+}
+
+}  // namespace mermaid::base

@@ -1,0 +1,35 @@
+// Lightweight always-on invariant checking.
+//
+// MERMAID_CHECK is used for internal invariants of the DSM engine (e.g. the
+// single-writer invariant). Violations indicate a protocol bug, never a user
+// error, so they abort with a diagnostic rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mermaid::base {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "MERMAID_CHECK failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mermaid::base
+
+#define MERMAID_CHECK(expr)                                  \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::mermaid::base::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                        \
+  } while (false)
+
+#define MERMAID_CHECK_MSG(expr, msg)                                        \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::fprintf(stderr, "note: %s\n", (msg));                            \
+      ::mermaid::base::CheckFailed(#expr, __FILE__, __LINE__);              \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything random in the system — network jitter, loss injection, workload
+// generation, property-test inputs — flows from this splitmix64-seeded
+// xoshiro256** generator so that a (seed) pair reproduces a run exactly.
+// std::mt19937 is avoided because its distributions are not specified
+// bit-exactly across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace mermaid::base {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  std::uint64_t NextU64();
+
+  // Uniform over [0, bound) via rejection sampling; bound must be nonzero.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  std::int64_t NextRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Splits off an independently-seeded child generator; used to give each
+  // simulated host its own stream without cross-coupling.
+  Rng Split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mermaid::base

@@ -1,0 +1,87 @@
+#include "mermaid/base/stats.h"
+
+#include <sstream>
+
+namespace mermaid::base {
+
+void Distribution::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Distribution::Merge(const Distribution& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void StatsRegistry::Inc(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_[name] += delta;
+}
+
+void StatsRegistry::Sample(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  dists_[name].Add(value);
+}
+
+std::int64_t StatsRegistry::Count(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Distribution StatsRegistry::DistCopy(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = dists_.find(name);
+  return it == dists_.end() ? Distribution{} : it->second;
+}
+
+std::map<std::string, std::int64_t> StatsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::map<std::string, Distribution> StatsRegistry::Dists() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dists_;
+}
+
+void StatsRegistry::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  dists_.clear();
+}
+
+void StatsRegistry::Merge(const StatsRegistry& other) {
+  auto counters = other.Counters();
+  auto dists = other.Dists();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, v] : counters) counters_[name] += v;
+  for (const auto& [name, d] : dists) dists_[name].Merge(d);
+}
+
+std::string StatsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  for (const auto& [name, v] : counters_) os << name << ": " << v << "\n";
+  for (const auto& [name, d] : dists_) {
+    os << name << ": count=" << d.count() << " mean=" << d.mean()
+       << " min=" << d.min() << " max=" << d.max() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mermaid::base

@@ -1,0 +1,67 @@
+// Event counters and value distributions.
+//
+// The DSM engine, network, and conversion layers record what happened
+// (faults, transfers, bytes, conversions) into a StatsRegistry; the
+// benchmark harnesses read these to report the paper's tables and to detect
+// thrashing (page-transfer explosions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mermaid::base {
+
+// Min/max/mean/count accumulator for a stream of samples.
+class Distribution {
+ public:
+  void Add(double v);
+  // Combines another distribution into this one; count/sum/min/max stay exact.
+  void Merge(const Distribution& other);
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Named counters and distributions. Mutations are internally locked so
+// concurrent processes under the real-time runtime can share a registry;
+// under the virtual-time engine the lock is never contended.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  void Inc(const std::string& name, std::int64_t delta = 1);
+  void Sample(const std::string& name, double value);
+
+  std::int64_t Count(const std::string& name) const;
+  // Returns a snapshot (the live distribution can change concurrently).
+  Distribution DistCopy(const std::string& name) const;
+
+  // Snapshots of the full maps, for reporting.
+  std::map<std::string, std::int64_t> Counters() const;
+  std::map<std::string, Distribution> Dists() const;
+
+  void Clear();
+  // Adds every counter and sample of `other` into this registry.
+  void Merge(const StatsRegistry& other);
+
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Distribution> dists_;
+};
+
+}  // namespace mermaid::base

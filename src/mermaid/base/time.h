@@ -1,0 +1,37 @@
+// Simulation time types.
+//
+// All protocol and cost-model code expresses time as SimTime / SimDuration,
+// signed 64-bit nanosecond counts. The virtual-time engine and the real-time
+// binding both speak these types, so the DSM stack is agnostic to which
+// clock is driving it.
+#pragma once
+
+#include <cstdint>
+
+namespace mermaid {
+
+// A duration in nanoseconds. Plain integer type-alias: durations are
+// pervasive in the cost model and arithmetic on them should read like
+// arithmetic.
+using SimDuration = std::int64_t;
+
+// An absolute point on the (virtual or real) timeline, ns since epoch 0.
+using SimTime = std::int64_t;
+
+constexpr SimDuration Nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration Microseconds(std::int64_t us) { return us * 1'000; }
+constexpr SimDuration Milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr SimDuration Seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+// Fractional constructors used by the calibration tables.
+constexpr SimDuration MillisecondsF(double ms) {
+  return static_cast<SimDuration>(ms * 1e6);
+}
+constexpr SimDuration MicrosecondsF(double us) {
+  return static_cast<SimDuration>(us * 1e3);
+}
+
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace mermaid

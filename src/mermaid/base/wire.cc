@@ -1,0 +1,103 @@
+#include "mermaid/base/wire.h"
+
+#include <cstring>
+
+#include "mermaid/base/bytes.h"
+
+namespace mermaid::base {
+
+namespace {
+
+template <typename T>
+void Append(std::vector<std::uint8_t>& buf, T v) {
+  std::uint8_t tmp[sizeof(T)];
+  StoreAs(tmp, v, ByteOrder::kBig);
+  buf.insert(buf.end(), tmp, tmp + sizeof(T));
+}
+
+}  // namespace
+
+void WireWriter::U8(std::uint8_t v) { buf_.push_back(v); }
+void WireWriter::U16(std::uint16_t v) { Append(buf_, v); }
+void WireWriter::U32(std::uint32_t v) { Append(buf_, v); }
+void WireWriter::U64(std::uint64_t v) { Append(buf_, v); }
+void WireWriter::I64(std::int64_t v) {
+  Append(buf_, static_cast<std::uint64_t>(v));
+}
+
+void WireWriter::Bytes(std::span<const std::uint8_t> data) {
+  U32(static_cast<std::uint32_t>(data.size()));
+  Raw(data);
+}
+
+void WireWriter::Raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool WireReader::Need(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t WireReader::U8() {
+  if (!Need(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::U16() {
+  if (!Need(2)) return 0;
+  auto v = LoadAs<std::uint16_t>(data_.data() + pos_, ByteOrder::kBig);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::U32() {
+  if (!Need(4)) return 0;
+  auto v = LoadAs<std::uint32_t>(data_.data() + pos_, ByteOrder::kBig);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::U64() {
+  if (!Need(8)) return 0;
+  auto v = LoadAs<std::uint64_t>(data_.data() + pos_, ByteOrder::kBig);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t WireReader::I64() { return static_cast<std::int64_t>(U64()); }
+
+std::vector<std::uint8_t> WireReader::Bytes() {
+  std::uint32_t n = U32();
+  auto view = Raw(n);
+  return std::vector<std::uint8_t>(view.begin(), view.end());
+}
+
+std::span<const std::uint8_t> WireReader::Raw(std::size_t n) {
+  if (!Need(n)) return {};
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::string WireReader::Str() {
+  std::uint32_t n = U32();
+  auto view = Raw(n);
+  return std::string(view.begin(), view.end());
+}
+
+std::span<const std::uint8_t> WireReader::Rest() {
+  auto view = data_.subspan(pos_);
+  pos_ = data_.size();
+  return view;
+}
+
+}  // namespace mermaid::base

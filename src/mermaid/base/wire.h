@@ -1,0 +1,72 @@
+// Bounds-checked wire format reader/writer.
+//
+// All protocol headers in the net and dsm modules are serialized through
+// these classes in network (big-endian) byte order. Page payloads are
+// appended as raw byte spans; their interpretation is the job of the arch
+// conversion layer, mirroring the paper's observation that "data marshaling
+// and unmarshaling are not needed" for page contents.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mermaid::base {
+
+class WireWriter {
+ public:
+  WireWriter() = default;
+
+  void U8(std::uint8_t v);
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v);
+  // Length-prefixed byte blob (u32 length).
+  void Bytes(std::span<const std::uint8_t> data);
+  // Raw bytes, no length prefix; reader must know the size.
+  void Raw(std::span<const std::uint8_t> data);
+  void Str(const std::string& s);
+
+  std::vector<std::uint8_t> Take() && { return std::move(buf_); }
+  std::span<const std::uint8_t> View() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Reader over a borrowed byte span. Reads past the end set the error flag
+// and return zero values; callers check ok() once after parsing a message
+// rather than after every field (malformed datagrams are dropped, matching
+// a datagram protocol's tolerance for garbage).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t U8();
+  std::uint16_t U16();
+  std::uint32_t U32();
+  std::uint64_t U64();
+  std::int64_t I64();
+  std::vector<std::uint8_t> Bytes();
+  // Returns a view of `n` raw bytes (no copy), or an empty span on underrun.
+  std::span<const std::uint8_t> Raw(std::size_t n);
+  std::string Str();
+
+  // All remaining unread bytes.
+  std::span<const std::uint8_t> Rest();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace mermaid::base

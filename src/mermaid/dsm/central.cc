@@ -1,0 +1,100 @@
+#include "mermaid/dsm/central.h"
+
+#include "mermaid/base/wire.h"
+
+namespace mermaid::dsm {
+
+CentralServer::CentralServer(sim::Runtime& rt,
+                             const arch::ArchProfile* profile,
+                             std::uint64_t region_bytes)
+    : rt_(rt), profile_(profile), mem_(region_bytes, 0) {
+  MERMAID_CHECK(profile != nullptr);
+}
+
+void CentralServer::Attach(net::Endpoint& ep) {
+  ep.SetHandler(kOpCentralRead,
+                [this](net::RequestContext ctx) { HandleRead(std::move(ctx)); });
+  ep.SetHandler(kOpCentralWrite, [this](net::RequestContext ctx) {
+    HandleWrite(std::move(ctx));
+  });
+}
+
+void CentralServer::ReadBytes(GlobalAddr addr, std::span<std::uint8_t> out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MERMAID_CHECK(addr + out.size() <= mem_.size());
+  std::copy_n(mem_.begin() + addr, out.size(), out.begin());
+}
+
+void CentralServer::WriteBytes(GlobalAddr addr,
+                               std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MERMAID_CHECK(addr + data.size() <= mem_.size());
+  std::copy(data.begin(), data.end(), mem_.begin() + addr);
+}
+
+void CentralServer::HandleRead(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const GlobalAddr addr = r.U64();
+  const std::uint32_t size = r.U32();
+  if (!r.ok() || addr + size > mem_.size()) {
+    stats_.Inc("central.malformed");
+    return;
+  }
+  // Half the request-processing cost on each side of the operation.
+  rt_.Delay(profile_->server_op_cost / 2);
+  std::vector<std::uint8_t> out(size);
+  ReadBytes(addr, out);
+  stats_.Inc("central.reads");
+  ctx.Reply(std::move(out));
+}
+
+void CentralServer::HandleWrite(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const GlobalAddr addr = r.U64();
+  auto data = r.Rest();
+  if (!r.ok() || addr + data.size() > mem_.size()) {
+    stats_.Inc("central.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost / 2);
+  WriteBytes(addr, std::span<const std::uint8_t>(data.data(), data.size()));
+  stats_.Inc("central.writes");
+  ctx.Reply({});
+}
+
+CentralClient::CentralClient(net::Endpoint* ep, net::HostId server_host,
+                             const arch::ArchProfile* server_profile,
+                             CentralServer* local)
+    : ep_(ep),
+      server_host_(server_host),
+      server_profile_(server_profile),
+      local_(local) {}
+
+void CentralClient::ReadRaw(GlobalAddr addr, std::span<std::uint8_t> out) {
+  if (local_ != nullptr) {
+    local_->ReadBytes(addr, out);
+    return;
+  }
+  base::WireWriter w;
+  w.U64(addr);
+  w.U32(static_cast<std::uint32_t>(out.size()));
+  auto reply = ep_->Call(server_host_, kOpCentralRead, std::move(w).Take());
+  if (!reply.has_value()) return;  // shutdown
+  MERMAID_CHECK(reply->size() == out.size());
+  std::copy(reply->begin(), reply->end(), out.begin());
+}
+
+void CentralClient::WriteRaw(GlobalAddr addr,
+                             std::span<const std::uint8_t> data) {
+  if (local_ != nullptr) {
+    local_->WriteBytes(addr, data);
+    return;
+  }
+  base::WireWriter w;
+  w.U64(addr);
+  w.Raw(data);
+  auto reply = ep_->Call(server_host_, kOpCentralWrite, std::move(w).Take());
+  (void)reply;
+}
+
+}  // namespace mermaid::dsm

@@ -1,0 +1,783 @@
+#include "mermaid/dsm/host.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "mermaid/base/check.h"
+#include "mermaid/base/wire.h"
+
+namespace mermaid::dsm {
+
+namespace {
+
+// Converts `extent` bytes of element slots in place. Slots are the
+// power-of-two stride the allocator lays elements out on; for basic types
+// stride == size so this is one contiguous ConvertBuffer call.
+void ConvertSlots(const arch::TypeRegistry& reg, arch::TypeId type,
+                  std::span<std::uint8_t> data, std::uint32_t extent,
+                  const arch::ConvertContext& ctx) {
+  const std::size_t size = reg.SizeOf(type);
+  const std::size_t stride = std::bit_ceil(size);
+  const std::size_t slots = extent / stride;
+  if (size == stride) {
+    reg.ConvertBuffer(type, data, slots, ctx);
+    return;
+  }
+  for (std::size_t i = 0; i < slots; ++i) {
+    reg.ConvertBuffer(type, data.subspan(i * stride, size), 1, ctx);
+  }
+}
+
+}  // namespace
+
+Host::Host(sim::Runtime& rt, net::Network& net, const SystemConfig& cfg,
+           const arch::TypeRegistry& registry, net::HostId self,
+           const arch::ArchProfile* profile, std::uint16_t num_hosts,
+           std::uint32_t page_bytes, CoherenceReferee* referee)
+    : rt_(rt),
+      net_(net),
+      cfg_(cfg),
+      registry_(registry),
+      self_(self),
+      profile_(profile),
+      page_bytes_(page_bytes),
+      referee_(referee),
+      endpoint_(rt, net, self, profile,
+                [] {
+                  net::Endpoint::Config c;
+                  c.dedup_window = 8192;
+                  return c;
+                }()),
+      mem_(cfg.region_bytes, 0),
+      ptable_(static_cast<PageNum>(cfg.region_bytes / page_bytes), self,
+              num_hosts),
+      cpu_busy_until_(profile->cpu_count, 0) {
+  // Seed the referee with the initial ownership placement.
+  if (referee_ != nullptr) {
+    for (PageNum p = 0; p < ptable_.num_pages(); ++p) {
+      if (ptable_.ManagedHere(p)) {
+        referee_->OnInstall(self_, p, 0, Access::kRead);
+      }
+    }
+  }
+}
+
+void Host::Start() {
+  endpoint_.SetHandler(kOpReadReq, [this](net::RequestContext ctx) {
+    if (!ctx.body().empty() && ctx.body()[0] == kToOwner) {
+      HandleOwnerFetch(std::move(ctx), /*is_write=*/false);
+    } else {
+      HandleTransferReq(std::move(ctx), /*is_write=*/false);
+    }
+  });
+  endpoint_.SetHandler(kOpWriteReq, [this](net::RequestContext ctx) {
+    if (!ctx.body().empty() && ctx.body()[0] == kToOwner) {
+      HandleOwnerFetch(std::move(ctx), /*is_write=*/true);
+    } else {
+      HandleTransferReq(std::move(ctx), /*is_write=*/true);
+    }
+  });
+  endpoint_.SetHandler(kOpInvalidate, [this](net::RequestContext ctx) {
+    HandleInvalidate(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpConfirm, [this](net::RequestContext ctx) {
+    HandleConfirm(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpConfirmProbe, [this](net::RequestContext ctx) {
+    HandleConfirmProbe(std::move(ctx));
+  });
+  endpoint_.Start();
+
+  // Confirm-loss janitor: probes requesters of long-busy transfers. Blocks
+  // on a never-written channel so engine shutdown unwinds it.
+  rt_.Spawn(
+      "dsm-janitor-" + std::to_string(self_),
+      [this] {
+        sim::Chan<bool> never(rt_);
+        for (;;) {
+          bool timed_out = false;
+          auto m = never.RecvUntil(rt_.Now() + cfg_.janitor_period,
+                                   &timed_out);
+          if (!m.has_value() && !timed_out) return;  // shutdown
+          struct Probe {
+            PageNum page;
+            std::uint64_t op_id;
+            net::HostId requester;
+          };
+          std::vector<Probe> probes;
+          {
+            std::lock_guard<std::mutex> lk(state_mu_);
+            const SimTime now = rt_.Now();
+            ptable_.ForEachManaged([&](PageNum p, ManagerEntry& m2) {
+              if (m2.busy && m2.busy_requester != self_ &&
+                  now - m2.busy_since > cfg_.confirm_probe_after) {
+                probes.push_back({p, m2.busy_op_id, m2.busy_requester});
+              }
+            });
+          }
+          for (const Probe& pr : probes) {
+            base::WireWriter w;
+            w.U32(pr.page);
+            w.U64(pr.op_id);
+            stats_.Inc("dsm.confirm_probes");
+            endpoint_.Notify(pr.requester, kOpConfirmProbe,
+                             std::move(w).Take());
+          }
+        }
+      },
+      /*daemon=*/true);
+}
+
+void Host::Compute(double units, bool floating_point) {
+  const SimDuration per = floating_point ? profile_->float_work_cost
+                                         : profile_->int_work_cost;
+  const auto work = static_cast<SimDuration>(units * static_cast<double>(per));
+  // Schedule the work onto this host's CPUs: with more runnable threads than
+  // processors, compute time-shares (the Firefly has ~5 usable CPUs; the Sun
+  // one). Pick the earliest-free CPU and queue behind it.
+  SimTime start;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    auto best = std::min_element(cpu_busy_until_.begin(),
+                                 cpu_busy_until_.end());
+    start = std::max(rt_.Now(), *best);
+    *best = start + work;
+  }
+  // On the real-time runtime the clock advances between the slot
+  // computation and this call; the remaining delay can have elapsed already.
+  rt_.Delay(std::max<SimDuration>(0, start + work - rt_.Now()));
+}
+
+LocalPageEntry Host::LocalEntrySnapshot(PageNum p) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return ptable_.Local(p);
+}
+
+void Host::ApplyTypeSet(PageNum p, arch::TypeId type,
+                        std::uint32_t alloc_bytes) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  MERMAID_CHECK(ptable_.ManagedHere(p));
+  ManagerEntry& m = ptable_.Manager(p);
+  m.type = type;
+  m.alloc_bytes = std::max(m.alloc_bytes, alloc_bytes);
+  LocalPageEntry& e = ptable_.Local(p);
+  if (e.access != Access::kNone) {
+    e.type = type;
+    e.alloc_bytes = m.alloc_bytes;
+  }
+}
+
+net::Endpoint::CallOpts Host::DsmCallOpts() const {
+  net::Endpoint::CallOpts opts;
+  opts.timeout = cfg_.call_timeout;
+  opts.max_attempts = cfg_.call_max_attempts;
+  return opts;
+}
+
+// --------------------------------------------------------------------------
+// Fault path
+// --------------------------------------------------------------------------
+
+void Host::EnsureAccess(PageNum p, Access needed) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (ptable_.Local(p).access >= needed) return;
+    }
+    FaultGroup(p, needed);
+  }
+}
+
+void Host::FaultGroup(PageNum p, Access needed) {
+  const SimTime start = rt_.Now();
+  stats_.Inc("dsm.vm_faults");
+  // The user-level fault handler invocation + page table processing
+  // (Table 1; the request send cost is modeled by the network).
+  rt_.Delay(needed == Access::kWrite ? profile_->fault_cost_write
+                                     : profile_->fault_cost_read);
+  stats_.Sample(needed == Access::kWrite ? "dsm.fault_handling_w_ms"
+                                         : "dsm.fault_handling_r_ms",
+                ToMillis(rt_.Now() - start));
+
+  // A host whose VM page spans several DSM pages must fill the whole VM
+  // page ("multiple DSM pages will be moved to fill that (large) page").
+  PageNum first = p;
+  PageNum count = 1;
+  if (profile_->vm_page_size > page_bytes_) {
+    const PageNum per_vm = profile_->vm_page_size / page_bytes_;
+    first = p - (p % per_vm);
+    count = per_vm;
+  }
+  const PageNum total = ptable_.num_pages();
+  for (PageNum q = first; q < first + count && q < total; ++q) {
+    FaultOne(q, needed);
+  }
+  stats_.Sample("dsm.fault_delay_ms", ToMillis(rt_.Now() - start));
+}
+
+void Host::FaultOne(PageNum p, Access needed) {
+  for (;;) {
+    bool start_fetch = false;
+    sim::Chan<bool> waiter;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (ptable_.Local(p).access >= needed) return;
+      if (fault_inflight_[p]) {
+        waiter = sim::Chan<bool>(rt_);
+        fault_waiters_[p].push_back(waiter);
+      } else {
+        fault_inflight_[p] = true;
+        start_fetch = true;
+      }
+    }
+    if (!start_fetch) {
+      waiter.Recv();  // another thread is fetching this page; re-check
+      continue;
+    }
+
+    const bool is_write = needed == Access::kWrite;
+    stats_.Inc(is_write ? "dsm.write_faults" : "dsm.read_faults");
+    if (ptable_.ManagedHere(p)) {
+      FaultViaLocalManager(p, is_write);
+    } else {
+      FaultViaRemoteManager(p, is_write);
+    }
+
+    std::vector<sim::Chan<bool>> waiters;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      fault_inflight_[p] = false;
+      waiters.swap(fault_waiters_[p]);
+    }
+    for (auto& w : waiters) w.Send(true);
+  }
+}
+
+void Host::FaultViaLocalManager(PageNum p, bool is_write) {
+  ManagerGrant grant;
+  bool granted_inline = false;
+  sim::Chan<ManagerGrant> grant_chan;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry& m = ptable_.Manager(p);
+    if (!m.busy) {
+      grant = BuildGrantLocked(p, self_, is_write);
+      granted_inline = true;
+    } else {
+      PendingTransfer t;
+      t.is_write = is_write;
+      t.requester = self_;
+      grant_chan = sim::Chan<ManagerGrant>(rt_);
+      t.local_grant = grant_chan;
+      m.pending.push_back(std::move(t));
+    }
+  }
+  if (!granted_inline) {
+    auto g = grant_chan.Recv();
+    if (!g.has_value()) return;  // shutdown
+    grant = *g;
+  }
+
+  FetchReply reply;
+  if (grant.owner == self_) {
+    // We already own the page (write upgrade): no data movement.
+    std::lock_guard<std::mutex> lk(state_mu_);
+    const LocalPageEntry& e = ptable_.Local(p);
+    reply.op_id = grant.op_id;
+    reply.data_version = e.version;
+    reply.new_version = grant.new_version;
+    reply.owner = self_;
+    reply.type = e.type;
+    reply.alloc_bytes = e.alloc_bytes;
+    reply.to_invalidate = grant.to_invalidate;
+    reply.has_data = false;
+  } else {
+    // Fetch from the owner directly (the R/M -> O pattern of Table 4).
+    base::WireWriter w;
+    w.U8(kToOwner);
+    w.U32(p);
+    w.U64(grant.op_id);
+    w.U64(grant.new_version);
+    w.U8(grant.requester_has_copy ? 0 : 1);  // data_needed
+    w.U16(grant.type);
+    w.U32(grant.alloc_bytes);
+    w.U16(static_cast<std::uint16_t>(grant.to_invalidate.size()));
+    for (net::HostId h : grant.to_invalidate) w.U16(h);
+    auto resp = endpoint_.Call(grant.owner,
+                               is_write ? kOpWriteReq : kOpReadReq,
+                               std::move(w).Take(), net::MsgKind::kControl,
+                               DsmCallOpts());
+    if (!resp.has_value()) return;  // shutdown (or hopeless loss)
+    reply = DecodeFetchReply(*resp);
+  }
+
+  CompleteTransfer(p, is_write, reply);
+  ManagerCommit(p, grant.op_id, self_, is_write);
+}
+
+void Host::FaultViaRemoteManager(PageNum p, bool is_write) {
+  base::WireWriter w;
+  w.U8(kToManager);
+  w.U32(p);
+  const net::HostId mgr = ptable_.ManagerOf(p);
+  auto resp =
+      endpoint_.Call(mgr, is_write ? kOpWriteReq : kOpReadReq,
+                     std::move(w).Take(), net::MsgKind::kControl,
+                     DsmCallOpts());
+  if (!resp.has_value()) return;  // shutdown (or hopeless loss)
+  FetchReply reply = DecodeFetchReply(*resp);
+  CompleteTransfer(p, is_write, reply);
+  RecordCompleted(p, reply.op_id, mgr, is_write);
+
+  base::WireWriter cw;
+  cw.U32(p);
+  cw.U64(reply.op_id);
+  cw.U16(self_);
+  cw.U8(is_write ? 1 : 0);
+  endpoint_.Notify(mgr, kOpConfirm, std::move(cw).Take());
+}
+
+void Host::CompleteTransfer(PageNum p, bool is_write,
+                            const FetchReply& reply) {
+  const GlobalAddr page_base = static_cast<GlobalAddr>(p) * page_bytes_;
+  if (reply.has_data) {
+    std::vector<std::uint8_t> data = reply.data;
+    ConvertIncoming(p, data, reply.type, net_.ProfileOf(reply.owner));
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      MERMAID_CHECK(data.size() <= page_bytes_);
+      std::copy(data.begin(), data.end(), mem_.begin() + page_base);
+      LocalPageEntry& e = ptable_.Local(p);
+      e.access = Access::kRead;
+      e.owned = false;
+      e.version = reply.data_version;
+      e.type = reply.type;
+      e.alloc_bytes = reply.alloc_bytes;
+      if (referee_ != nullptr) {
+        referee_->OnInstall(self_, p, reply.data_version, Access::kRead);
+      }
+    }
+    stats_.Inc("dsm.pages_in");
+    stats_.Inc("dsm.bytes_in", static_cast<std::int64_t>(reply.data.size()));
+  } else if (!is_write) {
+    // A read grant without data can only mean we already hold a valid copy.
+    std::lock_guard<std::mutex> lk(state_mu_);
+    LocalPageEntry& e = ptable_.Local(p);
+    MERMAID_CHECK(e.access >= Access::kRead);
+  } else {
+    stats_.Inc("dsm.upgrades");
+  }
+  rt_.Delay(profile_->page_install_cost);
+
+  if (is_write) {
+    InvalidateCopies(p, reply.to_invalidate);
+    std::lock_guard<std::mutex> lk(state_mu_);
+    LocalPageEntry& e = ptable_.Local(p);
+    e.access = Access::kWrite;
+    e.owned = true;
+    e.version = reply.new_version;
+    e.type = reply.type;
+    e.alloc_bytes = std::max(e.alloc_bytes, reply.alloc_bytes);
+    if (referee_ != nullptr) {
+      referee_->OnWriteGrant(self_, p, reply.new_version);
+    }
+  }
+}
+
+void Host::InvalidateCopies(PageNum p,
+                            const std::vector<net::HostId>& hosts) {
+  std::vector<net::HostId> targets;
+  for (net::HostId h : hosts) {
+    if (h != self_) targets.push_back(h);
+  }
+  if (targets.empty()) return;
+  base::WireWriter w;
+  w.U32(p);
+  stats_.Inc("dsm.invalidations_sent",
+             static_cast<std::int64_t>(targets.size()));
+  auto acks = endpoint_.MultiCall(targets, kOpInvalidate, std::move(w).Take(),
+                                  net::MsgKind::kControl, DsmCallOpts());
+  MERMAID_CHECK_MSG(acks.has_value() || true,
+                    "invalidation multicast failed");  // shutdown tolerated
+}
+
+// --------------------------------------------------------------------------
+// Manager role
+// --------------------------------------------------------------------------
+
+ManagerGrant Host::BuildGrantLocked(PageNum p, net::HostId requester,
+                                    bool is_write) {
+  ManagerEntry& m = ptable_.Manager(p);
+  MERMAID_CHECK(!m.busy);
+  ManagerGrant g;
+  g.owner = m.owner;
+  // §2.3: "the number of necessary conversions can be kept to a minimum by
+  // transferring a page from a host of the same type whenever possible" —
+  // for read faults, serve from a same-representation copyset member
+  // instead of a differently-represented owner (ownership is unchanged).
+  if (!is_write && cfg_.prefer_same_type_source &&
+      m.copyset.count(requester) == 0 &&
+      !net_.ProfileOf(m.owner).SameRepresentation(
+          net_.ProfileOf(requester))) {
+    for (net::HostId h : m.copyset) {
+      if (net_.ProfileOf(h).SameRepresentation(net_.ProfileOf(requester))) {
+        g.owner = h;  // data source only; m.owner keeps ownership
+        stats_.Inc("dsm.same_type_source");
+        break;
+      }
+    }
+  }
+  g.op_id = ++op_counter_;
+  g.new_version = is_write ? m.version + 1 : m.version;
+  g.requester_has_copy = m.copyset.count(requester) > 0;
+  g.type = m.type;
+  g.alloc_bytes = m.alloc_bytes;
+  if (is_write) {
+    for (net::HostId h : m.copyset) {
+      if (h != requester && h != m.owner) g.to_invalidate.push_back(h);
+    }
+  }
+  m.busy = true;
+  m.busy_op_id = g.op_id;
+  m.busy_requester = requester;
+  m.busy_is_write = is_write;
+  m.busy_new_version = g.new_version;
+  m.busy_since = rt_.Now();
+  return g;
+}
+
+void Host::ManagerIssue(PageNum p, PendingTransfer t) {
+  ManagerGrant grant;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    grant = BuildGrantLocked(p, t.requester, t.is_write);
+  }
+  if (!t.remote.has_value()) {
+    t.local_grant.Send(grant);
+    return;
+  }
+
+  // Remote requester.
+  const net::RequestContext& ctx = *t.remote;
+  std::uint64_t data_version;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    data_version = ptable_.Manager(p).version;
+  }
+  if (grant.owner == t.requester) {
+    // Ownership upgrade: requester already owns the page; no data leg.
+    FetchReply r;
+    r.op_id = grant.op_id;
+    r.data_version = data_version;
+    r.new_version = grant.new_version;
+    r.owner = grant.owner;
+    r.type = grant.type;
+    r.alloc_bytes = grant.alloc_bytes;
+    r.to_invalidate = grant.to_invalidate;
+    r.has_data = false;
+    ctx.Reply(EncodeFetchReply(r));
+    return;
+  }
+  if (grant.owner == self_) {
+    // The manager host owns the page: serve directly (R -> M/O of Table 4).
+    rt_.Delay(profile_->server_op_cost);
+    auto reply = EncodeServeReply(p, t.is_write, !grant.requester_has_copy,
+                                  grant.op_id, data_version,
+                                  grant.new_version, grant.type,
+                                  grant.alloc_bytes, grant.to_invalidate);
+    ctx.Reply(std::move(reply), net::MsgKind::kData);
+    return;
+  }
+  // Forward to the owner (R -> M -> O of Table 4).
+  base::WireWriter w;
+  w.U8(kToOwner);
+  w.U32(p);
+  w.U64(grant.op_id);
+  w.U64(grant.new_version);
+  w.U8(grant.requester_has_copy ? 0 : 1);
+  w.U16(grant.type);
+  w.U32(grant.alloc_bytes);
+  w.U16(static_cast<std::uint16_t>(grant.to_invalidate.size()));
+  for (net::HostId h : grant.to_invalidate) w.U16(h);
+  ctx.Forward(grant.owner, std::move(w).Take());
+}
+
+void Host::ManagerCommit(PageNum p, std::uint64_t op_id,
+                         net::HostId requester, bool is_write) {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry& m = ptable_.Manager(p);
+    if (!m.busy || m.busy_op_id != op_id) {
+      stats_.Inc("dsm.stale_confirms");
+      return;  // duplicate confirm of an already-committed transfer
+    }
+    MERMAID_CHECK(m.busy_requester == requester);
+    if (is_write) {
+      m.owner = requester;
+      m.copyset.clear();
+      m.copyset.insert(requester);
+      m.version = m.busy_new_version;
+    } else {
+      m.copyset.insert(requester);
+    }
+    m.busy = false;
+  }
+  ManagerDrain(p);
+}
+
+void Host::ManagerDrain(PageNum p) {
+  PendingTransfer next;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry& m = ptable_.Manager(p);
+    if (m.busy || m.pending.empty()) return;
+    next = std::move(m.pending.front());
+    m.pending.pop_front();
+  }
+  ManagerIssue(p, std::move(next));
+}
+
+// --------------------------------------------------------------------------
+// Owner role
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> Host::EncodeServeReply(
+    PageNum p, bool is_write, bool data_needed, std::uint64_t op_id,
+    std::uint64_t data_version, std::uint64_t new_version, arch::TypeId type,
+    std::uint32_t alloc_bytes, const std::vector<net::HostId>& to_invalidate) {
+  FetchReply r;
+  r.op_id = op_id;
+  r.data_version = data_version;
+  r.new_version = new_version;
+  r.owner = self_;
+  r.type = type;
+  r.alloc_bytes = alloc_bytes;
+  r.to_invalidate = to_invalidate;
+  r.has_data = data_needed;
+
+  const GlobalAddr page_base = static_cast<GlobalAddr>(p) * page_bytes_;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    LocalPageEntry& e = ptable_.Local(p);
+    MERMAID_CHECK_MSG(e.access != Access::kNone,
+                      "owner asked to serve a page it does not hold");
+    if (data_needed) {
+      const std::uint32_t extent =
+          cfg_.partial_page_transfer ? std::min(alloc_bytes, page_bytes_)
+                                     : page_bytes_;
+      r.data.assign(mem_.begin() + page_base,
+                    mem_.begin() + page_base + extent);
+    }
+    if (is_write) {
+      // Relinquish: the new owner takes over.
+      if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
+      e.access = Access::kNone;
+      e.owned = false;
+    } else if (e.access == Access::kWrite) {
+      // Downgrade to read-only; we stay the owner.
+      if (referee_ != nullptr) referee_->OnDowngrade(self_, p);
+      e.access = Access::kRead;
+    }
+  }
+  stats_.Inc("dsm.pages_served");
+  if (data_needed) {
+    stats_.Inc("dsm.bytes_out", static_cast<std::int64_t>(r.data.size()));
+  }
+  return EncodeFetchReply(r);
+}
+
+// --------------------------------------------------------------------------
+// Handlers (rx daemon; never block)
+// --------------------------------------------------------------------------
+
+void Host::HandleTransferReq(net::RequestContext ctx, bool is_write) {
+  base::WireReader r(ctx.body());
+  r.U8();  // role
+  const PageNum p = r.U32();
+  if (!r.ok() || !ptable_.ManagedHere(p)) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost);
+
+  PendingTransfer t;
+  t.is_write = is_write;
+  t.requester = ctx.origin();
+  t.remote = std::move(ctx);
+  bool issue_now = false;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry& m = ptable_.Manager(p);
+    if (m.busy) {
+      m.pending.push_back(std::move(t));
+    } else {
+      issue_now = true;
+    }
+  }
+  if (issue_now) ManagerIssue(p, std::move(t));
+}
+
+void Host::HandleOwnerFetch(net::RequestContext ctx, bool is_write) {
+  base::WireReader r(ctx.body());
+  r.U8();  // role
+  const PageNum p = r.U32();
+  const std::uint64_t op_id = r.U64();
+  const std::uint64_t new_version = r.U64();
+  const bool data_needed = r.U8() != 0;
+  const arch::TypeId type = r.U16();
+  const std::uint32_t alloc_bytes = r.U32();
+  const std::uint16_t n_inv = r.U16();
+  std::vector<net::HostId> to_invalidate(n_inv);
+  for (auto& h : to_invalidate) h = r.U16();
+  if (!r.ok()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost);
+  std::uint64_t data_version;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    data_version = ptable_.Local(p).version;
+  }
+  auto reply = EncodeServeReply(p, is_write, data_needed, op_id, data_version,
+                                new_version, type, alloc_bytes,
+                                to_invalidate);
+  ctx.Reply(std::move(reply),
+            data_needed ? net::MsgKind::kData : net::MsgKind::kControl);
+}
+
+void Host::HandleInvalidate(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  if (!r.ok()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    LocalPageEntry& e = ptable_.Local(p);
+    if (e.access != Access::kNone) {
+      e.access = Access::kNone;
+      e.owned = false;
+      stats_.Inc("dsm.invalidations_received");
+      if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
+    }
+  }
+  ctx.Reply({});
+}
+
+void Host::HandleConfirm(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const std::uint64_t op_id = r.U64();
+  const net::HostId requester = r.U16();
+  const bool is_write = r.U8() != 0;
+  if (!r.ok() || !ptable_.ManagedHere(p)) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  ManagerCommit(p, op_id, requester, is_write);
+}
+
+void Host::HandleConfirmProbe(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const std::uint64_t op_id = r.U64();
+  if (!r.ok()) return;
+  bool found = false;
+  bool is_write = false;
+  net::HostId manager = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    auto it = completed_.find({p, op_id});
+    if (it != completed_.end()) {
+      found = true;
+      manager = it->second.manager;
+      is_write = it->second.is_write;
+    }
+  }
+  if (!found) return;  // transfer not completed here (or long evicted)
+  base::WireWriter w;
+  w.U32(p);
+  w.U64(op_id);
+  w.U16(self_);
+  w.U8(is_write ? 1 : 0);
+  endpoint_.Notify(manager, kOpConfirm, std::move(w).Take());
+}
+
+// --------------------------------------------------------------------------
+// Helpers
+// --------------------------------------------------------------------------
+
+void Host::ConvertIncoming(PageNum p, std::vector<std::uint8_t>& data,
+                           arch::TypeId type, const arch::ArchProfile& from) {
+  if (!cfg_.convert_enabled) return;
+  if (from.SameRepresentation(*profile_)) return;
+  arch::ConvertStats cstats;
+  arch::ConvertContext ctx;
+  ctx.src = &from;
+  ctx.dst = profile_;
+  ctx.stats = &cstats;
+  ConvertSlots(registry_, type, data, static_cast<std::uint32_t>(data.size()),
+               ctx);
+  const std::size_t stride = std::bit_ceil(registry_.SizeOf(type));
+  const std::size_t elems = data.size() / stride;
+  rt_.Delay(registry_.ModeledElementCost(*profile_, type) *
+            static_cast<SimDuration>(elems));
+  stats_.Inc("dsm.conversions");
+  stats_.Inc("dsm.converted_elements", static_cast<std::int64_t>(elems));
+  if (cstats.total_lossy() > 0) {
+    stats_.Inc("dsm.convert_lossy", cstats.total_lossy());
+  }
+  (void)p;
+}
+
+void Host::RecordCompleted(PageNum p, std::uint64_t op_id,
+                           net::HostId manager, bool is_write) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  while (completed_order_.size() >= 4096) {
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+  completed_order_.emplace_back(p, op_id);
+  completed_[{p, op_id}] = CompletedOp{manager, is_write};
+}
+
+std::vector<std::uint8_t> Host::EncodeFetchReply(const FetchReply& r) {
+  base::WireWriter w;
+  w.U64(r.op_id);
+  w.U64(r.data_version);
+  w.U64(r.new_version);
+  w.U16(r.owner);
+  w.U16(r.type);
+  w.U32(r.alloc_bytes);
+  w.U16(static_cast<std::uint16_t>(r.to_invalidate.size()));
+  for (net::HostId h : r.to_invalidate) w.U16(h);
+  w.U8(r.has_data ? 1 : 0);
+  if (r.has_data) w.Raw(r.data);
+  return std::move(w).Take();
+}
+
+Host::FetchReply Host::DecodeFetchReply(std::span<const std::uint8_t> bytes) {
+  base::WireReader r(bytes);
+  FetchReply out;
+  out.op_id = r.U64();
+  out.data_version = r.U64();
+  out.new_version = r.U64();
+  out.owner = r.U16();
+  out.type = r.U16();
+  out.alloc_bytes = r.U32();
+  const std::uint16_t n = r.U16();
+  out.to_invalidate.resize(n);
+  for (auto& h : out.to_invalidate) h = r.U16();
+  out.has_data = r.U8() != 0;
+  if (out.has_data) {
+    auto rest = r.Rest();
+    out.data.assign(rest.begin(), rest.end());
+  }
+  MERMAID_CHECK_MSG(r.ok(), "malformed fetch reply");
+  return out;
+}
+
+}  // namespace mermaid::dsm

@@ -1,0 +1,269 @@
+// Per-host DSM engine: Li's MRSW write-invalidate protocol with fixed
+// distributed managers, extended for heterogeneity (Mermaid, §2).
+//
+// Role split, mirroring the paper:
+//   - Fault path (application process): detects insufficient access on a
+//     typed load/store, pays the Table-1 fault-handling cost, obtains a
+//     transfer grant from the page's manager (a protocol Call, or a direct
+//     state operation when the faulting host manages the page), fetches the
+//     page from the owner, converts it if the owner's representation
+//     differs, performs write invalidation by multicast, and confirms the
+//     completed transfer to the manager.
+//   - Manager role (fixed: page p is managed by host p mod N): knows owner
+//     and copyset, serializes transfers per page (busy + pending queue, as
+//     in Li's algorithm — the entry stays locked until the requester's
+//     confirmation), and never blocks: remote requests are forwarded or
+//     answered inline, local requests are granted through a channel.
+//   - Owner role (request handler): serves page data (only the allocated
+//     extent when partial transfer is on), downgrading itself on read
+//     fetches and relinquishing on write fetches.
+//
+// Page-size policies (§2.4): the coherence unit is the DSM page; a fault on
+// a host whose VM page is larger acquires every DSM page of the enclosing
+// VM page (the "smallest page size" algorithm's grouped fill), and a host
+// whose VM page is smaller gains all its VM pages when the single DSM page
+// arrives (the "largest page size" algorithm's grouping).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/arch/scalar.h"
+#include "mermaid/arch/type_registry.h"
+#include "mermaid/base/stats.h"
+#include "mermaid/dsm/page_table.h"
+#include "mermaid/dsm/referee.h"
+#include "mermaid/dsm/types.h"
+#include "mermaid/net/reqrep.h"
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::dsm {
+
+class Host {
+ public:
+  Host(sim::Runtime& rt, net::Network& net, const SystemConfig& cfg,
+       const arch::TypeRegistry& registry, net::HostId self,
+       const arch::ArchProfile* profile, std::uint16_t num_hosts,
+       std::uint32_t page_bytes, CoherenceReferee* referee);
+
+  // Registers protocol handlers and starts the receive daemon.
+  void Start();
+
+  // --- application-facing API (call from processes on this host) ---------
+
+  // Typed access to shared memory. Representation-faithful: the value is
+  // decoded from / encoded into this host's native memory image. Faults in
+  // the page (group) transparently when access is insufficient.
+  template <typename T>
+  T Read(GlobalAddr addr) {
+    EnsureAccess(PageOf(addr), Access::kRead);
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (cfg_.referee_check_access && referee_ != nullptr) {
+      const PageNum p = PageOf(addr);
+      referee_->CheckAccess(self_, p, ptable_.Local(p).version, Access::kRead);
+    }
+    return arch::LoadScalar<T>(*profile_, mem_.data() + addr);
+  }
+
+  template <typename T>
+  void Write(GlobalAddr addr, T value) {
+    EnsureAccess(PageOf(addr), Access::kWrite);
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (cfg_.referee_check_access && referee_ != nullptr) {
+      const PageNum p = PageOf(addr);
+      referee_->CheckAccess(self_, p, ptable_.Local(p).version,
+                            Access::kWrite);
+    }
+    arch::StoreScalar<T>(*profile_, mem_.data() + addr, value);
+  }
+
+  // Bulk typed access: semantically identical to element-wise Read/Write
+  // loops (same faults, same page-granularity coherence, same
+  // representation decoding) but amortizes the access-check cost — the
+  // simulated equivalent of a tight load/store loop of native instructions.
+  // Elements must not straddle DSM pages (the typed allocator guarantees
+  // power-of-two strides, so they never do).
+  template <typename T>
+  void ReadBlock(GlobalAddr addr, std::size_t count, T* out) {
+    while (count > 0) {
+      const PageNum p = PageOf(addr);
+      EnsureAccess(p, Access::kRead);
+      const GlobalAddr page_end =
+          (static_cast<GlobalAddr>(p) + 1) * page_bytes_;
+      const std::size_t n =
+          std::min<std::size_t>(count, (page_end - addr) / sizeof(T));
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        if (cfg_.referee_check_access && referee_ != nullptr) {
+          referee_->CheckAccess(self_, p, ptable_.Local(p).version,
+                                Access::kRead);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = arch::LoadScalar<T>(*profile_,
+                                       mem_.data() + addr + i * sizeof(T));
+        }
+      }
+      out += n;
+      addr += n * sizeof(T);
+      count -= n;
+    }
+  }
+
+  template <typename T>
+  void WriteBlock(GlobalAddr addr, const T* in, std::size_t count) {
+    while (count > 0) {
+      const PageNum p = PageOf(addr);
+      EnsureAccess(p, Access::kWrite);
+      const GlobalAddr page_end =
+          (static_cast<GlobalAddr>(p) + 1) * page_bytes_;
+      const std::size_t n =
+          std::min<std::size_t>(count, (page_end - addr) / sizeof(T));
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        if (cfg_.referee_check_access && referee_ != nullptr) {
+          referee_->CheckAccess(self_, p, ptable_.Local(p).version,
+                                Access::kWrite);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          arch::StoreScalar<T>(*profile_,
+                               mem_.data() + addr + i * sizeof(T), in[i]);
+        }
+      }
+      in += n;
+      addr += n * sizeof(T);
+      count -= n;
+    }
+  }
+
+  // Models `units` of application work on this host's CPU.
+  void Compute(double units, bool floating_point = false);
+
+  // Pre-faults a page for the given access (the paper's applications touch
+  // data in page units anyway; this is a convenience for benchmarks).
+  void Touch(GlobalAddr addr, Access access) {
+    EnsureAccess(PageOf(addr), access);
+  }
+
+  PageNum PageOf(GlobalAddr addr) const {
+    return static_cast<PageNum>(addr / page_bytes_);
+  }
+
+  net::HostId id() const { return self_; }
+  const arch::ArchProfile& profile() const { return *profile_; }
+  std::uint32_t page_bytes() const { return page_bytes_; }
+  base::StatsRegistry& stats() { return stats_; }
+  net::Endpoint& endpoint() { return endpoint_; }
+  sim::Runtime& runtime() { return rt_; }
+
+  // Test hooks.
+  LocalPageEntry LocalEntrySnapshot(PageNum p);
+
+  // Used by the System's allocation worker to push authoritative type and
+  // extent information to this host in its manager role.
+  void ApplyTypeSet(PageNum p, arch::TypeId type, std::uint32_t alloc_bytes);
+
+ private:
+  friend class System;
+
+  struct FetchReply {
+    std::uint64_t op_id = 0;
+    std::uint64_t data_version = 0;
+    std::uint64_t new_version = 0;
+    net::HostId owner = 0;
+    arch::TypeId type = 0;
+    std::uint32_t alloc_bytes = 0;
+    std::vector<net::HostId> to_invalidate;
+    bool has_data = false;
+    std::vector<std::uint8_t> data;
+  };
+
+  // --- fault path ---------------------------------------------------------
+  void EnsureAccess(PageNum p, Access needed);
+  // One VM-level fault: acquires every DSM page of the enclosing VM page
+  // that lacks `needed` access.
+  void FaultGroup(PageNum p, Access needed);
+  // One DSM-page protocol round.
+  void FaultOne(PageNum p, Access needed);
+  void FaultViaLocalManager(PageNum p, bool is_write);
+  void FaultViaRemoteManager(PageNum p, bool is_write);
+  // Install + invalidate + (write-)grant + record completion; shared tail of
+  // both fault variants.
+  void CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply);
+  void InvalidateCopies(PageNum p, const std::vector<net::HostId>& hosts);
+
+  // --- manager role -------------------------------------------------------
+  ManagerGrant BuildGrantLocked(PageNum p, net::HostId requester,
+                                bool is_write);
+  // Processes one pending transfer (issues grant / forward / direct serve).
+  void ManagerIssue(PageNum p, PendingTransfer t);
+  void ManagerCommit(PageNum p, std::uint64_t op_id, net::HostId requester,
+                     bool is_write);
+  void ManagerDrain(PageNum p);
+
+  // --- owner role ---------------------------------------------------------
+  // Serves a fetch against the local copy; fills `reply` fields that depend
+  // on the local state and appends the data. Caller provides grant info.
+  std::vector<std::uint8_t> EncodeServeReply(PageNum p, bool is_write,
+                                             bool data_needed,
+                                             std::uint64_t op_id,
+                                             std::uint64_t data_version,
+                                             std::uint64_t new_version,
+                                             arch::TypeId type,
+                                             std::uint32_t alloc_bytes,
+                                             const std::vector<net::HostId>&
+                                                 to_invalidate);
+
+  // --- handlers (run in the endpoint's rx daemon; never block) ------------
+  void HandleTransferReq(net::RequestContext ctx, bool is_write);
+  void HandleOwnerFetch(net::RequestContext ctx, bool is_write);
+  void HandleInvalidate(net::RequestContext ctx);
+  void HandleConfirm(net::RequestContext ctx);
+  void HandleConfirmProbe(net::RequestContext ctx);
+
+  // --- helpers -------------------------------------------------------------
+  void ConvertIncoming(PageNum p, std::vector<std::uint8_t>& data,
+                       arch::TypeId type, const arch::ArchProfile& from);
+  void RecordCompleted(PageNum p, std::uint64_t op_id, net::HostId manager,
+                       bool is_write);
+  static std::vector<std::uint8_t> EncodeFetchReply(const FetchReply& r);
+  static FetchReply DecodeFetchReply(std::span<const std::uint8_t> bytes);
+  net::Endpoint::CallOpts DsmCallOpts() const;
+
+  sim::Runtime& rt_;
+  net::Network& net_;
+  const SystemConfig& cfg_;
+  const arch::TypeRegistry& registry_;
+  net::HostId self_;
+  const arch::ArchProfile* profile_;
+  std::uint32_t page_bytes_;
+  CoherenceReferee* referee_;
+  net::Endpoint endpoint_;
+
+  // Guards everything below; never held across a blocking operation.
+  std::mutex state_mu_;
+  std::vector<std::uint8_t> mem_;  // representation-faithful memory image
+  PageTable ptable_;
+  // Local fault coalescing: threads faulting a page another thread is
+  // already fetching wait here and re-check.
+  std::map<PageNum, std::vector<sim::Chan<bool>>> fault_waiters_;
+  std::map<PageNum, bool> fault_inflight_;
+  // Completed transfers for confirm-probe replay (bounded FIFO).
+  struct CompletedOp {
+    net::HostId manager = 0;
+    bool is_write = false;
+  };
+  std::map<std::pair<PageNum, std::uint64_t>, CompletedOp> completed_;
+  std::deque<std::pair<PageNum, std::uint64_t>> completed_order_;
+  std::uint64_t op_counter_ = 0;
+  // Earliest-free times of this host's CPUs (application Compute calls).
+  std::vector<SimTime> cpu_busy_until_;
+
+  base::StatsRegistry stats_;
+};
+
+}  // namespace mermaid::dsm

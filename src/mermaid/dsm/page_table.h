@@ -1,0 +1,103 @@
+// Per-host DSM page table.
+//
+// Each host keeps a LocalPageEntry per DSM page (its own copy's state), and
+// a ManagerEntry for the pages it manages (owner, copyset, in-progress
+// transfer). Matching the paper: "It uses a page table for the shared
+// address space to maintain data consistency" and "each page has a fixed
+// manager that can identify the owner and the copy set of the page."
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "mermaid/arch/type_registry.h"
+#include "mermaid/dsm/types.h"
+#include "mermaid/net/network.h"
+#include "mermaid/net/reqrep.h"
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::dsm {
+
+// This host's view of one DSM page.
+struct LocalPageEntry {
+  Access access = Access::kNone;
+  bool owned = false;
+  std::uint64_t version = 0;
+  arch::TypeId type = arch::TypeRegistry::kChar;
+  std::uint32_t alloc_bytes = 0;  // allocated extent (partial transfer)
+};
+
+// A transfer request waiting its turn at the manager: either a remote
+// request (reply via the protocol) or a fault by a thread on the manager
+// host itself (grant via a channel).
+struct ManagerGrant {
+  net::HostId owner = 0;
+  std::uint64_t op_id = 0;
+  std::uint64_t new_version = 0;
+  std::vector<net::HostId> to_invalidate;
+  bool requester_has_copy = false;
+  arch::TypeId type = arch::TypeRegistry::kChar;
+  std::uint32_t alloc_bytes = 0;
+};
+
+struct PendingTransfer {
+  bool is_write = false;
+  net::HostId requester = 0;
+  std::optional<net::RequestContext> remote;   // remote requester
+  sim::Chan<ManagerGrant> local_grant;         // local requester
+};
+
+// Manager-side state for one managed page. The manager is the authority for
+// the page's type and allocated extent (set by the allocation worker before
+// any application can learn the addresses), so grants always carry current
+// values even if the owner's copy predates an extent growth.
+struct ManagerEntry {
+  net::HostId owner = 0;
+  std::set<net::HostId> copyset;  // hosts with a valid copy (incl. owner)
+  bool busy = false;
+  std::uint64_t version = 0;
+  arch::TypeId type = arch::TypeRegistry::kChar;
+  std::uint32_t alloc_bytes = 0;
+  // The in-flight transfer, for confirm matching and probe recovery.
+  std::uint64_t busy_op_id = 0;
+  net::HostId busy_requester = 0;
+  bool busy_is_write = false;
+  std::uint64_t busy_new_version = 0;
+  SimTime busy_since = 0;
+  std::deque<PendingTransfer> pending;
+};
+
+class PageTable {
+ public:
+  PageTable(PageNum num_pages, net::HostId self, std::uint16_t num_hosts);
+
+  LocalPageEntry& Local(PageNum p);
+  const LocalPageEntry& Local(PageNum p) const;
+
+  // Fixed distributed management: page p is managed by host (p % num_hosts).
+  net::HostId ManagerOf(PageNum p) const;
+  bool ManagedHere(PageNum p) const;
+  ManagerEntry& Manager(PageNum p);
+
+  // Iterates the pages managed by this host (janitor scans).
+  template <typename Fn>
+  void ForEachManaged(Fn&& fn) {
+    for (PageNum i = 0; i < managed_.size(); ++i) {
+      const PageNum p = static_cast<PageNum>(i) * num_hosts_ + self_;
+      if (p < local_.size()) fn(p, managed_[i]);
+    }
+  }
+
+  PageNum num_pages() const { return static_cast<PageNum>(local_.size()); }
+
+ private:
+  net::HostId self_;
+  std::uint16_t num_hosts_;
+  std::vector<LocalPageEntry> local_;
+  std::vector<ManagerEntry> managed_;  // dense, indexed by p / num_hosts
+};
+
+}  // namespace mermaid::dsm

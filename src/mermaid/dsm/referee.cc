@@ -1,0 +1,74 @@
+#include "mermaid/dsm/referee.h"
+
+#include <cstdio>
+
+#include "mermaid/base/check.h"
+
+namespace mermaid::dsm {
+
+void CoherenceReferee::OnInstall(net::HostId h, PageNum page,
+                                 std::uint64_t version, Access access) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PageState& st = pages_[page];
+  MERMAID_CHECK_MSG(version >= st.version,
+                    "host installed a copy older than the committed version");
+  if (version > st.version) {
+    st.version = version;
+  }
+  st.holders.insert(h);
+  if (access == Access::kWrite) {
+    MERMAID_CHECK_MSG(!st.writer.has_value() || *st.writer == h,
+                      "two hosts hold write access to the same page");
+    MERMAID_CHECK_MSG(st.holders.size() == 1,
+                      "write copy installed while other copies exist");
+    st.writer = h;
+  }
+}
+
+void CoherenceReferee::OnWriteGrant(net::HostId h, PageNum page,
+                                    std::uint64_t version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PageState& st = pages_[page];
+  MERMAID_CHECK_MSG(!st.writer.has_value() || *st.writer == h,
+                    "write granted while another host holds write access");
+  MERMAID_CHECK_MSG(st.holders.count(h) == 1,
+                    "write granted to a host without a copy");
+  MERMAID_CHECK_MSG(st.holders.size() == 1,
+                    "write granted while other hosts hold copies");
+  MERMAID_CHECK_MSG(version > st.version || st.writer == h,
+                    "write grant did not advance the page version");
+  st.version = version;
+  st.writer = h;
+}
+
+void CoherenceReferee::OnDowngrade(net::HostId h, PageNum page) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PageState& st = pages_[page];
+  if (st.writer.has_value() && *st.writer == h) st.writer.reset();
+}
+
+void CoherenceReferee::OnInvalidate(net::HostId h, PageNum page) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PageState& st = pages_[page];
+  st.holders.erase(h);
+  if (st.writer.has_value() && *st.writer == h) st.writer.reset();
+}
+
+void CoherenceReferee::CheckAccess(net::HostId h, PageNum page,
+                                   std::uint64_t local_version,
+                                   Access access) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pages_.find(page);
+  MERMAID_CHECK_MSG(it != pages_.end(), "access to an untracked page");
+  const PageState& st = it->second;
+  MERMAID_CHECK_MSG(st.holders.count(h) == 1,
+                    "access on a host without a valid copy");
+  MERMAID_CHECK_MSG(local_version == st.version,
+                    "access through a stale copy");
+  if (access == Access::kWrite) {
+    MERMAID_CHECK_MSG(st.writer.has_value() && *st.writer == h,
+                      "write access without the write grant");
+  }
+}
+
+}  // namespace mermaid::dsm

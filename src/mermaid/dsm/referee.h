@@ -1,0 +1,51 @@
+// Coherence referee: an out-of-band invariant checker.
+//
+// The referee sees every page-state transition of every host through direct
+// in-process calls (no protocol messages) and asserts the MRSW invariants Li's
+// algorithm guarantees:
+//   - at most one host holds write access to a page at any instant;
+//   - a host is granted write access only when no other host holds any copy;
+//   - every valid copy carries the current committed version of the page.
+// Tests may additionally route every typed access through CheckAccess.
+//
+// The referee is a verification aid, not part of the DSM system: the
+// protocol never reads from it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "mermaid/dsm/types.h"
+#include "mermaid/net/network.h"
+
+namespace mermaid::dsm {
+
+class CoherenceReferee {
+ public:
+  // Host `h` installed (or refreshed) a copy at `version` with `access`.
+  void OnInstall(net::HostId h, PageNum page, std::uint64_t version,
+                 Access access);
+  // Host `h` was granted write access (version becomes `version`).
+  void OnWriteGrant(net::HostId h, PageNum page, std::uint64_t version);
+  // Host `h` downgraded its copy to read-only.
+  void OnDowngrade(net::HostId h, PageNum page);
+  // Host `h` dropped its copy.
+  void OnInvalidate(net::HostId h, PageNum page);
+  // A typed access on host `h` with this access level and local version.
+  void CheckAccess(net::HostId h, PageNum page, std::uint64_t local_version,
+                   Access access) const;
+
+ private:
+  struct PageState {
+    std::uint64_t version = 0;
+    std::set<net::HostId> holders;           // hosts with a valid copy
+    std::optional<net::HostId> writer;       // host with write access
+  };
+
+  mutable std::mutex mu_;
+  std::map<PageNum, PageState> pages_;
+};
+
+}  // namespace mermaid::dsm

@@ -1,0 +1,207 @@
+#include "mermaid/dsm/system.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mermaid/base/check.h"
+#include "mermaid/base/wire.h"
+
+namespace mermaid::dsm {
+
+namespace {
+
+std::uint32_t ResolvePageBytes(const SystemConfig& cfg,
+                               const std::vector<const arch::ArchProfile*>&
+                                   profiles) {
+  if (cfg.page_bytes_override != 0) return cfg.page_bytes_override;
+  std::uint32_t smallest = profiles.front()->vm_page_size;
+  std::uint32_t largest = profiles.front()->vm_page_size;
+  for (const auto* p : profiles) {
+    smallest = std::min(smallest, p->vm_page_size);
+    largest = std::max(largest, p->vm_page_size);
+  }
+  return cfg.page_policy == PageSizePolicy::kLargest ? largest : smallest;
+}
+
+}  // namespace
+
+System::System(sim::Runtime& rt, SystemConfig cfg,
+               std::vector<const arch::ArchProfile*> host_profiles)
+    : rt_(rt),
+      cfg_(cfg),
+      page_bytes_(ResolvePageBytes(cfg, host_profiles)) {
+  MERMAID_CHECK(!host_profiles.empty());
+  MERMAID_CHECK(cfg_.region_bytes % page_bytes_ == 0);
+  network_ = std::make_unique<net::Network>(rt, cfg_.net);
+  const auto num_hosts = static_cast<std::uint16_t>(host_profiles.size());
+  for (std::uint16_t i = 0; i < num_hosts; ++i) {
+    hosts_.push_back(std::make_unique<Host>(
+        rt, *network_, cfg_, registry_, i, host_profiles[i], num_hosts,
+        page_bytes_, &referee_));
+  }
+  allocator_ = std::make_unique<Allocator>(&registry_, cfg_.region_bytes,
+                                           page_bytes_);
+  alloc_chan_ = sim::Chan<AllocRequest>(rt);
+  sync_server_ = std::make_unique<sync::SyncServer>(rt);
+  central_server_ = std::make_unique<CentralServer>(rt, host_profiles[0],
+                                                    cfg_.region_bytes);
+  for (std::uint16_t i = 0; i < num_hosts; ++i) {
+    sync_clients_.emplace_back(&hosts_[i]->endpoint(), /*server_host=*/0,
+                               i == 0 ? sync_server_.get() : nullptr);
+    central_clients_.emplace_back(&hosts_[i]->endpoint(), /*server_host=*/0,
+                                  host_profiles[0],
+                                  i == 0 ? central_server_.get() : nullptr);
+  }
+}
+
+System::~System() = default;
+
+void System::Start() {
+  MERMAID_CHECK(!started_);
+  started_ = true;
+
+  // Extra handlers must be registered before each endpoint starts.
+  sync_server_->Attach(hosts_[0]->endpoint());
+  central_server_->Attach(hosts_[0]->endpoint());
+  hosts_[0]->endpoint().SetHandler(
+      kOpAlloc, [this](net::RequestContext ctx) {
+        base::WireReader r(ctx.body());
+        AllocRequest req;
+        req.type = r.U16();
+        req.count = r.U64();
+        if (!r.ok()) return;
+        req.remote = std::move(ctx);
+        alloc_chan_.Send(std::move(req));
+      });
+  for (auto& host : hosts_) {
+    host->endpoint().SetHandler(
+        kOpTypeSet, [h = host.get()](net::RequestContext ctx) {
+          base::WireReader r(ctx.body());
+          const PageNum p = r.U32();
+          const arch::TypeId type = r.U16();
+          const std::uint32_t alloc_bytes = r.U32();
+          if (!r.ok()) return;
+          h->ApplyTypeSet(p, type, alloc_bytes);
+          ctx.Reply({});
+        });
+  }
+  for (auto& host : hosts_) host->Start();
+
+  rt_.Spawn("dsm-alloc-worker", [this] { AllocWorker(); }, /*daemon=*/true);
+}
+
+void System::AllocWorker() {
+  Host& h0 = *hosts_[0];
+  while (auto req = alloc_chan_.Recv()) {
+    auto result = allocator_->Alloc(req->type, req->count);
+    MERMAID_CHECK_MSG(result.has_value(),
+                      "shared region exhausted (or invalid allocation)");
+    // Push authoritative type/extent to each touched page's manager before
+    // publishing the address (so grants always carry current extents).
+    for (PageNum p : result->touched_pages) {
+      const net::HostId mgr = static_cast<net::HostId>(p % num_hosts());
+      const std::uint32_t alloc_bytes = allocator_->AllocBytesOfPage(p);
+      if (mgr == 0) {
+        h0.ApplyTypeSet(p, req->type, alloc_bytes);
+        continue;
+      }
+      base::WireWriter w;
+      w.U32(p);
+      w.U16(req->type);
+      w.U32(alloc_bytes);
+      auto ack = h0.endpoint().Call(mgr, kOpTypeSet, std::move(w).Take(),
+                                    net::MsgKind::kControl,
+                                    h0.DsmCallOpts());
+      MERMAID_CHECK_MSG(ack.has_value() || true, "type-set failed");
+    }
+    if (req->remote.has_value()) {
+      base::WireWriter w;
+      w.U64(result->addr);
+      req->remote->Reply(std::move(w).Take());
+    } else {
+      req->local_reply.Send(result->addr);
+    }
+  }
+}
+
+GlobalAddr System::Alloc(net::HostId h, arch::TypeId type,
+                         std::uint64_t count) {
+  MERMAID_CHECK(started_);
+  if (h == 0) {
+    AllocRequest req;
+    req.type = type;
+    req.count = count;
+    req.local_reply = sim::Chan<GlobalAddr>(rt_);
+    auto reply_chan = req.local_reply;
+    alloc_chan_.Send(std::move(req));
+    auto addr = reply_chan.Recv();
+    MERMAID_CHECK(addr.has_value());
+    return *addr;
+  }
+  base::WireWriter w;
+  w.U16(type);
+  w.U64(count);
+  auto reply = hosts_[h]->endpoint().Call(0, kOpAlloc, std::move(w).Take(),
+                                          net::MsgKind::kControl,
+                                          hosts_[h]->DsmCallOpts());
+  MERMAID_CHECK_MSG(reply.has_value(), "allocation call failed");
+  base::WireReader r(*reply);
+  const GlobalAddr addr = r.U64();
+  MERMAID_CHECK(r.ok());
+  return addr;
+}
+
+void System::SpawnThread(net::HostId h, const std::string& name,
+                         std::function<void(Host&)> fn) {
+  Host* host = hosts_.at(h).get();
+  rt_.Spawn(name, [host, fn = std::move(fn)] { fn(*host); });
+}
+
+Host& System::host(net::HostId h) { return *hosts_.at(h); }
+
+sync::Client& System::sync(net::HostId h) { return sync_clients_.at(h); }
+
+CentralClient& System::central(net::HostId h) {
+  return central_clients_.at(h);
+}
+
+base::StatsRegistry& System::GatherStats() {
+  merged_stats_.Clear();
+  for (auto& h : hosts_) merged_stats_.Merge(h->stats());
+  merged_stats_.Merge(network_->stats());
+  return merged_stats_;
+}
+
+std::string System::ReportStats() {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-6s %-10s %8s %8s %9s %10s %9s %6s\n",
+                "host", "arch", "rd-flt", "wr-flt", "pages-in", "KB-in",
+                "served", "conv");
+  out += line;
+  for (auto& h : hosts_) {
+    auto& s = h->stats();
+    std::snprintf(
+        line, sizeof(line), "%-6u %-10s %8lld %8lld %9lld %10lld %9lld %6lld\n",
+        h->id(), h->profile().name.c_str(),
+        static_cast<long long>(s.Count("dsm.read_faults")),
+        static_cast<long long>(s.Count("dsm.write_faults")),
+        static_cast<long long>(s.Count("dsm.pages_in")),
+        static_cast<long long>(s.Count("dsm.bytes_in") / 1024),
+        static_cast<long long>(s.Count("dsm.pages_served")),
+        static_cast<long long>(s.Count("dsm.conversions")));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "network: %lld packets, %lld KB, %lld dropped\n",
+                static_cast<long long>(
+                    network_->stats().Count("net.packets_sent")),
+                static_cast<long long>(
+                    network_->stats().Count("net.bytes_sent") / 1024),
+                static_cast<long long>(
+                    network_->stats().Count("net.packets_dropped")));
+  out += line;
+  return out;
+}
+
+}  // namespace mermaid::dsm

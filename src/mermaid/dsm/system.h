@@ -1,0 +1,111 @@
+// Mermaid system assembly: hosts + network + allocator + synchronization.
+//
+// Mirrors Figure 1 of the paper: thread management (SpawnThread), shared
+// memory management (the Host engines + typed allocator), and remote
+// operations (the request-response endpoints), over a simulated
+// heterogeneous host base.
+//
+// Typical use:
+//   sim::Engine eng;
+//   dsm::SystemConfig cfg;
+//   dsm::System sys(eng, cfg, {&arch::Sun3Profile(), &arch::FireflyProfile()});
+//   arch::TypeId rec = sys.registry().RegisterRecord(...);  // before Start
+//   sys.Start();
+//   auto addr = ... (allocate from a spawned thread);
+//   sys.SpawnThread(0, "master", [&](dsm::Host& h) { ... });
+//   eng.Run();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/arch/type_registry.h"
+#include "mermaid/dsm/allocator.h"
+#include "mermaid/dsm/central.h"
+#include "mermaid/dsm/host.h"
+#include "mermaid/dsm/referee.h"
+#include "mermaid/dsm/types.h"
+#include "mermaid/net/network.h"
+#include "mermaid/sim/runtime.h"
+#include "mermaid/sync/sync.h"
+
+namespace mermaid::dsm {
+
+class System {
+ public:
+  System(sim::Runtime& rt, SystemConfig cfg,
+         std::vector<const arch::ArchProfile*> host_profiles);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Starts endpoints, the allocation worker, and the sync server. Register
+  // user-defined record types with registry() before calling this.
+  void Start();
+
+  // Allocates `count` elements of `type` in the shared region, invoked from
+  // a process on host `h` (blocking; aborts if the region is exhausted —
+  // sizing the region is a configuration decision).
+  GlobalAddr Alloc(net::HostId h, arch::TypeId type, std::uint64_t count);
+
+  // Spawns an application thread on host `h` ("threads may be created on
+  // remote hosts directly").
+  void SpawnThread(net::HostId h, const std::string& name,
+                   std::function<void(Host&)> fn);
+
+  Host& host(net::HostId h);
+  std::uint16_t num_hosts() const {
+    return static_cast<std::uint16_t>(hosts_.size());
+  }
+  std::uint32_t page_bytes() const { return page_bytes_; }
+  arch::TypeRegistry& registry() { return registry_; }
+  net::Network& network() { return *network_; }
+  sync::Client& sync(net::HostId h);
+  // The alternative central-server shared-data backend (§2.1's "several DSM
+  // packages on the same system"); its region is separate from the
+  // page-based one. Server lives on host 0.
+  CentralClient& central(net::HostId h);
+  CentralServer& central_server() { return *central_server_; }
+  CoherenceReferee& referee() { return referee_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  // Merged statistics across hosts and the network.
+  base::StatsRegistry& GatherStats();
+
+  // Multi-line human-readable per-host breakdown (faults, transfers,
+  // conversions) plus network totals.
+  std::string ReportStats();
+
+ private:
+  struct AllocRequest {
+    arch::TypeId type = 0;
+    std::uint64_t count = 0;
+    std::optional<net::RequestContext> remote;
+    sim::Chan<GlobalAddr> local_reply;
+  };
+
+  void AllocWorker();
+
+  sim::Runtime& rt_;
+  SystemConfig cfg_;
+  std::uint32_t page_bytes_;
+  arch::TypeRegistry registry_;
+  CoherenceReferee referee_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::unique_ptr<Allocator> allocator_;  // host 0's bookkeeping
+  sim::Chan<AllocRequest> alloc_chan_;
+  std::unique_ptr<sync::SyncServer> sync_server_;  // lives on host 0
+  std::vector<sync::Client> sync_clients_;
+  std::unique_ptr<CentralServer> central_server_;  // lives on host 0
+  std::vector<CentralClient> central_clients_;
+  base::StatsRegistry merged_stats_;
+  bool started_ = false;
+};
+
+}  // namespace mermaid::dsm

@@ -1,0 +1,72 @@
+// Shared DSM types, configuration, and protocol opcodes.
+#pragma once
+
+#include <cstdint>
+
+#include "mermaid/base/time.h"
+#include "mermaid/net/network.h"
+#include "mermaid/net/reqrep.h"
+
+namespace mermaid::dsm {
+
+// Byte offset into the shared region. All hosts map the region at the same
+// base (the paper's implementation choice), so a GlobalAddr is directly a
+// "pointer" value; the pointer-relocation machinery still exists for hosts
+// that would map it elsewhere.
+using GlobalAddr = std::uint64_t;
+
+// Index of a DSM page (GlobalAddr / dsm_page_size).
+using PageNum = std::uint32_t;
+
+enum class Access : std::uint8_t { kNone = 0, kRead = 1, kWrite = 2 };
+
+// §2.4: the two extreme page-size algorithms.
+enum class PageSizePolicy : std::uint8_t {
+  kLargest,   // DSM page = max VM page size over all hosts
+  kSmallest,  // DSM page = min VM page size over all hosts
+};
+
+struct SystemConfig {
+  std::uint64_t region_bytes = 8u << 20;
+  PageSizePolicy page_policy = PageSizePolicy::kLargest;
+  // Nonzero forces the DSM page size instead of deriving it from the host
+  // set's VM page sizes (e.g. an 8 KB DSM page on an all-Firefly cluster,
+  // as in the paper's Table 4 whose testbed always included a Sun).
+  std::uint32_t page_bytes_override = 0;
+  net::Network::Config net;
+
+  // Request-response tuning for DSM traffic. Lossless runs never time out;
+  // loss-injection tests shrink the timeout and raise attempts.
+  SimDuration call_timeout = Seconds(10);
+  int call_max_attempts = 30;
+
+  // Confirm-loss recovery: each manager periodically probes the requester of
+  // any transfer that has been awaiting confirmation for too long.
+  SimDuration janitor_period = Milliseconds(500);
+  SimDuration confirm_probe_after = Seconds(1);
+
+  // Ablation switches (all default to the paper's system).
+  bool convert_enabled = true;          // heterogeneous data conversion
+  bool partial_page_transfer = true;    // move only the allocated extent
+  bool prefer_same_type_source = false; // serve read faults from a same-arch
+                                        // copyset member when possible
+  // Check every typed access against the coherence referee (tests).
+  bool referee_check_access = false;
+};
+
+// Protocol opcodes (one Endpoint per host, shared with the sync module).
+inline constexpr std::uint8_t kOpAlloc = 1;       // any -> host 0
+inline constexpr std::uint8_t kOpTypeSet = 2;     // host 0 -> page manager
+inline constexpr std::uint8_t kOpReadReq = 3;     // requester -> manager -> owner
+inline constexpr std::uint8_t kOpWriteReq = 4;    // requester -> manager -> owner
+inline constexpr std::uint8_t kOpInvalidate = 5;  // writer -> copyset member
+inline constexpr std::uint8_t kOpConfirm = 6;     // requester -> manager (notify)
+inline constexpr std::uint8_t kOpConfirmProbe = 7;  // manager -> requester
+inline constexpr std::uint8_t kOpSync = 10;       // sync client -> sync server
+
+// Role byte inside kOpReadReq/kOpWriteReq bodies: the same opcode serves the
+// requester->manager leg and the forwarded manager->owner leg.
+inline constexpr std::uint8_t kToManager = 0;
+inline constexpr std::uint8_t kToOwner = 1;
+
+}  // namespace mermaid::dsm

@@ -1,0 +1,86 @@
+// User-level message fragmentation and reassembly.
+//
+// The Firefly's UDP lacked fragmentation, so Mermaid implemented it at user
+// level (§2.2) — DSM messages (an 8 KB Sun page plus headers) exceed the
+// Ethernet MTU. Fragmenter splits a message into MTU-sized packets, charging
+// the sending process the per-packet CPU cost from the calibrated link
+// model; Reassembler reassembles out-of-order fragments and garbage-collects
+// stale partial messages (fragments of lost-packet messages).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mermaid/base/stats.h"
+#include "mermaid/net/network.h"
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::net {
+
+// A complete (reassembled) message between host endpoints.
+struct Message {
+  HostId src = 0;
+  HostId dst = 0;
+  MsgKind kind = MsgKind::kControl;
+  std::vector<std::uint8_t> payload;
+};
+
+// Per-host sending side. Stateless apart from the message-id counter.
+class Fragmenter {
+ public:
+  Fragmenter(sim::Runtime& rt, Network& net, HostId self);
+
+  // Fragments and sends `msg` (msg.src must equal the owning host). The
+  // calling process is delayed by the per-packet processing cost, modeling
+  // the user-level fragmentation the paper charges the sender.
+  void Send(Message msg);
+
+ private:
+  sim::Runtime& rt_;
+  Network& net_;
+  HostId self_;
+  // Atomic: under the real-time runtime several processes of one host
+  // (client + rx daemon) may send concurrently.
+  std::atomic<std::uint64_t> next_msg_id_;
+};
+
+// Per-host receiving side. Pull-driven: the endpoint's receive loop feeds
+// packets in; a completed message comes back. Partial messages older than
+// `stale_after` are dropped whenever OnPacket runs (datagram semantics: a
+// message with a lost fragment is simply a lost message; the request layer
+// retransmits).
+class Reassembler {
+ public:
+  explicit Reassembler(sim::Runtime& rt,
+                       SimDuration stale_after = Seconds(2));
+
+  std::optional<Message> OnPacket(const Packet& pkt);
+
+  base::StatsRegistry& stats() { return stats_; }
+
+ private:
+  struct Partial {
+    SimTime first_seen = 0;
+    MsgKind kind = MsgKind::kControl;
+    std::uint16_t expected = 0;
+    std::uint16_t received = 0;
+    std::vector<std::vector<std::uint8_t>> frags;
+  };
+
+  void DropStale(SimTime now);
+
+  sim::Runtime& rt_;
+  SimDuration stale_after_;
+  // Keyed by (src, msg_id): fragment ids are per-sender.
+  std::map<std::pair<HostId, std::uint64_t>, Partial> partial_;
+  base::StatsRegistry stats_;
+};
+
+// Wire header layout (serialized by Fragmenter, parsed by Reassembler):
+//   u64 msg_id | u16 src | u16 index | u16 count | u8 kind | payload bytes
+inline constexpr std::size_t kFragHeaderBytes = 8 + 2 + 2 + 2 + 1;
+
+}  // namespace mermaid::net

@@ -1,0 +1,60 @@
+#include "mermaid/net/network.h"
+
+#include "mermaid/base/check.h"
+
+namespace mermaid::net {
+
+Network::Network(sim::Runtime& rt, Config cfg)
+    : rt_(rt), cfg_(cfg), rng_(cfg.seed) {}
+
+sim::Chan<Packet> Network::Attach(HostId id,
+                                  const arch::ArchProfile* profile) {
+  MERMAID_CHECK(profile != nullptr);
+  MERMAID_CHECK_MSG(hosts_.find(id) == hosts_.end(),
+                    "host attached to the network twice");
+  HostEntry entry;
+  entry.profile = profile;
+  entry.rx = sim::Chan<Packet>(rt_);
+  auto [it, inserted] = hosts_.emplace(id, std::move(entry));
+  MERMAID_CHECK(inserted);
+  return it->second.rx;
+}
+
+const arch::ArchProfile& Network::ProfileOf(HostId id) const {
+  auto it = hosts_.find(id);
+  MERMAID_CHECK_MSG(it != hosts_.end(), "unknown host id");
+  return *it->second.profile;
+}
+
+void Network::Send(Packet pkt, SimDuration extra_delay) {
+  auto src_it = hosts_.find(pkt.src);
+  auto dst_it = hosts_.find(pkt.dst);
+  MERMAID_CHECK_MSG(src_it != hosts_.end() && dst_it != hosts_.end(),
+                    "send between unattached hosts");
+  MERMAID_CHECK(pkt.bytes.size() <= cfg_.mtu);
+
+  const arch::LinkCost link =
+      arch::LinkCostFor(*src_it->second.profile, *dst_it->second.profile);
+  const SimDuration fixed = pkt.kind == MsgKind::kControl ? link.control_fixed
+                                                          : link.data_fixed;
+  double latency =
+      static_cast<double>(fixed) +
+      link.wire_ns_per_byte * static_cast<double>(pkt.bytes.size()) +
+      static_cast<double>(extra_delay);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cfg_.jitter > 0) {
+      latency *= 1.0 + cfg_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    }
+    stats_.Inc("net.packets_sent");
+    stats_.Inc("net.bytes_sent", static_cast<std::int64_t>(pkt.bytes.size()));
+    if (cfg_.loss_probability > 0 && rng_.NextBool(cfg_.loss_probability)) {
+      stats_.Inc("net.packets_dropped");
+      return;
+    }
+  }
+  dst_it->second.rx.Send(std::move(pkt),
+                         static_cast<SimDuration>(latency));
+}
+
+}  // namespace mermaid::net

@@ -1,0 +1,77 @@
+// Simulated datagram network.
+//
+// Models the 10 Mb/s Ethernet of the paper's testbed: unreliable,
+// unordered, MTU-limited datagrams between hosts. Latency follows the
+// link-cost model calibrated from Table 2 (fixed per-message + wire time per
+// byte, with the per-packet fragmentation cost paid by the *sender's* CPU in
+// the fragment layer). Optional seeded packet loss and latency jitter
+// support failure-injection tests and the paper's thrashing variance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/base/rng.h"
+#include "mermaid/base/stats.h"
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::net {
+
+using HostId = std::uint16_t;
+
+// Distinguishes small protocol messages from bulk page transfers; the two
+// have different fixed costs in the calibrated model (see LinkCost).
+enum class MsgKind : std::uint8_t { kControl, kData };
+
+struct Packet {
+  HostId src = 0;
+  HostId dst = 0;
+  MsgKind kind = MsgKind::kControl;
+  std::vector<std::uint8_t> bytes;  // wire bytes (fragment header + payload)
+};
+
+class Network {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    double loss_probability = 0.0;  // per-packet, applied after jitter
+    double jitter = 0.0;            // latency *= 1 + U(-jitter, +jitter)
+    std::uint32_t mtu = 1500;       // wire bytes per packet
+  };
+
+  Network(sim::Runtime& rt, Config cfg);
+
+  // Registers a host and returns its receive channel. The architecture
+  // profile drives per-link cost lookup.
+  sim::Chan<Packet> Attach(HostId id, const arch::ArchProfile* profile);
+
+  // Sends one packet. `extra_delay` lets the fragment layer account for
+  // wire serialization of earlier fragments of the same message.
+  void Send(Packet pkt, SimDuration extra_delay = 0);
+
+  std::uint32_t mtu() const { return cfg_.mtu; }
+  const arch::ArchProfile& ProfileOf(HostId id) const;
+
+  base::StatsRegistry& stats() { return stats_; }
+
+ private:
+  struct HostEntry {
+    const arch::ArchProfile* profile = nullptr;
+    sim::Chan<Packet> rx;
+  };
+
+  sim::Runtime& rt_;
+  Config cfg_;
+  // Guards rng_ and stats_ on the real-time runtime (concurrent senders);
+  // uncontended under the virtual-time engine. Never held across blocking.
+  std::mutex mu_;
+  base::Rng rng_;
+  std::map<HostId, HostEntry> hosts_;
+  base::StatsRegistry stats_;
+};
+
+}  // namespace mermaid::net

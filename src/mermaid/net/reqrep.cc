@@ -1,0 +1,320 @@
+#include "mermaid/net/reqrep.h"
+
+#include <algorithm>
+
+#include "mermaid/base/check.h"
+#include "mermaid/base/wire.h"
+
+namespace mermaid::net {
+
+// Request/notify wire layout within a Message payload:
+//   u8 type | u64 req_id | u16 origin | u8 op | body...
+// Reply layout:
+//   u8 type | u64 req_id | body...
+
+void RequestContext::Reply(std::vector<std::uint8_t> body,
+                           MsgKind kind) const {
+  MERMAID_CHECK(ep_ != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(ep_->maps_mu_);
+    if (auto* entry = ep_->DedupFind(origin_, req_id_)) {
+      entry->state = Endpoint::DedupEntry::State::kReplied;
+      entry->saved_body = body;
+      entry->saved_kind = kind;
+    }
+    ep_->stats_.Inc("reqrep.replies_sent");
+  }
+  ep_->SendReplyWire(origin_, req_id_, body, kind);
+}
+
+void RequestContext::Forward(HostId next,
+                             std::vector<std::uint8_t> body) const {
+  MERMAID_CHECK(ep_ != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(ep_->maps_mu_);
+    if (auto* entry = ep_->DedupFind(origin_, req_id_)) {
+      entry->state = Endpoint::DedupEntry::State::kForwarded;
+      entry->saved_body = body;
+      entry->forwarded_to = next;
+    }
+    ep_->stats_.Inc("reqrep.forwards");
+  }
+  ep_->SendRequestWire(Endpoint::WireType::kRequest, next, op_, origin_,
+                       req_id_, body, MsgKind::kControl);
+}
+
+Endpoint::Endpoint(sim::Runtime& rt, Network& net, HostId self,
+                   const arch::ArchProfile* profile, Config cfg)
+    : rt_(rt),
+      net_(net),
+      self_(self),
+      cfg_(cfg),
+      fragmenter_(rt, net, self),
+      reassembler_(rt),
+      rx_(net.Attach(self, profile)) {}
+
+void Endpoint::SetHandler(std::uint8_t op,
+                          std::function<void(RequestContext)> handler) {
+  MERMAID_CHECK(!started_);
+  handlers_[op] = std::move(handler);
+}
+
+void Endpoint::Start() {
+  MERMAID_CHECK(!started_);
+  started_ = true;
+  rt_.Spawn("reqrep-rx-" + std::to_string(self_), [this] { RxLoop(); },
+            /*daemon=*/true);
+}
+
+void Endpoint::RxLoop() {
+  while (auto pkt = rx_.Recv()) {
+    auto msg = reassembler_.OnPacket(*pkt);
+    if (!msg.has_value()) continue;
+    base::WireReader r(msg->payload);
+    const auto type = static_cast<WireType>(r.U8());
+    switch (type) {
+      case WireType::kRequest:
+      case WireType::kNotify:
+        DispatchRequest(*msg);
+        break;
+      case WireType::kReply: {
+        const std::uint64_t req_id = r.U64();
+        auto rest = r.Rest();
+        if (!r.ok()) {
+          stats_.Inc("reqrep.malformed");
+          break;
+        }
+        sim::Chan<ReplyMsg> target;
+        {
+          std::lock_guard<std::mutex> lk(maps_mu_);
+          auto it = pending_.find(req_id);
+          if (it == pending_.end()) {
+            stats_.Inc("reqrep.orphan_replies");  // caller gave up already
+            break;
+          }
+          target = it->second;
+        }
+        ReplyMsg reply;
+        reply.req_id = req_id;
+        reply.body.assign(rest.begin(), rest.end());
+        target.Send(std::move(reply));
+        break;
+      }
+      default:
+        stats_.Inc("reqrep.malformed");
+        break;
+    }
+  }
+}
+
+void Endpoint::DispatchRequest(const Message& msg) {
+  base::WireReader r(msg.payload);
+  const auto type = static_cast<WireType>(r.U8());
+  const std::uint64_t req_id = r.U64();
+  const HostId origin = r.U16();
+  const std::uint8_t op = r.U8();
+  auto rest = r.Rest();
+  if (!r.ok()) {
+    stats_.Inc("reqrep.malformed");
+    return;
+  }
+
+  if (type == WireType::kRequest) {
+    // Duplicate suppression. If this (origin, req_id) was seen, replay the
+    // recorded action instead of re-invoking the handler: requests are
+    // applied exactly once per hop even under loss and retransmission.
+    DedupEntry replay;
+    bool is_dup = false;
+    {
+      std::lock_guard<std::mutex> lk(maps_mu_);
+      if (auto* entry = DedupFind(origin, req_id)) {
+        is_dup = true;
+        replay = *entry;
+        stats_.Inc("reqrep.duplicates");
+      } else {
+        DedupInsert(origin, req_id);
+      }
+    }
+    if (is_dup) {
+      switch (replay.state) {
+        case DedupEntry::State::kPending:
+          break;  // still being handled; the reply will come
+        case DedupEntry::State::kReplied:
+          SendReplyWire(origin, req_id, replay.saved_body, replay.saved_kind);
+          break;
+        case DedupEntry::State::kForwarded:
+          // Re-forward; the downstream dedup table replays its reply.
+          SendRequestWire(WireType::kRequest, replay.forwarded_to, op, origin,
+                          req_id, replay.saved_body, MsgKind::kControl);
+          break;
+      }
+      return;
+    }
+  }
+
+  auto it = handlers_.find(op);
+  if (it == handlers_.end()) {
+    stats_.Inc("reqrep.unhandled_ops");
+    return;
+  }
+  RequestContext ctx;
+  ctx.ep_ = this;
+  ctx.origin_ = origin;
+  ctx.req_id_ = req_id;
+  ctx.op_ = op;
+  ctx.body_.assign(rest.begin(), rest.end());
+  stats_.Inc(type == WireType::kRequest ? "reqrep.requests_handled"
+                                        : "reqrep.notifies_handled");
+  it->second(std::move(ctx));
+}
+
+void Endpoint::SendRequestWire(WireType type, HostId dst, std::uint8_t op,
+                               HostId origin, std::uint64_t req_id,
+                               const std::vector<std::uint8_t>& body,
+                               MsgKind kind) {
+  base::WireWriter w;
+  w.U8(static_cast<std::uint8_t>(type));
+  w.U64(req_id);
+  w.U16(origin);
+  w.U8(op);
+  w.Raw(body);
+  Message m;
+  m.src = self_;
+  m.dst = dst;
+  m.kind = kind;
+  m.payload = std::move(w).Take();
+  fragmenter_.Send(std::move(m));
+}
+
+void Endpoint::SendReplyWire(HostId dst, std::uint64_t req_id,
+                             const std::vector<std::uint8_t>& body,
+                             MsgKind kind) {
+  base::WireWriter w;
+  w.U8(static_cast<std::uint8_t>(WireType::kReply));
+  w.U64(req_id);
+  w.Raw(body);
+  Message m;
+  m.src = self_;
+  m.dst = dst;
+  m.kind = kind;
+  m.payload = std::move(w).Take();
+  fragmenter_.Send(std::move(m));
+}
+
+Endpoint::DedupEntry* Endpoint::DedupFind(HostId origin,
+                                          std::uint64_t req_id) {
+  auto it = dedup_.find({origin, req_id});
+  return it == dedup_.end() ? nullptr : &it->second;
+}
+
+Endpoint::DedupEntry& Endpoint::DedupInsert(HostId origin,
+                                            std::uint64_t req_id) {
+  while (dedup_order_.size() >= cfg_.dedup_window) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+  dedup_order_.emplace_back(origin, req_id);
+  return dedup_[{origin, req_id}];
+}
+
+std::optional<std::vector<std::uint8_t>> Endpoint::Call(
+    HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
+    MsgKind kind, const CallOpts& opts) {
+  auto replies = MultiCall({dst}, op, std::move(body), kind, opts);
+  if (!replies.has_value()) return std::nullopt;
+  return std::move((*replies)[0]);
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
+    const std::vector<HostId>& dsts, std::uint8_t op,
+    std::vector<std::uint8_t> body, MsgKind kind, const CallOpts& opts) {
+  MERMAID_CHECK(started_);
+  MERMAID_CHECK(!dsts.empty());
+  const SimDuration timeout =
+      opts.timeout > 0 ? opts.timeout : cfg_.call_timeout;
+  const int max_attempts =
+      opts.max_attempts > 0 ? opts.max_attempts : cfg_.max_attempts;
+
+  sim::Chan<ReplyMsg> reply_chan(rt_);
+  struct Slot {
+    std::uint64_t req_id = 0;
+    int attempts = 1;
+    bool done = false;
+    std::vector<std::uint8_t> reply;
+  };
+  std::vector<Slot> slots(dsts.size());
+  {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    for (auto& slot : slots) {
+      slot.req_id = next_req_id_++;
+      pending_.emplace(slot.req_id, reply_chan);
+    }
+  }
+  for (std::size_t i = 0; i < dsts.size(); ++i) {
+    SendRequestWire(WireType::kRequest, dsts[i], op, self_, slots[i].req_id,
+                    body, kind);
+    stats_.Inc("reqrep.requests_sent");
+  }
+
+  std::size_t remaining = dsts.size();
+  SimTime deadline = rt_.Now() + timeout;
+  bool failed = false;
+  while (remaining > 0) {
+    bool timed_out = false;
+    auto msg = reply_chan.RecvUntil(deadline, &timed_out);
+    if (msg.has_value()) {
+      for (auto& s : slots) {
+        if (!s.done && s.req_id == msg->req_id) {
+          s.done = true;
+          s.reply = std::move(msg->body);
+          --remaining;
+          break;
+        }
+      }
+      continue;
+    }
+    if (!timed_out) {  // runtime shutdown
+      failed = true;
+      break;
+    }
+    // Deadline hit: retransmit every unanswered request that has attempts
+    // left; give up on the rest.
+    bool any_left = false;
+    for (std::size_t i = 0; i < dsts.size(); ++i) {
+      Slot& s = slots[i];
+      if (s.done) continue;
+      if (s.attempts >= max_attempts) {
+        failed = true;
+        continue;
+      }
+      ++s.attempts;
+      any_left = true;
+      stats_.Inc("reqrep.retransmissions");
+      SendRequestWire(WireType::kRequest, dsts[i], op, self_, s.req_id, body,
+                      kind);
+    }
+    if (!any_left) break;
+    deadline = rt_.Now() + timeout;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    for (const auto& s : slots) pending_.erase(s.req_id);
+  }
+  if (failed || remaining > 0) {
+    stats_.Inc("reqrep.call_failures");
+    return std::nullopt;
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(slots.size());
+  for (auto& s : slots) out.push_back(std::move(s.reply));
+  return out;
+}
+
+void Endpoint::Notify(HostId dst, std::uint8_t op,
+                      std::vector<std::uint8_t> body, MsgKind kind) {
+  stats_.Inc("reqrep.notifies_sent");
+  SendRequestWire(WireType::kNotify, dst, op, self_, 0, body, kind);
+}
+
+}  // namespace mermaid::net

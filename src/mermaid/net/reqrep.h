@@ -1,0 +1,172 @@
+// Request-response protocol with forwarding and multicast (§2.2).
+//
+// The paper rejected Sun/Firefly RPC (incompatible, no broadcast or
+// forwarding, needless marshaling) and built a simple request-response
+// protocol on datagrams. This is that protocol:
+//
+//   - Call       — blocking request; retransmits on timeout, exactly-once
+//                  handler invocation via per-hop duplicate suppression.
+//   - Forward    — a handler passes the request on (manager -> owner); the
+//                  eventual reply goes *directly* to the original requester,
+//                  giving Table 4's R -> M -> O -> R message pattern.
+//   - MultiCall  — the multicast used for write invalidation: request to N
+//                  hosts, block until every reply arrives.
+//   - Notify     — one-way message (e.g. transfer confirmations).
+//
+// Handlers run inline in the endpoint's receive daemon and MUST NOT block
+// (no Call/MultiCall); they may Delay to model processing cost, reply,
+// forward, or stash the RequestContext to reply later (the DSM manager
+// queues contexts per page). Clients call from ordinary processes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mermaid/base/stats.h"
+#include "mermaid/net/fragment.h"
+#include "mermaid/net/network.h"
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::net {
+
+class Endpoint;
+
+// A received request, routable to its origin. Value type: handlers may keep
+// it (e.g. in a per-page queue) and reply long after returning.
+class RequestContext {
+ public:
+  HostId origin() const { return origin_; }
+  std::uint8_t op() const { return op_; }
+  const std::vector<std::uint8_t>& body() const { return body_; }
+
+  // Sends the reply to the original requester.
+  void Reply(std::vector<std::uint8_t> body,
+             MsgKind kind = MsgKind::kControl) const;
+  // Passes the request (with a new body) to another host; the reply duty
+  // moves with it. May be called with next == the local host's id only via
+  // the network loop, so DSM short-circuits local forwards itself.
+  void Forward(HostId next, std::vector<std::uint8_t> body) const;
+
+ private:
+  friend class Endpoint;
+  Endpoint* ep_ = nullptr;
+  HostId origin_ = 0;
+  std::uint64_t req_id_ = 0;
+  std::uint8_t op_ = 0;
+  std::vector<std::uint8_t> body_;
+};
+
+// Per-call overrides of an endpoint's timeout/retry configuration. A zero
+// field means "use the endpoint default". Synchronization calls (a P on a
+// taken semaphore blocks until the matching V) use a very long timeout; DSM
+// transfers queued behind a thrashing page need one well beyond a single
+// transfer time.
+struct CallOpts {
+  SimDuration timeout = 0;
+  int max_attempts = 0;
+};
+
+class Endpoint {
+ public:
+  using CallOpts = net::CallOpts;
+
+  struct Config {
+    SimDuration call_timeout = Milliseconds(400);
+    int max_attempts = 6;       // first send + retransmissions
+    std::size_t dedup_window = 512;  // remembered (origin, req_id) entries
+  };
+
+  // Attaches `self` to the network with the given architecture profile.
+  Endpoint(sim::Runtime& rt, Network& net, HostId self,
+           const arch::ArchProfile* profile, Config cfg);
+  Endpoint(sim::Runtime& rt, Network& net, HostId self,
+           const arch::ArchProfile* profile)
+      : Endpoint(rt, net, self, profile, Config{}) {}
+
+  // Registers the handler for requests and notifies with opcode `op`.
+  void SetHandler(std::uint8_t op,
+                  std::function<void(RequestContext)> handler);
+
+  // Spawns the receive daemon. Call after handlers are registered.
+  void Start();
+
+  // Blocking request; nullopt after max_attempts timeouts (or shutdown).
+  std::optional<std::vector<std::uint8_t>> Call(
+      HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
+      MsgKind kind = MsgKind::kControl, const CallOpts& opts = {});
+
+  // Blocking multicast: one request per destination, waits for all replies.
+  // Returns replies in destination order; nullopt if any destination failed.
+  std::optional<std::vector<std::vector<std::uint8_t>>> MultiCall(
+      const std::vector<HostId>& dsts, std::uint8_t op,
+      std::vector<std::uint8_t> body, MsgKind kind = MsgKind::kControl,
+      const CallOpts& opts = {});
+
+  // One-way message; at-most-once, no retransmission.
+  void Notify(HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
+              MsgKind kind = MsgKind::kControl);
+
+  HostId self() const { return self_; }
+  sim::Runtime& runtime() { return rt_; }
+  base::StatsRegistry& stats() { return stats_; }
+
+ private:
+  friend class RequestContext;
+
+  enum class WireType : std::uint8_t { kRequest = 1, kReply = 2, kNotify = 3 };
+
+  struct ReplyMsg {
+    std::uint64_t req_id;
+    std::vector<std::uint8_t> body;
+  };
+
+  // Duplicate-suppression record for one (origin, req_id).
+  struct DedupEntry {
+    enum class State { kPending, kReplied, kForwarded } state =
+        State::kPending;
+    // kReplied: cached reply for replay. kForwarded: body + next hop.
+    std::vector<std::uint8_t> saved_body;
+    MsgKind saved_kind = MsgKind::kControl;
+    HostId forwarded_to = 0;
+  };
+
+  void RxLoop();
+  void DispatchRequest(const Message& msg);
+  void SendRequestWire(WireType type, HostId dst, std::uint8_t op,
+                       HostId origin, std::uint64_t req_id,
+                       const std::vector<std::uint8_t>& body, MsgKind kind);
+  void SendReplyWire(HostId dst, std::uint64_t req_id,
+                     const std::vector<std::uint8_t>& body, MsgKind kind);
+  DedupEntry* DedupFind(HostId origin, std::uint64_t req_id);
+  DedupEntry& DedupInsert(HostId origin, std::uint64_t req_id);
+
+  sim::Runtime& rt_;
+  Network& net_;
+  HostId self_;
+  Config cfg_;
+  Fragmenter fragmenter_;
+  Reassembler reassembler_;
+  sim::Chan<Packet> rx_;
+  std::map<std::uint8_t, std::function<void(RequestContext)>> handlers_;
+  // Guards the maps below for the real-time runtime, where client processes
+  // and the rx daemon genuinely run concurrently. Never held across a
+  // blocking operation (Delay/Recv) — under the virtual-time engine an OS
+  // mutex held across a process switch would wedge the scheduler.
+  std::mutex maps_mu_;
+  std::uint64_t next_req_id_ = 1;
+  // Outstanding Calls/MultiCalls: req_id -> the caller's reply channel.
+  std::map<std::uint64_t, sim::Chan<ReplyMsg>> pending_;
+  // Dedup table with FIFO eviction (rx daemon only, but kept under the same
+  // lock for simplicity).
+  std::map<std::pair<HostId, std::uint64_t>, DedupEntry> dedup_;
+  std::deque<std::pair<HostId, std::uint64_t>> dedup_order_;
+  base::StatsRegistry stats_;
+  bool started_ = false;
+};
+
+}  // namespace mermaid::net

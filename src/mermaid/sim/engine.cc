@@ -1,0 +1,264 @@
+#include "mermaid/sim/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "mermaid/base/check.h"
+
+namespace mermaid::sim {
+
+namespace {
+// Identifies the process the current OS thread is running, to catch misuse
+// of process-only calls from the wrong thread.
+thread_local void* tls_proc = nullptr;
+}  // namespace
+
+struct Engine::Proc {
+  std::string name;
+  std::thread thread;
+  std::condition_variable cv;
+  bool daemon = false;
+  bool done = false;
+  // Earliest virtual time at which this process may resume; kNever while it
+  // is blocked with nothing to wait for.
+  SimTime wake_time = 0;
+  std::uint64_t seq = 0;
+  bool running = false;
+};
+
+class Engine::SimChan final : public ChanCore {
+ public:
+  SimChan(Engine* eng, std::function<void(void*)> deleter)
+      : eng_(eng), deleter_(std::move(deleter)) {}
+
+  ~SimChan() override {
+    while (!items_.empty()) {
+      deleter_(items_.top().item);
+      items_.pop();
+    }
+  }
+
+  void Push(void* item, SimTime deliver_time) override {
+    std::unique_lock<std::mutex> lk(eng_->mu_);
+    if (eng_->shutting_down_) {
+      deleter_(item);
+      return;
+    }
+    deliver_time = std::max(deliver_time, eng_->now_);
+    items_.push(Item{deliver_time, ++eng_->push_seq_, item});
+    for (Proc* w : waiters_) eng_->MakeReadyLocked(w, deliver_time);
+  }
+
+  void* Pop(SimTime deadline, bool* timed_out) override {
+    if (timed_out != nullptr) *timed_out = false;
+    std::unique_lock<std::mutex> lk(eng_->mu_);
+    Proc* self = eng_->current_;
+    MERMAID_CHECK_MSG(self != nullptr && tls_proc == self,
+                      "Chan::Recv called outside a simulated process");
+    for (;;) {
+      if (eng_->shutting_down_) return nullptr;
+      if (!items_.empty() && items_.top().deliver <= eng_->now_) {
+        void* item = items_.top().item;
+        items_.pop();
+        return item;
+      }
+      if (deadline >= 0 && eng_->now_ >= deadline) {
+        if (timed_out != nullptr) *timed_out = true;
+        return nullptr;
+      }
+      SimTime wake = kNever;
+      if (!items_.empty()) wake = items_.top().deliver;
+      if (deadline >= 0) wake = std::min(wake, deadline);
+      self->wake_time = wake;
+      self->seq = ++eng_->ready_seq_;
+      waiters_.push_back(self);
+      eng_->SwitchOutLocked(lk, self);
+      waiters_.erase(std::find(waiters_.begin(), waiters_.end(), self));
+    }
+  }
+
+  void* TryPop() override {
+    std::unique_lock<std::mutex> lk(eng_->mu_);
+    if (!items_.empty() && items_.top().deliver <= eng_->now_) {
+      void* item = items_.top().item;
+      items_.pop();
+      return item;
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Item {
+    SimTime deliver;
+    std::uint64_t seq;  // FIFO order among equal delivery times
+    void* item;
+    bool operator>(const Item& o) const {
+      return deliver != o.deliver ? deliver > o.deliver : seq > o.seq;
+    }
+  };
+
+  Engine* eng_;
+  std::function<void(void*)> deleter_;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> items_;
+  std::vector<Proc*> waiters_;
+};
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  if (!run_called_ && live_total_ > 0) {
+    // Processes were spawned but never driven; run them to completion so
+    // their threads can be joined.
+    Run();
+  }
+  for (auto& p : procs_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+}
+
+SimTime Engine::Now() {
+  std::unique_lock<std::mutex> lk(mu_);
+  return now_;
+}
+
+void Engine::Delay(SimDuration d) {
+  MERMAID_CHECK(d >= 0);
+  std::unique_lock<std::mutex> lk(mu_);
+  Proc* self = current_;
+  MERMAID_CHECK_MSG(self != nullptr && tls_proc == self,
+                    "Delay called outside a simulated process");
+  self->wake_time = now_ + d;
+  self->seq = ++ready_seq_;
+  SwitchOutLocked(lk, self);
+}
+
+void Engine::Spawn(std::string name, std::function<void()> fn, bool daemon) {
+  std::unique_lock<std::mutex> lk(mu_);
+  MERMAID_CHECK_MSG(!run_done_, "Spawn after Run completed");
+  auto proc = std::make_unique<Proc>();
+  Proc* p = proc.get();
+  p->name = std::move(name);
+  p->daemon = daemon;
+  p->wake_time = now_;
+  p->seq = ++ready_seq_;
+  ++live_total_;
+  if (!daemon) ++live_nondaemon_;
+  procs_.push_back(std::move(proc));
+  p->thread = std::thread([this, p, fn = std::move(fn)]() {
+    {
+      std::unique_lock<std::mutex> lk2(mu_);
+      while (!p->running) p->cv.wait(lk2);
+      tls_proc = p;
+    }
+    fn();
+    std::unique_lock<std::mutex> lk2(mu_);
+    p->done = true;
+    p->running = false;
+    p->wake_time = kNever;
+    --live_total_;
+    if (!p->daemon && --live_nondaemon_ == 0) InitiateShutdownLocked();
+    current_ = nullptr;
+    ScheduleLocked();
+  });
+}
+
+std::shared_ptr<ChanCore> Engine::MakeChan(
+    std::function<void(void*)> deleter) {
+  auto ch = std::make_shared<SimChan>(this, std::move(deleter));
+  std::unique_lock<std::mutex> lk(mu_);
+  chans_.push_back(ch);
+  return ch;
+}
+
+SimTime Engine::Run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  MERMAID_CHECK_MSG(!run_called_, "Engine::Run called twice");
+  run_called_ = true;
+  if (live_total_ == 0) {
+    run_done_ = true;
+    return now_;
+  }
+  ScheduleLocked();
+  while (!run_done_) run_cv_.wait(lk);
+  return now_;
+}
+
+void Engine::MakeReadyLocked(Proc* p, SimTime t) {
+  if (t < p->wake_time) {
+    p->wake_time = t;
+    p->seq = ++ready_seq_;
+  }
+}
+
+void Engine::ScheduleLocked() {
+  MERMAID_CHECK(current_ == nullptr);
+  for (;;) {
+    Proc* best = nullptr;
+    for (auto& up : procs_) {
+      Proc* p = up.get();
+      if (p->done || p->running) continue;
+      if (p->wake_time == kNever) continue;
+      if (best == nullptr || p->wake_time < best->wake_time ||
+          (p->wake_time == best->wake_time && p->seq < best->seq)) {
+        best = p;
+      }
+    }
+    if (best != nullptr) {
+      now_ = std::max(now_, best->wake_time);
+      current_ = best;
+      best->running = true;
+      ++switch_count_;
+      best->cv.notify_one();
+      return;
+    }
+    if (live_total_ == 0) {
+      run_done_ = true;
+      run_cv_.notify_all();
+      return;
+    }
+    if (!shutting_down_ && live_nondaemon_ == 0) {
+      InitiateShutdownLocked();
+      continue;  // daemons are now schedulable
+    }
+    DeadlockLocked();
+  }
+}
+
+void Engine::SwitchOutLocked(std::unique_lock<std::mutex>& lk, Proc* self) {
+  MERMAID_CHECK(current_ == self);
+  // Fast path: if this process is still the best candidate, resume it
+  // immediately without a thread handoff.
+  self->running = false;
+  current_ = nullptr;
+  ScheduleLocked();
+  while (!self->running) self->cv.wait(lk);
+}
+
+void Engine::InitiateShutdownLocked() {
+  shutting_down_ = true;
+  // Wake every blocked process so channel receives observe shutdown.
+  for (auto& up : procs_) {
+    Proc* p = up.get();
+    if (p->done || p->running) continue;
+    if (p->wake_time > now_) {
+      p->wake_time = now_;
+      p->seq = ++ready_seq_;
+    }
+  }
+}
+
+void Engine::DeadlockLocked() {
+  std::fprintf(stderr,
+               "sim::Engine deadlock at t=%lld ns: all %d live processes "
+               "blocked with no pending event\n",
+               static_cast<long long>(now_), live_total_);
+  for (auto& up : procs_) {
+    if (!up->done) {
+      std::fprintf(stderr, "  blocked: %s\n", up->name.c_str());
+    }
+  }
+  std::abort();
+}
+
+}  // namespace mermaid::sim

@@ -1,0 +1,88 @@
+// Deterministic discrete-event virtual-time engine.
+//
+// Every simulated process runs on its own OS thread, but exactly one process
+// executes at a time: whenever the running process blocks (Delay or channel
+// receive), the scheduler hands the baton to the waiting process with the
+// smallest (wake_time, ready_seq) and advances the virtual clock to that
+// time. Execution order is therefore a deterministic function of the program
+// and its seeds, independent of OS scheduling — repeated runs produce
+// identical event interleavings and identical virtual timings.
+//
+// Lifecycle: Spawn processes (daemon = server loops), then Run(). Run
+// returns when every non-daemon process has finished; at that point all
+// blocked channel receives return "shutdown" (nullopt) so daemons unwind.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::sim {
+
+class Engine final : public Runtime {
+ public:
+  Engine();
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Drives the simulation until all non-daemon processes finish and all
+  // daemons have unwound. Returns the final virtual time. Must be called
+  // exactly once, after at least one non-daemon Spawn.
+  SimTime Run();
+
+  // Runtime interface. Delay() must be called from a simulated process;
+  // Now() and Spawn() may also be called from outside (before Run or, for
+  // Now, after it).
+  SimTime Now() override;
+  void Delay(SimDuration d) override;
+  void Spawn(std::string name, std::function<void()> fn,
+             bool daemon = false) override;
+  std::shared_ptr<ChanCore> MakeChan(
+      std::function<void(void*)> deleter) override;
+
+  // Number of scheduler handoffs so far; exposed for determinism tests.
+  std::uint64_t switch_count() const { return switch_count_; }
+
+ private:
+  struct Proc;
+  class SimChan;
+  friend class SimChan;
+
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+  // Marks `p` schedulable at time `t` (only ever moves the wake earlier).
+  void MakeReadyLocked(Proc* p, SimTime t);
+  // Picks and resumes the next process; called with no process running.
+  void ScheduleLocked();
+  // Blocks the calling process until the scheduler resumes it.
+  void SwitchOutLocked(std::unique_lock<std::mutex>& lk, Proc* self);
+  void InitiateShutdownLocked();
+  [[noreturn]] void DeadlockLocked();
+
+  std::mutex mu_;
+  std::condition_variable run_cv_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<std::shared_ptr<SimChan>> chans_;
+  Proc* current_ = nullptr;
+  SimTime now_ = 0;
+  std::uint64_t ready_seq_ = 0;
+  std::uint64_t push_seq_ = 0;
+  std::uint64_t switch_count_ = 0;
+  int live_nondaemon_ = 0;
+  int live_total_ = 0;
+  bool shutting_down_ = false;
+  bool run_done_ = false;
+  bool run_called_ = false;
+};
+
+}  // namespace mermaid::sim

@@ -1,0 +1,174 @@
+#include "mermaid/sim/realtime.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "mermaid/base/check.h"
+
+namespace mermaid::sim {
+
+namespace {
+constexpr SimTime kNoDeadline = -1;
+}
+
+class RealTimeRuntime::RtChan final
+    : public ChanCore,
+      public std::enable_shared_from_this<RtChan> {
+ public:
+  RtChan(RealTimeRuntime* rt, std::function<void(void*)> deleter)
+      : rt_(rt), deleter_(std::move(deleter)) {}
+
+  ~RtChan() override {
+    while (!items_.empty()) {
+      deleter_(items_.top().item);
+      items_.pop();
+    }
+  }
+
+  void Push(void* item, SimTime deliver_time) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (shut_) {
+        deleter_(item);
+        return;
+      }
+      items_.push(Item{deliver_time, ++seq_, item});
+    }
+    cv_.notify_all();
+  }
+
+  void* Pop(SimTime deadline, bool* timed_out) override {
+    if (timed_out != nullptr) *timed_out = false;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (shut_) return nullptr;
+      SimTime now = rt_->Now();
+      if (!items_.empty() && items_.top().deliver <= now) {
+        void* item = items_.top().item;
+        items_.pop();
+        return item;
+      }
+      if (deadline != kNoDeadline && now >= deadline) {
+        if (timed_out != nullptr) *timed_out = true;
+        return nullptr;
+      }
+      SimTime wake = deadline;
+      if (!items_.empty() &&
+          (wake == kNoDeadline || items_.top().deliver < wake)) {
+        wake = items_.top().deliver;
+      }
+      if (wake == kNoDeadline) {
+        cv_.wait(lk);
+      } else {
+        cv_.wait_until(lk, rt_->ToWall(wake));
+      }
+    }
+  }
+
+  void* TryPop() override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!items_.empty() && items_.top().deliver <= rt_->Now()) {
+      void* item = items_.top().item;
+      items_.pop();
+      return item;
+    }
+    return nullptr;
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shut_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  struct Item {
+    SimTime deliver;
+    std::uint64_t seq;
+    void* item;
+    bool operator>(const Item& o) const {
+      return deliver != o.deliver ? deliver > o.deliver : seq > o.seq;
+    }
+  };
+
+  RealTimeRuntime* rt_;
+  std::function<void(void*)> deleter_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> items_;
+  std::uint64_t seq_ = 0;
+  bool shut_ = false;
+
+  friend class RealTimeRuntime;
+};
+
+RealTimeRuntime::RealTimeRuntime(double time_scale)
+    : time_scale_(time_scale),
+      start_(std::chrono::steady_clock::now()),
+      shared_(std::make_shared<Shared>()) {
+  MERMAID_CHECK(time_scale_ > 0);
+}
+
+RealTimeRuntime::~RealTimeRuntime() {
+  if (!run_done_) Run();
+}
+
+SimTime RealTimeRuntime::Now() {
+  auto wall = std::chrono::steady_clock::now() - start_;
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count();
+  return static_cast<SimTime>(static_cast<double>(ns) * time_scale_);
+}
+
+void RealTimeRuntime::Delay(SimDuration d) {
+  MERMAID_CHECK(d >= 0);
+  auto wall_ns =
+      static_cast<std::int64_t>(static_cast<double>(d) / time_scale_);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(wall_ns));
+}
+
+void RealTimeRuntime::Spawn(std::string /*name*/, std::function<void()> fn,
+                            bool daemon) {
+  if (!daemon) {
+    std::lock_guard<std::mutex> lk(shared_->mu);
+    ++shared_->live_nondaemon;
+  }
+  auto shared = shared_;
+  std::thread th([shared, fn = std::move(fn), daemon]() {
+    fn();
+    if (!daemon) {
+      std::lock_guard<std::mutex> lk(shared->mu);
+      if (--shared->live_nondaemon == 0) shared->cv.notify_all();
+    }
+  });
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  threads_.push_back(std::move(th));
+}
+
+std::shared_ptr<ChanCore> RealTimeRuntime::MakeChan(
+    std::function<void(void*)> deleter) {
+  auto ch = std::make_shared<RtChan>(this, std::move(deleter));
+  std::lock_guard<std::mutex> lk(shared_->mu);
+  shared_->chans.push_back(ch);
+  return ch;
+}
+
+SimTime RealTimeRuntime::Run() {
+  {
+    std::unique_lock<std::mutex> lk(shared_->mu);
+    while (shared_->live_nondaemon > 0) shared_->cv.wait(lk);
+    shared_->shutting_down = true;
+    for (auto& wc : shared_->chans) {
+      if (auto ch = wc.lock()) ch->Shutdown();
+    }
+  }
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  run_done_ = true;
+  return Now();
+}
+
+}  // namespace mermaid::sim

@@ -1,0 +1,69 @@
+// Real-time binding of the Runtime interface.
+//
+// Processes are plain OS threads, the clock is std::chrono::steady_clock,
+// and Delay optionally compresses modeled time by `time_scale` (a scale of
+// 1000 turns a modeled 5 ms compute block into a 5 us sleep). Used by
+// integration tests and the quickstart example to demonstrate that the DSM
+// stack runs unmodified on real concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::sim {
+
+class RealTimeRuntime final : public Runtime {
+ public:
+  // `time_scale` divides every Delay: scale N means modeled time runs N
+  // times faster than the wall clock.
+  explicit RealTimeRuntime(double time_scale = 1.0);
+  ~RealTimeRuntime() override;
+
+  RealTimeRuntime(const RealTimeRuntime&) = delete;
+  RealTimeRuntime& operator=(const RealTimeRuntime&) = delete;
+
+  // Blocks until all non-daemon processes finish, then shuts channels down
+  // (unwinding daemons) and joins every thread. Returns elapsed modeled time.
+  SimTime Run();
+
+  SimTime Now() override;
+  void Delay(SimDuration d) override;
+  void Spawn(std::string name, std::function<void()> fn,
+             bool daemon = false) override;
+  std::shared_ptr<ChanCore> MakeChan(
+      std::function<void(void*)> deleter) override;
+
+ private:
+  class RtChan;
+  friend class RtChan;
+
+  // Maps a modeled time back to the wall-clock instant it corresponds to.
+  std::chrono::steady_clock::time_point ToWall(SimTime t) const {
+    return start_ + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                        static_cast<double>(t) / time_scale_));
+  }
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool shutting_down = false;
+    int live_nondaemon = 0;
+    std::vector<std::weak_ptr<RtChan>> chans;
+  };
+
+  double time_scale_;
+  std::chrono::steady_clock::time_point start_;
+  std::shared_ptr<Shared> shared_;
+  std::vector<std::thread> threads_;
+  std::mutex threads_mu_;
+  bool run_done_ = false;
+};
+
+}  // namespace mermaid::sim

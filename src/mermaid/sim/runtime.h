@@ -1,0 +1,108 @@
+// Runtime abstraction: processes, time, and channels.
+//
+// The entire Mermaid stack (network, DSM protocol, sync, applications) is
+// written against this interface and blocks *only* by receiving on a Chan.
+// Two bindings exist:
+//   - sim::Engine   — deterministic discrete-event virtual time (primary;
+//                     used by all benchmarks and most tests), and
+//   - sim::RealTimeRuntime — plain OS threads and the wall clock, proving
+//                     the protocol code is not simulation-bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mermaid/base/time.h"
+
+namespace mermaid::sim {
+
+// Type-erased channel core. Items are heap-allocated by the typed wrapper;
+// the core owns them until popped and destroys leftovers with the deleter.
+class ChanCore {
+ public:
+  virtual ~ChanCore() = default;
+
+  // Enqueues `item` (ownership transferred) to become visible to receivers
+  // at absolute time `deliver_time` (already >= now for the pushing side).
+  virtual void Push(void* item, SimTime deliver_time) = 0;
+
+  // Blocks the calling process until an item is deliverable or the runtime
+  // is shutting down. Returns nullptr on shutdown. If `deadline` >= 0 and
+  // reached first, returns nullptr with *timed_out = true.
+  virtual void* Pop(SimTime deadline, bool* timed_out) = 0;
+
+  // Non-blocking: pops a deliverable item if one exists.
+  virtual void* TryPop() = 0;
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  // Current time on this runtime's clock (ns).
+  virtual SimTime Now() = 0;
+
+  // Models `d` of computation by the calling process. In virtual time this
+  // advances the clock without consuming wall time.
+  virtual void Delay(SimDuration d) = 0;
+
+  // Starts a new process. Daemon processes (server loops) do not keep the
+  // simulation alive: when every non-daemon process has finished, all
+  // channels drain as "shutdown" and daemons unwind.
+  virtual void Spawn(std::string name, std::function<void()> fn,
+                     bool daemon = false) = 0;
+
+  // Creates a channel core; `deleter` destroys unclaimed items.
+  virtual std::shared_ptr<ChanCore> MakeChan(
+      std::function<void(void*)> deleter) = 0;
+};
+
+// Typed channel. Cheap to copy; all copies share the same queue.
+template <typename T>
+class Chan {
+ public:
+  Chan() = default;
+  explicit Chan(Runtime& rt)
+      : rt_(&rt),
+        core_(rt.MakeChan([](void* p) { delete static_cast<T*>(p); })) {}
+
+  bool valid() const { return core_ != nullptr; }
+
+  // Sends `v`, deliverable after `delay` of channel latency.
+  void Send(T v, SimDuration delay = 0) {
+    core_->Push(new T(std::move(v)), rt_->Now() + delay);
+  }
+
+  // Blocks until a message arrives; nullopt means the runtime is shutting
+  // down and the receiving loop should unwind.
+  std::optional<T> Recv() {
+    bool timed_out = false;
+    void* p = core_->Pop(/*deadline=*/-1, &timed_out);
+    return Claim(p);
+  }
+
+  // As Recv, but gives up at `deadline` (absolute). nullopt + *timed_out
+  // distinguishes timeout from shutdown.
+  std::optional<T> RecvUntil(SimTime deadline, bool* timed_out) {
+    void* p = core_->Pop(deadline, timed_out);
+    return Claim(p);
+  }
+
+  std::optional<T> TryRecv() { return Claim(core_->TryPop()); }
+
+ private:
+  std::optional<T> Claim(void* p) {
+    if (p == nullptr) return std::nullopt;
+    std::unique_ptr<T> owned(static_cast<T*>(p));
+    return std::optional<T>(std::move(*owned));
+  }
+
+  Runtime* rt_ = nullptr;
+  std::shared_ptr<ChanCore> core_;
+};
+
+}  // namespace mermaid::sim

@@ -1,0 +1,209 @@
+#include "mermaid/sync/sync.h"
+
+#include "mermaid/base/check.h"
+#include "mermaid/base/wire.h"
+#include "mermaid/dsm/types.h"
+
+namespace mermaid::sync {
+
+namespace {
+
+std::vector<std::uint8_t> EncodeOp(std::uint8_t subop, SyncId id,
+                                   std::int64_t arg) {
+  base::WireWriter w;
+  w.U8(subop);
+  w.U64(id);
+  w.I64(arg);
+  return std::move(w).Take();
+}
+
+}  // namespace
+
+SyncServer::SyncServer(sim::Runtime& rt) : rt_(rt) {}
+
+void SyncServer::Attach(net::Endpoint& ep) {
+  ep.SetHandler(dsm::kOpSync,
+                [this](net::RequestContext ctx) { Handle(std::move(ctx)); });
+}
+
+void SyncServer::Wake(Waiter& w) {
+  if (w.remote.has_value()) {
+    w.remote->Reply({});
+  } else {
+    w.local.Send(true);
+  }
+}
+
+void SyncServer::Handle(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const std::uint8_t subop = r.U8();
+  const SyncId id = r.U64();
+  const std::int64_t arg = r.I64();
+  if (!r.ok()) return;
+
+  Waiter self;
+  self.remote = std::move(ctx);
+  std::vector<Waiter> release;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ApplyLocked(subop, id, arg, std::move(self), &release);
+  }
+  for (auto& w : release) Wake(w);
+}
+
+// Contract: if the issuing party proceeds immediately, ApplyLocked pushes
+// `self` onto `release` (so it is woken/replied like any other waiter) and
+// returns true; if the party must wait, `self` is parked inside the state
+// and the function returns false.
+bool SyncServer::ApplyLocked(std::uint8_t subop, SyncId id, std::int64_t arg,
+                             Waiter&& self, std::vector<Waiter>* release) {
+  switch (subop) {
+    case kSemInit: {
+      Sem& s = sems_[id];
+      s.count = arg;
+      MERMAID_CHECK_MSG(s.waiters.empty(),
+                        "semaphore re-initialized while threads wait on it");
+      release->push_back(std::move(self));
+      return true;
+    }
+    case kSemP: {
+      Sem& s = sems_[id];
+      if (s.count > 0) {
+        --s.count;
+        release->push_back(std::move(self));
+        return true;
+      }
+      s.waiters.push_back(std::move(self));
+      return false;
+    }
+    case kSemV: {
+      Sem& s = sems_[id];
+      if (!s.waiters.empty()) {
+        release->push_back(std::move(s.waiters.front()));
+        s.waiters.pop_front();
+      } else {
+        ++s.count;
+      }
+      release->push_back(std::move(self));
+      return true;
+    }
+    case kEventSet: {
+      Event& e = events_[id];
+      e.set = true;
+      for (auto& w : e.waiters) release->push_back(std::move(w));
+      e.waiters.clear();
+      release->push_back(std::move(self));
+      return true;
+    }
+    case kEventClear: {
+      events_[id].set = false;
+      release->push_back(std::move(self));
+      return true;
+    }
+    case kEventWait: {
+      Event& e = events_[id];
+      if (e.set) {
+        release->push_back(std::move(self));
+        return true;
+      }
+      e.waiters.push_back(std::move(self));
+      return false;
+    }
+    case kBarrier: {
+      Barrier& b = barriers_[id];
+      b.waiters.push_back(std::move(self));
+      if (static_cast<std::int64_t>(b.waiters.size()) >= arg) {
+        for (auto& w : b.waiters) release->push_back(std::move(w));
+        b.waiters.clear();
+        return true;
+      }
+      return false;
+    }
+    default:
+      MERMAID_CHECK_MSG(false, "unknown sync subop");
+  }
+  return false;
+}
+
+// Local-path implementation: run the op against the server state directly;
+// if parked, block on the local grant channel.
+#define MERMAID_SYNC_LOCAL(subop_, id_, arg_)                             \
+  do {                                                                    \
+    Waiter self;                                                          \
+    self.local = sim::Chan<bool>(rt_);                                    \
+    sim::Chan<bool> wait_chan = self.local;                               \
+    std::vector<Waiter> release;                                          \
+    bool proceed;                                                         \
+    {                                                                     \
+      std::lock_guard<std::mutex> lk(mu_);                                \
+      proceed = ApplyLocked((subop_), (id_), (arg_), std::move(self),     \
+                            &release);                                    \
+    }                                                                     \
+    for (auto& w : release) Wake(w);                                      \
+    if (!proceed) wait_chan.Recv();                                       \
+  } while (false)
+
+void SyncServer::LocalSemInit(SyncId id, std::int64_t value) {
+  MERMAID_SYNC_LOCAL(kSemInit, id, value);
+}
+void SyncServer::LocalP(SyncId id) { MERMAID_SYNC_LOCAL(kSemP, id, 0); }
+void SyncServer::LocalV(SyncId id) { MERMAID_SYNC_LOCAL(kSemV, id, 0); }
+void SyncServer::LocalEventSet(SyncId id) {
+  MERMAID_SYNC_LOCAL(kEventSet, id, 0);
+}
+void SyncServer::LocalEventClear(SyncId id) {
+  MERMAID_SYNC_LOCAL(kEventClear, id, 0);
+}
+void SyncServer::LocalEventWait(SyncId id) {
+  MERMAID_SYNC_LOCAL(kEventWait, id, 0);
+}
+void SyncServer::LocalBarrier(SyncId id, std::int64_t parties) {
+  MERMAID_SYNC_LOCAL(kBarrier, id, parties);
+}
+
+#undef MERMAID_SYNC_LOCAL
+
+Client::Client(net::Endpoint* ep, net::HostId server_host, SyncServer* local)
+    : ep_(ep), server_host_(server_host), local_(local) {}
+
+void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg) {
+  MERMAID_CHECK(ep_ != nullptr);
+  net::Endpoint::CallOpts opts;
+  opts.timeout = Milliseconds(500);
+  opts.max_attempts = 1 << 20;  // a parked P may wait arbitrarily long
+  auto r = ep_->Call(server_host_, dsm::kOpSync, EncodeOp(subop, id, arg),
+                     net::MsgKind::kControl, opts);
+  // nullopt only on runtime shutdown; unwinding is fine.
+  (void)r;
+}
+
+void Client::SemInit(SyncId id, std::int64_t value) {
+  if (local_ != nullptr) return local_->LocalSemInit(id, value);
+  Issue(SyncServer::kSemInit, id, value);
+}
+void Client::P(SyncId id) {
+  if (local_ != nullptr) return local_->LocalP(id);
+  Issue(SyncServer::kSemP, id, 0);
+}
+void Client::V(SyncId id) {
+  if (local_ != nullptr) return local_->LocalV(id);
+  Issue(SyncServer::kSemV, id, 0);
+}
+void Client::EventSet(SyncId id) {
+  if (local_ != nullptr) return local_->LocalEventSet(id);
+  Issue(SyncServer::kEventSet, id, 0);
+}
+void Client::EventClear(SyncId id) {
+  if (local_ != nullptr) return local_->LocalEventClear(id);
+  Issue(SyncServer::kEventClear, id, 0);
+}
+void Client::EventWait(SyncId id) {
+  if (local_ != nullptr) return local_->LocalEventWait(id);
+  Issue(SyncServer::kEventWait, id, 0);
+}
+void Client::Barrier(SyncId id, std::int64_t parties) {
+  if (local_ != nullptr) return local_->LocalBarrier(id, parties);
+  Issue(SyncServer::kBarrier, id, parties);
+}
+
+}  // namespace mermaid::sync

@@ -1,0 +1,120 @@
+// Distributed synchronization (§2.2).
+//
+// "In practice [synchronizing through atomic instructions on shared memory]
+// would lead to repeated movement of (large) DSM pages between the hosts
+// involved. We therefore implemented a separate distributed synchronization
+// facility that provides for P and V operations and events more
+// efficiently."
+//
+// One host runs the synchronization server; clients issue P/V, event and
+// barrier operations through the request-response protocol. The server is
+// fully event-driven: a P on a taken semaphore parks the request context
+// (or, for a thread on the server's own host, a grant channel) until the
+// matching V arrives, so the protocol daemon never blocks. Duplicate
+// suppression in the endpoint makes retransmitted P's idempotent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mermaid/net/reqrep.h"
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::sync {
+
+using SyncId = std::uint64_t;
+
+// Lives on the server host; registers its handler on that host's endpoint
+// (call Attach before the endpoint starts).
+class SyncServer {
+ public:
+  explicit SyncServer(sim::Runtime& rt);
+
+  // Registers the kOpSync handler on `ep` (the server host's endpoint).
+  void Attach(net::Endpoint& ep);
+
+  // Local entry points for threads on the server host (no network hop).
+  void LocalSemInit(SyncId id, std::int64_t value);
+  void LocalP(SyncId id);
+  void LocalV(SyncId id);
+  void LocalEventSet(SyncId id);
+  void LocalEventClear(SyncId id);
+  void LocalEventWait(SyncId id);
+  void LocalBarrier(SyncId id, std::int64_t parties);
+
+ private:
+  friend class Client;
+
+  enum SubOp : std::uint8_t {
+    kSemInit = 1,
+    kSemP = 2,
+    kSemV = 3,
+    kEventSet = 4,
+    kEventClear = 5,
+    kEventWait = 6,
+    kBarrier = 7,
+  };
+
+  // A parked waiter: a remote request context or a local grant channel.
+  struct Waiter {
+    std::optional<net::RequestContext> remote;
+    sim::Chan<bool> local;
+  };
+
+  struct Sem {
+    std::int64_t count = 0;
+    std::deque<Waiter> waiters;
+  };
+  struct Event {
+    bool set = false;
+    std::vector<Waiter> waiters;
+  };
+  struct Barrier {
+    std::vector<Waiter> waiters;
+  };
+
+  void Handle(net::RequestContext ctx);
+  // Applies one op; fills `release` with waiters to wake and returns whether
+  // the issuing party proceeds immediately.
+  bool ApplyLocked(std::uint8_t subop, SyncId id, std::int64_t arg,
+                   Waiter&& self, std::vector<Waiter>* release);
+  static void Wake(Waiter& w);
+
+  sim::Runtime& rt_;
+  std::mutex mu_;
+  std::map<SyncId, Sem> sems_;
+  std::map<SyncId, Event> events_;
+  std::map<SyncId, Barrier> barriers_;
+};
+
+// Per-host client handle. For threads on the server host it short-circuits
+// to direct server calls; otherwise operations are protocol Calls with a
+// short retransmit timeout and effectively unlimited attempts (a parked P
+// legitimately stays unanswered for a long time; duplicates are suppressed).
+class Client {
+ public:
+  Client() = default;
+  Client(net::Endpoint* ep, net::HostId server_host, SyncServer* local);
+
+  void SemInit(SyncId id, std::int64_t value);
+  void P(SyncId id);
+  void V(SyncId id);
+  void EventSet(SyncId id);
+  void EventClear(SyncId id);
+  void EventWait(SyncId id);
+  // Blocks until `parties` threads (across all hosts) have arrived.
+  void Barrier(SyncId id, std::int64_t parties);
+
+ private:
+  void Issue(std::uint8_t subop, SyncId id, std::int64_t arg);
+
+  net::Endpoint* ep_ = nullptr;
+  net::HostId server_host_ = 0;
+  SyncServer* local_ = nullptr;  // non-null when this host runs the server
+};
+
+}  // namespace mermaid::sync

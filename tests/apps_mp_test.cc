@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "mermaid/apps/matmul_mp.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::apps {
+namespace {
+
+class MpMatMulCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpMatMulCorrectness, MatchesReference) {
+  const int threads = GetParam();
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  dsm::System sys(eng, cfg,
+                  {&arch::Sun3Profile(), &arch::FireflyProfile(),
+                   &arch::FireflyProfile()});
+  MpMatMul mp(sys);
+  sys.Start();
+  MpMatMulConfig mpc;
+  mpc.n = 48;
+  mpc.num_threads = threads;
+  mpc.worker_hosts = {1, 2};
+  MpMatMulResult result;
+  mp.Setup(mpc, &result);
+  eng.Run();
+  EXPECT_TRUE(result.done);
+  EXPECT_TRUE(result.correct);
+  EXPECT_GT(result.elapsed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MpMatMulCorrectness,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+TEST(MpMatMul, MoreThreadsThanRowsStillWorks) {
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  dsm::System sys(eng, cfg,
+                  {&arch::Sun3Profile(), &arch::FireflyProfile()});
+  MpMatMul mp(sys);
+  sys.Start();
+  MpMatMulConfig mpc;
+  mpc.n = 4;
+  mpc.num_threads = 9;
+  mpc.worker_hosts = {1};
+  MpMatMulResult result;
+  mp.Setup(mpc, &result);
+  eng.Run();
+  EXPECT_TRUE(result.done);
+  EXPECT_TRUE(result.correct);
+}
+
+}  // namespace
+}  // namespace mermaid::apps

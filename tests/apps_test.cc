@@ -1,0 +1,166 @@
+// Application-level integration: parallel results must equal sequential
+// references across heterogeneous host mixes and page-size policies.
+#include <gtest/gtest.h>
+
+#include "mermaid/apps/matmul.h"
+#include "mermaid/apps/pcb.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::apps {
+namespace {
+
+const arch::ArchProfile& Sun() { return arch::Sun3Profile(); }
+const arch::ArchProfile& Ffly() { return arch::FireflyProfile(); }
+
+dsm::SystemConfig AppConfig(dsm::PageSizePolicy policy =
+                                dsm::PageSizePolicy::kLargest) {
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 4u << 20;
+  cfg.page_policy = policy;
+  return cfg;
+}
+
+struct MmCase {
+  const char* name;
+  int n;
+  int threads;
+  bool round_robin;
+  dsm::PageSizePolicy policy;
+  bool hetero;  // master Sun + Firefly workers vs all-Firefly
+};
+
+class MatMulCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulCorrectness, MatchesReference) {
+  static const MmCase cases[] = {
+      {"seq-1thread", 64, 1, false, dsm::PageSizePolicy::kLargest, false},
+      {"mm1-4threads-hetero", 64, 4, false, dsm::PageSizePolicy::kLargest,
+       true},
+      {"mm1-small-pages", 64, 4, false, dsm::PageSizePolicy::kSmallest, true},
+      {"mm2-round-robin", 64, 4, true, dsm::PageSizePolicy::kSmallest, true},
+      {"mm2-large-contention", 48, 6, true, dsm::PageSizePolicy::kLargest,
+       true},
+      {"mm1-7threads-3fireflies", 64, 7, false,
+       dsm::PageSizePolicy::kLargest, true},
+  };
+  const MmCase& c = cases[GetParam()];
+  sim::Engine eng;
+  std::vector<const arch::ArchProfile*> profiles;
+  profiles.push_back(c.hetero ? &Sun() : &Ffly());
+  for (int i = 0; i < 3; ++i) profiles.push_back(&Ffly());
+  dsm::System sys(eng, AppConfig(c.policy), profiles);
+  sys.Start();
+
+  MatMulConfig cfg;
+  cfg.n = c.n;
+  cfg.num_threads = c.threads;
+  cfg.master_host = 0;
+  cfg.worker_hosts = {1, 2, 3};
+  cfg.round_robin_rows = c.round_robin;
+  MatMulResult result;
+  SetupMatMul(sys, cfg, &result);
+  eng.Run();
+
+  EXPECT_TRUE(result.done) << c.name;
+  EXPECT_TRUE(result.correct) << c.name;
+  EXPECT_GT(result.elapsed, 0) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, MatMulCorrectness, ::testing::Range(0, 6));
+
+TEST(MatMul, MoreThreadsRunFaster) {
+  // n = 128 keeps thread row-blocks page-aligned for 1/4/8 threads (16 rows
+  // of 512 B per 8 KB page), as the paper's 256x256 runs were; misaligned
+  // sizes false-share result pages and slow down, which MM2 tests cover.
+  auto run = [](int threads) {
+    sim::Engine eng;
+    dsm::System sys(eng, AppConfig(),
+                    {&Sun(), &Ffly(), &Ffly(), &Ffly(), &Ffly()});
+    sys.Start();
+    MatMulConfig cfg;
+    cfg.n = 128;
+    cfg.num_threads = threads;
+    cfg.worker_hosts = {1, 2, 3, 4};
+    cfg.verify = false;
+    MatMulResult result;
+    SetupMatMul(sys, cfg, &result);
+    eng.Run();
+    return result.elapsed;
+  };
+  const SimDuration t1 = run(1);
+  const SimDuration t4 = run(4);
+  const SimDuration t8 = run(8);
+  EXPECT_LT(t4, t1 / 2);  // decent speedup by 4 threads
+  EXPECT_LT(t8, t4);      // still improving at 8
+}
+
+TEST(MatMul, PhysicalSharedMemoryBeatsDistributed) {
+  // Fig. 3's comparison: n threads on one multiprocessor Firefly vs the
+  // same threads spread over n Fireflies (one each).
+  auto run = [](bool spread) {
+    sim::Engine eng;
+    dsm::System sys(eng, AppConfig(),
+                    {&Ffly(), &Ffly(), &Ffly(), &Ffly(), &Ffly()});
+    sys.Start();
+    MatMulConfig cfg;
+    cfg.n = 96;
+    cfg.num_threads = 4;
+    cfg.master_host = 0;
+    cfg.worker_hosts = spread ? std::vector<net::HostId>{1, 2, 3, 4}
+                              : std::vector<net::HostId>{1};
+    cfg.verify = false;
+    MatMulResult result;
+    SetupMatMul(sys, cfg, &result);
+    eng.Run();
+    return result.elapsed;
+  };
+  const SimDuration physical = run(false);
+  const SimDuration distributed = run(true);
+  EXPECT_LT(physical, distributed);          // DSM pays page transfers
+  EXPECT_LT(distributed, physical * 3 / 2);  // ...but not catastrophically
+}
+
+TEST(Pcb, GeneratorIsDeterministicAndHasAllFlawKinds) {
+  auto b1 = GenerateBoard(100, 400, 7);
+  auto b2 = GenerateBoard(100, 400, 7);
+  EXPECT_EQ(b1, b2);
+  auto b3 = GenerateBoard(100, 400, 8);
+  EXPECT_NE(b1, b3);
+
+  std::vector<std::uint8_t> overlay;
+  PcbStats stats = CheckBoardReference(b1, 100, 400, &overlay);
+  EXPECT_GT(stats.narrow, 0);
+  EXPECT_GT(stats.spacing, 0);
+  EXPECT_GT(stats.missing_hole, 0);
+}
+
+class PcbCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PcbCorrectness, ParallelEqualsSequential) {
+  const int threads = GetParam();
+  sim::Engine eng;
+  dsm::System sys(eng, AppConfig(),
+                  {&Sun(), &Ffly(), &Ffly(), &Ffly()});
+  arch::TypeId stats_type = RegisterPcbTypes(sys.registry());
+  sys.Start();
+  PcbConfig cfg;
+  cfg.height = 100;
+  cfg.width = 400;  // small board for the test
+  cfg.num_threads = threads;
+  cfg.worker_hosts = {1, 2, 3};
+  PcbResult result;
+  SetupPcb(sys, stats_type, cfg, &result);
+  eng.Run();
+  EXPECT_TRUE(result.done);
+  EXPECT_TRUE(result.correct);
+  EXPECT_GT(result.stats.narrow + result.stats.spacing +
+                result.stats.missing_hole,
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PcbCorrectness,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace mermaid::apps

@@ -1,0 +1,299 @@
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/arch/scalar.h"
+#include "mermaid/arch/type_registry.h"
+#include "mermaid/base/rng.h"
+
+namespace mermaid::arch {
+namespace {
+
+using Reg = TypeRegistry;
+
+ConvertContext Ctx(const ArchProfile& src, const ArchProfile& dst,
+                   ConvertStats* stats = nullptr,
+                   std::int64_t pointer_delta = 0) {
+  ConvertContext c;
+  c.src = &src;
+  c.dst = &dst;
+  c.stats = stats;
+  c.pointer_delta = pointer_delta;
+  return c;
+}
+
+TEST(Profiles, ShippedProfilesMatchThePaper) {
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  EXPECT_EQ(sun.byte_order, base::ByteOrder::kBig);
+  EXPECT_EQ(sun.float_format, FloatFormat::kIeee754);
+  EXPECT_EQ(sun.vm_page_size, 8192u);
+  EXPECT_EQ(ffly.byte_order, base::ByteOrder::kLittle);
+  EXPECT_EQ(ffly.float_format, FloatFormat::kVax);
+  EXPECT_EQ(ffly.vm_page_size, 1024u);
+  EXPECT_FALSE(sun.SameRepresentation(ffly));
+  EXPECT_TRUE(sun.SameRepresentation(sun));
+}
+
+TEST(ScalarAccess, IntegersFollowHostByteOrder) {
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::uint8_t buf[4];
+  StoreScalar<std::int32_t>(sun, buf, 0x11223344);
+  EXPECT_EQ(buf[0], 0x11);  // big-endian image
+  EXPECT_EQ(LoadScalar<std::int32_t>(sun, buf), 0x11223344);
+
+  StoreScalar<std::int32_t>(ffly, buf, 0x11223344);
+  EXPECT_EQ(buf[0], 0x44);  // little-endian image
+  EXPECT_EQ(LoadScalar<std::int32_t>(ffly, buf), 0x11223344);
+}
+
+TEST(ScalarAccess, FloatsUseHostFormat) {
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::uint8_t sun_img[8], ffly_img[8];
+  StoreScalar<double>(sun, sun_img, 2.5);
+  StoreScalar<double>(ffly, ffly_img, 2.5);
+  // The two images must genuinely differ (VAX-D vs big-endian IEEE)...
+  EXPECT_NE(std::memcmp(sun_img, ffly_img, 8), 0);
+  // ...yet both decode to the same value on their own host.
+  EXPECT_EQ(LoadScalar<double>(sun, sun_img), 2.5);
+  EXPECT_EQ(LoadScalar<double>(ffly, ffly_img), 2.5);
+}
+
+TEST(Convert, IntPageSunToFirefly) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  constexpr int kN = 256;
+  std::vector<std::uint8_t> page(kN * 4);
+  for (int i = 0; i < kN; ++i) {
+    StoreScalar<std::int32_t>(sun, page.data() + i * 4, i * 1000 - 7);
+  }
+  reg.ConvertBuffer(Reg::kInt, page, kN, Ctx(sun, ffly));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(LoadScalar<std::int32_t>(ffly, page.data() + i * 4),
+              i * 1000 - 7);
+  }
+}
+
+TEST(Convert, CharPageIsUntouched) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::vector<std::uint8_t> page = {'M', 'e', 'r', 'm', 'a', 'i', 'd', 0};
+  auto before = page;
+  reg.ConvertBuffer(Reg::kChar, page, page.size(), Ctx(sun, ffly));
+  EXPECT_EQ(page, before);
+}
+
+TEST(Convert, FloatAndDoubleCrossFormat) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  constexpr int kN = 64;
+  std::vector<std::uint8_t> fpage(kN * 4), dpage(kN * 8);
+  for (int i = 0; i < kN; ++i) {
+    StoreScalar<float>(sun, fpage.data() + i * 4, 0.25f * i - 3.5f);
+    StoreScalar<double>(sun, dpage.data() + i * 8, 1e10 / (i + 1));
+  }
+  reg.ConvertBuffer(Reg::kFloat, fpage, kN, Ctx(sun, ffly));
+  reg.ConvertBuffer(Reg::kDouble, dpage, kN, Ctx(sun, ffly));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(LoadScalar<float>(ffly, fpage.data() + i * 4), 0.25f * i - 3.5f);
+    EXPECT_EQ(LoadScalar<double>(ffly, dpage.data() + i * 8), 1e10 / (i + 1));
+  }
+  // And back again.
+  reg.ConvertBuffer(Reg::kFloat, fpage, kN, Ctx(ffly, sun));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(LoadScalar<float>(sun, fpage.data() + i * 4), 0.25f * i - 3.5f);
+  }
+}
+
+TEST(Convert, LossyEventsAreCounted) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::vector<std::uint8_t> page(4 * 4);
+  StoreScalar<float>(sun, page.data() + 0, 1.0f);
+  StoreScalar<float>(sun, page.data() + 4,
+                     std::numeric_limits<float>::infinity());
+  StoreScalar<float>(sun, page.data() + 8,
+                     std::numeric_limits<float>::quiet_NaN());
+  StoreScalar<float>(sun, page.data() + 12,
+                     std::numeric_limits<float>::denorm_min());
+  ConvertStats stats;
+  reg.ConvertBuffer(Reg::kFloat, page, 4, Ctx(sun, ffly, &stats));
+  EXPECT_EQ(stats.clamped_special, 2);
+  EXPECT_EQ(stats.underflowed_to_zero, 1);
+  EXPECT_EQ(stats.total_lossy(), 3);
+}
+
+TEST(Convert, PointerRelocation) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::vector<std::uint8_t> page(2 * 8);
+  StoreScalar<std::uint64_t>(sun, page.data(), 0x1000);
+  StoreScalar<std::uint64_t>(sun, page.data() + 8, 0x2000);
+  // DSM base differs by +0x500 on the destination host type.
+  reg.ConvertBuffer(Reg::kPointer, page, 2, Ctx(sun, ffly, nullptr, 0x500));
+  EXPECT_EQ(LoadScalar<std::uint64_t>(ffly, page.data()), 0x1500u);
+  EXPECT_EQ(LoadScalar<std::uint64_t>(ffly, page.data() + 8), 0x2500u);
+  // Converting back with the negated delta restores the original.
+  reg.ConvertBuffer(Reg::kPointer, page, 2, Ctx(ffly, sun, nullptr, -0x500));
+  EXPECT_EQ(LoadScalar<std::uint64_t>(sun, page.data()), 0x1000u);
+}
+
+// The paper's measured user-defined record: 3 ints, 3 floats, 4 shorts.
+TEST(Convert, UserDefinedRecord) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  TypeId rec = reg.RegisterRecord(
+      "paper_record",
+      {{Reg::kInt, 3}, {Reg::kFloat, 3}, {Reg::kShort, 4}});
+  EXPECT_EQ(reg.SizeOf(rec), 3 * 4 + 3 * 4 + 4 * 2);
+
+  constexpr int kN = 16;
+  const std::size_t sz = reg.SizeOf(rec);
+  std::vector<std::uint8_t> page(kN * sz);
+  for (int i = 0; i < kN; ++i) {
+    std::uint8_t* p = page.data() + i * sz;
+    for (int k = 0; k < 3; ++k)
+      StoreScalar<std::int32_t>(sun, p + 4 * k, i * 10 + k);
+    for (int k = 0; k < 3; ++k)
+      StoreScalar<float>(sun, p + 12 + 4 * k, i + 0.5f * k);
+    for (int k = 0; k < 4; ++k)
+      StoreScalar<std::int16_t>(sun, p + 24 + 2 * k,
+                                static_cast<std::int16_t>(-i * k));
+  }
+  reg.ConvertBuffer(rec, page, kN, Ctx(sun, ffly));
+  for (int i = 0; i < kN; ++i) {
+    const std::uint8_t* p = page.data() + i * sz;
+    for (int k = 0; k < 3; ++k)
+      EXPECT_EQ(LoadScalar<std::int32_t>(ffly, p + 4 * k), i * 10 + k);
+    for (int k = 0; k < 3; ++k)
+      EXPECT_EQ(LoadScalar<float>(ffly, p + 12 + 4 * k), i + 0.5f * k);
+    for (int k = 0; k < 4; ++k)
+      EXPECT_EQ(LoadScalar<std::int16_t>(ffly, p + 24 + 2 * k),
+                static_cast<std::int16_t>(-i * k));
+  }
+}
+
+TEST(Convert, NestedRecords) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  TypeId inner = reg.RegisterRecord("inner", {{Reg::kShort, 1}, {Reg::kInt, 1}});
+  TypeId outer =
+      reg.RegisterRecord("outer", {{inner, 2}, {Reg::kDouble, 1}});
+  EXPECT_EQ(reg.SizeOf(outer), 2 * 6 + 8);
+
+  std::vector<std::uint8_t> buf(reg.SizeOf(outer));
+  StoreScalar<std::int16_t>(sun, buf.data() + 0, -5);
+  StoreScalar<std::int32_t>(sun, buf.data() + 2, 100000);
+  StoreScalar<std::int16_t>(sun, buf.data() + 6, 77);
+  StoreScalar<std::int32_t>(sun, buf.data() + 8, -42);
+  StoreScalar<double>(sun, buf.data() + 12, 6.25);
+  reg.ConvertBuffer(outer, buf, 1, Ctx(sun, ffly));
+  EXPECT_EQ(LoadScalar<std::int16_t>(ffly, buf.data() + 0), -5);
+  EXPECT_EQ(LoadScalar<std::int32_t>(ffly, buf.data() + 2), 100000);
+  EXPECT_EQ(LoadScalar<std::int16_t>(ffly, buf.data() + 6), 77);
+  EXPECT_EQ(LoadScalar<std::int32_t>(ffly, buf.data() + 8), -42);
+  EXPECT_EQ(LoadScalar<double>(ffly, buf.data() + 12), 6.25);
+}
+
+TEST(Convert, CustomConverterIsInvokedPerElement) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  int calls = 0;
+  TypeId custom = reg.RegisterCustom(
+      "xor_blob", 4,
+      [&calls](std::span<std::uint8_t> bytes, const ConvertContext&) {
+        ++calls;
+        for (auto& b : bytes) b ^= 0xFF;
+      });
+  std::vector<std::uint8_t> buf = {1, 2, 3, 4, 5, 6, 7, 8};
+  reg.ConvertBuffer(custom, buf, 2, Ctx(sun, ffly));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(buf[0], 0xFE);
+  EXPECT_EQ(buf[7], 0xF7);
+}
+
+TEST(Convert, SameRepresentationIsIdentity) {
+  Reg reg;
+  const ArchProfile& ffly = FireflyProfile();
+  base::Rng rng(9);
+  std::vector<std::uint8_t> buf(512);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.NextU64());
+  auto before = buf;
+  reg.ConvertBuffer(Reg::kDouble, buf, buf.size() / 8, Ctx(ffly, ffly));
+  EXPECT_EQ(buf, before);  // VAX->VAX double pages move unchanged
+}
+
+TEST(Convert, ModeledCostsFollowTable3) {
+  Reg reg;
+  const ArchProfile& ffly = FireflyProfile();
+  // Table 3, 8 KB page on a Firefly: int 10.9 ms, short 11.0, float 21.6,
+  // double 28.9. Elements per 8 KB: 2048 / 4096 / 2048 / 1024.
+  auto page_ms = [&](TypeId t, int elems) {
+    return ToMillis(reg.ModeledElementCost(ffly, t) * elems);
+  };
+  EXPECT_NEAR(page_ms(Reg::kInt, 2048), 10.9, 0.2);
+  EXPECT_NEAR(page_ms(Reg::kShort, 4096), 11.0, 0.2);
+  EXPECT_NEAR(page_ms(Reg::kFloat, 2048), 21.6, 0.3);
+  EXPECT_NEAR(page_ms(Reg::kDouble, 1024), 28.9, 0.3);
+}
+
+// Property sweep: random values of every basic type survive a round trip
+// through the other representation (when in range).
+class ConvertRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvertRoundTrip, AllBasicTypes) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  base::Rng rng(GetParam());
+  constexpr int kN = 200;
+
+  // 64-bit longs.
+  std::vector<std::uint8_t> longs(kN * 8);
+  std::vector<std::int64_t> lvals(kN);
+  for (int i = 0; i < kN; ++i) {
+    lvals[i] = static_cast<std::int64_t>(rng.NextU64());
+    StoreScalar<std::int64_t>(ffly, longs.data() + i * 8, lvals[i]);
+  }
+  reg.ConvertBuffer(Reg::kLong, longs, kN, Ctx(ffly, sun));
+  reg.ConvertBuffer(Reg::kLong, longs, kN, Ctx(sun, ffly));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(LoadScalar<std::int64_t>(ffly, longs.data() + i * 8), lvals[i]);
+  }
+
+  // Doubles within VAX-D range: magnitudes in [2^-120, 2^120].
+  std::vector<std::uint8_t> dbl(kN * 8);
+  std::vector<double> dvals(kN);
+  for (int i = 0; i < kN; ++i) {
+    double mag = std::ldexp(1.0 + rng.NextDouble(),
+                            static_cast<int>(rng.NextRange(-120, 120)));
+    dvals[i] = rng.NextBool(0.5) ? mag : -mag;
+    StoreScalar<double>(sun, dbl.data() + i * 8, dvals[i]);
+  }
+  reg.ConvertBuffer(Reg::kDouble, dbl, kN, Ctx(sun, ffly));
+  reg.ConvertBuffer(Reg::kDouble, dbl, kN, Ctx(ffly, sun));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(LoadScalar<double>(sun, dbl.data() + i * 8), dvals[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvertRoundTrip,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace mermaid::arch

@@ -1,0 +1,98 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/describe.h"
+#include "mermaid/arch/scalar.h"
+
+namespace mermaid::arch {
+namespace {
+
+using Reg = TypeRegistry;
+
+struct Sample {
+  std::int32_t id;
+  float xy[2];
+  std::int16_t flags[2];
+};
+using SampleDesc =
+    Record<FieldOf<std::int32_t>, FieldOf<float, 2>, FieldOf<std::int16_t, 2>>;
+
+TEST(Describe, GeneratedDescriptorMatchesHandWritten) {
+  Reg reg;
+  TypeId generated = RegisterMirrored<Sample, SampleDesc>(reg, "sample");
+  TypeId manual = reg.RegisterRecord(
+      "sample_manual",
+      {{Reg::kInt, 1}, {Reg::kFloat, 2}, {Reg::kShort, 2}});
+  EXPECT_EQ(reg.SizeOf(generated), reg.SizeOf(manual));
+  EXPECT_EQ(reg.SizeOf(generated), sizeof(Sample));
+
+  // Conversion through the generated descriptor round-trips.
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::uint8_t buf[sizeof(Sample)];
+  StoreScalar<std::int32_t>(sun, buf + 0, 42);
+  StoreScalar<float>(sun, buf + 4, 1.25f);
+  StoreScalar<float>(sun, buf + 8, -2.5f);
+  StoreScalar<std::int16_t>(sun, buf + 12, 7);
+  StoreScalar<std::int16_t>(sun, buf + 14, -8);
+  ConvertContext ctx;
+  ctx.src = &sun;
+  ctx.dst = &ffly;
+  reg.ConvertBuffer(generated, buf, 1, ctx);
+  EXPECT_EQ(LoadScalar<std::int32_t>(ffly, buf + 0), 42);
+  EXPECT_EQ(LoadScalar<float>(ffly, buf + 4), 1.25f);
+  EXPECT_EQ(LoadScalar<float>(ffly, buf + 8), -2.5f);
+  EXPECT_EQ(LoadScalar<std::int16_t>(ffly, buf + 12), 7);
+  EXPECT_EQ(LoadScalar<std::int16_t>(ffly, buf + 14), -8);
+}
+
+struct Inner {
+  std::int16_t a;
+  std::int16_t b;
+};
+struct Outer {
+  Inner pair[2];
+  double weight;
+  std::uint64_t link;  // DSM pointer
+};
+using InnerDesc = Record<FieldOf<std::int16_t>, FieldOf<std::int16_t>>;
+using OuterDesc =
+    Record<FieldOfRecord<InnerDesc, 2>, FieldOf<double>, DsmPtrField<1>>;
+
+TEST(Describe, NestedRecordsAndPointers) {
+  Reg reg;
+  TypeId outer = RegisterMirrored<Outer, OuterDesc>(reg, "outer");
+  EXPECT_EQ(reg.SizeOf(outer), sizeof(Outer));
+
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::uint8_t buf[sizeof(Outer)];
+  StoreScalar<std::int16_t>(sun, buf + 0, 1);
+  StoreScalar<std::int16_t>(sun, buf + 2, 2);
+  StoreScalar<std::int16_t>(sun, buf + 4, 3);
+  StoreScalar<std::int16_t>(sun, buf + 6, 4);
+  StoreScalar<double>(sun, buf + 8, 0.125);
+  StoreScalar<std::uint64_t>(sun, buf + 16, 0x8000);
+  ConvertContext ctx;
+  ctx.src = &sun;
+  ctx.dst = &ffly;
+  ctx.pointer_delta = 0x1000;
+  reg.ConvertBuffer(outer, buf, 1, ctx);
+  EXPECT_EQ(LoadScalar<std::int16_t>(ffly, buf + 0), 1);
+  EXPECT_EQ(LoadScalar<std::int16_t>(ffly, buf + 6), 4);
+  EXPECT_EQ(LoadScalar<double>(ffly, buf + 8), 0.125);
+  EXPECT_EQ(LoadScalar<std::uint64_t>(ffly, buf + 16), 0x9000u);
+}
+
+TEST(Describe, CompileTimeSizes) {
+  static_assert(SampleDesc::kByteSize == 16);
+  static_assert(InnerDesc::kByteSize == 4);
+  static_assert(OuterDesc::kByteSize == 24);
+  static_assert(FieldOf<double, 3>::kByteSize == 24);
+  static_assert(DsmPtrField<2>::kByteSize == 16);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mermaid::arch

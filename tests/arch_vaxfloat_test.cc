@@ -1,0 +1,234 @@
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/vaxfloat.h"
+#include "mermaid/base/rng.h"
+
+namespace mermaid::arch {
+namespace {
+
+float RoundTripF(float v, VaxConvertResult* enc = nullptr,
+                 VaxConvertResult* dec = nullptr) {
+  std::uint8_t img[4];
+  auto r1 = IeeeToVaxF(v, img);
+  float out = 0;
+  auto r2 = VaxFToIeee(img, &out);
+  if (enc != nullptr) *enc = r1;
+  if (dec != nullptr) *dec = r2;
+  return out;
+}
+
+double RoundTripD(double v, VaxConvertResult* enc = nullptr,
+                  VaxConvertResult* dec = nullptr) {
+  std::uint8_t img[8];
+  auto r1 = IeeeToVaxD(v, img);
+  double out = 0;
+  auto r2 = VaxDToIeee(img, &out);
+  if (enc != nullptr) *enc = r1;
+  if (dec != nullptr) *dec = r2;
+  return out;
+}
+
+TEST(VaxF, SimpleValuesRoundTripExactly) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -0.5f, 2.0f, 3.1415927f,
+                  -123456.78f, 1e-20f, 1e20f, 65536.0f, 1.0f / 3.0f}) {
+    VaxConvertResult enc;
+    EXPECT_EQ(RoundTripF(v, &enc), v) << v;
+    EXPECT_EQ(enc, VaxConvertResult::kExact) << v;
+  }
+}
+
+TEST(VaxF, KnownBitPattern) {
+  // 1.0 in VAX-F: s=0, e=129 (since 1.0 = 0.1b * 2^1 biased by 128),
+  // f=0 -> word0 = 129 << 7 = 0x4080, word1 = 0.
+  std::uint8_t img[4];
+  EXPECT_EQ(IeeeToVaxF(1.0f, img), VaxConvertResult::kExact);
+  EXPECT_EQ(img[0], 0x80);
+  EXPECT_EQ(img[1], 0x40);
+  EXPECT_EQ(img[2], 0x00);
+  EXPECT_EQ(img[3], 0x00);
+}
+
+TEST(VaxF, NegativeSignBit) {
+  std::uint8_t img[4];
+  IeeeToVaxF(-1.0f, img);
+  EXPECT_EQ(img[1] & 0x80, 0x80);  // sign lives in bit 15 of word0
+  float out = 0;
+  VaxFToIeee(img, &out);
+  EXPECT_EQ(out, -1.0f);
+}
+
+TEST(VaxF, InfinityAndNanClampToMax) {
+  VaxConvertResult enc;
+  float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(RoundTripF(inf, &enc), VaxFMaxAsIeee());
+  EXPECT_EQ(enc, VaxConvertResult::kClampedSpecial);
+
+  EXPECT_EQ(RoundTripF(-inf, &enc), -VaxFMaxAsIeee());
+  EXPECT_EQ(enc, VaxConvertResult::kClampedSpecial);
+
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  float out = RoundTripF(nan, &enc);
+  EXPECT_EQ(enc, VaxConvertResult::kClampedSpecial);
+  EXPECT_FALSE(std::isnan(out));  // NaN has no VAX image
+}
+
+TEST(VaxF, OverflowClampsUnderflowFlushes) {
+  VaxConvertResult enc;
+  // Just above the VAX-F max magnitude.
+  float big = std::numeric_limits<float>::max();
+  EXPECT_EQ(RoundTripF(big, &enc), VaxFMaxAsIeee());
+  EXPECT_EQ(enc, VaxConvertResult::kClampedOverflow);
+
+  // IEEE denormal flushes to zero.
+  float denorm = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(RoundTripF(denorm, &enc), 0.0f);
+  EXPECT_EQ(enc, VaxConvertResult::kUnderflowedToZero);
+}
+
+TEST(VaxF, MaxIsRepresentable) {
+  VaxConvertResult enc;
+  EXPECT_EQ(RoundTripF(VaxFMaxAsIeee(), &enc), VaxFMaxAsIeee());
+  EXPECT_EQ(enc, VaxConvertResult::kExact);
+}
+
+TEST(VaxF, SmallVaxExponentsDecodeToIeeeDenormals) {
+  // VAX e=1 -> value 1.f * 2^-128, below the smallest IEEE normal 2^-126.
+  std::uint8_t img[4] = {0x80, 0x00, 0x00, 0x00};  // w0 = e=1<<7, f=0
+  float out = 0;
+  EXPECT_EQ(VaxFToIeee(img, &out), VaxConvertResult::kExact);
+  EXPECT_EQ(out, std::ldexp(1.0f, -128));
+}
+
+TEST(VaxF, ReservedOperandDecodesToNan) {
+  // s=1, e=0: VAX reserved operand.
+  std::uint8_t img[4] = {0x00, 0x80, 0x00, 0x00};
+  float out = 0;
+  EXPECT_EQ(VaxFToIeee(img, &out), VaxConvertResult::kReservedOperand);
+  EXPECT_TRUE(std::isnan(out));
+}
+
+TEST(VaxF, DirtyZeroDecodesToZero) {
+  // s=0, e=0 with nonzero fraction is still zero on a VAX.
+  std::uint8_t img[4] = {0x55, 0x00, 0x34, 0x12};
+  float out = 1.0f;
+  EXPECT_EQ(VaxFToIeee(img, &out), VaxConvertResult::kExact);
+  EXPECT_EQ(out, 0.0f);
+}
+
+TEST(VaxD, SimpleValuesRoundTripExactly) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, 3.141592653589793, -2.718281828459045,
+                   1e-30, 1e30, 12345678.9012345}) {
+    VaxConvertResult enc;
+    EXPECT_EQ(RoundTripD(v, &enc), v) << v;
+    EXPECT_EQ(enc, VaxConvertResult::kExact) << v;
+  }
+}
+
+TEST(VaxD, KnownBitPattern) {
+  std::uint8_t img[8];
+  EXPECT_EQ(IeeeToVaxD(1.0, img), VaxConvertResult::kExact);
+  EXPECT_EQ(img[0], 0x80);
+  EXPECT_EQ(img[1], 0x40);
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(img[i], 0x00) << i;
+}
+
+TEST(VaxD, RangeOverflowAndUnderflow) {
+  VaxConvertResult enc;
+  // IEEE double range (~1e308) vastly exceeds VAX-D (~1.7e38): clamp.
+  EXPECT_EQ(RoundTripD(1e100, &enc), VaxDMaxAsIeee());
+  EXPECT_EQ(enc, VaxConvertResult::kClampedOverflow);
+  EXPECT_EQ(RoundTripD(-1e100, &enc), -VaxDMaxAsIeee());
+
+  // Below ~2.9e-39 (2^-128): flush to zero.
+  EXPECT_EQ(RoundTripD(1e-100, &enc), 0.0);
+  EXPECT_EQ(enc, VaxConvertResult::kUnderflowedToZero);
+}
+
+TEST(VaxD, SpecialsClamp) {
+  VaxConvertResult enc;
+  EXPECT_EQ(RoundTripD(std::numeric_limits<double>::infinity(), &enc),
+            VaxDMaxAsIeee());
+  EXPECT_EQ(enc, VaxConvertResult::kClampedSpecial);
+  RoundTripD(std::numeric_limits<double>::quiet_NaN(), &enc);
+  EXPECT_EQ(enc, VaxConvertResult::kClampedSpecial);
+}
+
+TEST(VaxD, ReservedOperandDecodesToNan) {
+  std::uint8_t img[8] = {0x00, 0x80, 0, 0, 0, 0, 0, 0};
+  double out = 0;
+  EXPECT_EQ(VaxDToIeee(img, &out), VaxConvertResult::kReservedOperand);
+  EXPECT_TRUE(std::isnan(out));
+}
+
+// The paper: "floating point numbers can lose precision when they are
+// converted". VAX-D carries 55 fraction bits; decoding rounds to IEEE's 52.
+TEST(VaxD, ExcessPrecisionRoundsNotTruncates) {
+  // Build a VAX-D value with nonzero low fraction bits: 1 + 2^-55.
+  std::uint8_t img[8];
+  IeeeToVaxD(1.0, img);
+  img[6] |= 0x01;  // fraction bit <0> (2^-55): img[6] is the low byte of w3
+  double out = 0;
+  EXPECT_EQ(VaxDToIeee(img, &out), VaxConvertResult::kExact);
+  // 1 + 2^-55 rounds down to exactly 1.0 under round-to-nearest.
+  EXPECT_EQ(out, 1.0);
+
+  // 1 + 2^-53 + 2^-55 should round up to 1 + 2^-52.
+  IeeeToVaxD(1.0, img);
+  // f bits: bit 2 is 2^-53 relative, bit 0 is 2^-55.
+  img[6] |= 0x05;
+  EXPECT_EQ(VaxDToIeee(img, &out), VaxConvertResult::kExact);
+  EXPECT_EQ(out, 1.0 + std::ldexp(1.0, -52));
+}
+
+// Property sweep: random finite floats in VAX range round-trip exactly.
+class VaxRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VaxRoundTrip, RandomFloatsInRange) {
+  base::Rng rng(GetParam());
+  for (int i = 0; i < 20000; ++i) {
+    auto bits = static_cast<std::uint32_t>(rng.NextU64());
+    float v = std::bit_cast<float>(bits);
+    if (!std::isfinite(v)) continue;
+    VaxConvertResult enc;
+    float back = RoundTripF(v, &enc);
+    if (enc == VaxConvertResult::kExact) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(back),
+                std::bit_cast<std::uint32_t>(v))
+          << v;
+    } else {
+      float mag = std::fabs(v);
+      EXPECT_TRUE(mag > VaxFMaxAsIeee() || mag < std::ldexp(1.0f, -126))
+          << v << " lossy without being out of range";
+    }
+  }
+}
+
+TEST_P(VaxRoundTrip, RandomDoublesInRange) {
+  base::Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 20000; ++i) {
+    double v = std::bit_cast<double>(rng.NextU64());
+    if (!std::isfinite(v)) continue;
+    VaxConvertResult enc;
+    double back = RoundTripD(v, &enc);
+    if (enc == VaxConvertResult::kExact) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+                std::bit_cast<std::uint64_t>(v))
+          << v;
+    } else {
+      double mag = std::fabs(v);
+      EXPECT_TRUE(mag > VaxDMaxAsIeee() || mag < std::ldexp(1.0, -128))
+          << v << " lossy without being out of range";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VaxRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 1990));
+
+}  // namespace
+}  // namespace mermaid::arch

@@ -1,0 +1,170 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/base/bytes.h"
+#include "mermaid/base/rng.h"
+#include "mermaid/base/stats.h"
+#include "mermaid/base/wire.h"
+
+namespace mermaid::base {
+namespace {
+
+TEST(Bytes, SwapRoundTrip) {
+  EXPECT_EQ(ByteSwap16(0x1234), 0x3412);
+  EXPECT_EQ(ByteSwap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(ByteSwap64(0x0102030405060708ull), 0x0807060504030201ull);
+  EXPECT_EQ(ByteSwap(ByteSwap(std::int32_t{-12345})), -12345);
+}
+
+TEST(Bytes, ExplicitOrderLoadStore) {
+  std::uint8_t buf[4];
+  StoreAs<std::uint32_t>(buf, 0x11223344u, ByteOrder::kBig);
+  EXPECT_EQ(buf[0], 0x11);
+  EXPECT_EQ(buf[3], 0x44);
+  EXPECT_EQ(LoadAs<std::uint32_t>(buf, ByteOrder::kBig), 0x11223344u);
+  EXPECT_EQ(LoadAs<std::uint32_t>(buf, ByteOrder::kLittle), 0x44332211u);
+
+  StoreAs<std::uint16_t>(buf, 0xBEEF, ByteOrder::kLittle);
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[1], 0xBE);
+}
+
+TEST(Wire, RoundTripAllFieldTypes) {
+  WireWriter w;
+  w.U8(7);
+  w.U16(65535);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.I64(-42);
+  std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5};
+  w.Bytes(blob);
+  w.Str("mermaid");
+
+  auto buf = std::move(w).Take();
+  WireReader r(buf);
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_EQ(r.U16(), 65535);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_EQ(r.Bytes(), blob);
+  EXPECT_EQ(r.Str(), "mermaid");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, UnderrunSetsErrorAndReturnsZero) {
+  std::vector<std::uint8_t> buf = {0x01, 0x02};
+  WireReader r(buf);
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U64(), 0u);  // stays failed
+}
+
+TEST(Wire, BogusLengthPrefixFailsCleanly) {
+  WireWriter w;
+  w.U32(1u << 30);  // claims a 1 GB blob
+  auto buf = std::move(w).Take();
+  WireReader r(buf);
+  auto blob = r.Bytes();
+  EXPECT_TRUE(blob.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, RawAndRest) {
+  WireWriter w;
+  w.U8(1);
+  std::vector<std::uint8_t> tail = {9, 8, 7};
+  w.Raw(tail);
+  auto buf = std::move(w).Take();
+  WireReader r(buf);
+  EXPECT_EQ(r.U8(), 1);
+  auto rest = r.Rest();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 9);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.NextU64() != c.NextU64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextBelow(17), 17u);
+    auto v = r.NextRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    auto d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_FALSE(r.NextBool(0.0));
+  EXPECT_TRUE(r.NextBool(1.0));
+}
+
+TEST(Rng, SplitStreamsAreIndependentlyDeterministic) {
+  Rng parent1(7), parent2(7);
+  Rng child1 = parent1.Split();
+  Rng child2 = parent2.Split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.NextU64(), child2.NextU64());
+}
+
+TEST(Rng, RoughUniformity) {
+  Rng r(99);
+  int buckets[8] = {};
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++buckets[r.NextBelow(8)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kN / 8 - kN / 40);
+    EXPECT_LT(b, kN / 8 + kN / 40);
+  }
+}
+
+TEST(Stats, CountersAndDistributions) {
+  StatsRegistry s;
+  s.Inc("faults");
+  s.Inc("faults", 4);
+  EXPECT_EQ(s.Count("faults"), 5);
+  EXPECT_EQ(s.Count("missing"), 0);
+
+  s.Sample("delay_ms", 2.0);
+  s.Sample("delay_ms", 6.0);
+  Distribution d = s.DistCopy("delay_ms");
+  EXPECT_EQ(d.count(), 2);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.min(), 2.0);
+  EXPECT_DOUBLE_EQ(d.max(), 6.0);
+  EXPECT_EQ(s.DistCopy("missing").count(), 0);
+}
+
+TEST(Stats, MergeIsExact) {
+  StatsRegistry a, b;
+  a.Inc("x", 2);
+  b.Inc("x", 3);
+  b.Inc("y", 1);
+  a.Sample("d", 1.0);
+  b.Sample("d", 9.0);
+  b.Sample("d", 5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count("x"), 5);
+  EXPECT_EQ(a.Count("y"), 1);
+  Distribution d = a.DistCopy("d");
+  EXPECT_EQ(d.count(), 3);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 9.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace mermaid::base

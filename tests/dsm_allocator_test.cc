@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/type_registry.h"
+#include "mermaid/dsm/allocator.h"
+
+namespace mermaid::dsm {
+namespace {
+
+using Reg = arch::TypeRegistry;
+
+TEST(Allocator, OneTypePerPage) {
+  Reg reg;
+  Allocator alloc(&reg, 64 * 1024, 8192);
+  auto ints = alloc.Alloc(Reg::kInt, 10);
+  auto doubles = alloc.Alloc(Reg::kDouble, 10);
+  ASSERT_TRUE(ints.has_value());
+  ASSERT_TRUE(doubles.has_value());
+  // Different types never share a page.
+  EXPECT_NE(ints->addr / 8192, doubles->addr / 8192);
+  EXPECT_EQ(alloc.TypeOfPage(static_cast<PageNum>(ints->addr / 8192)),
+            Reg::kInt);
+  EXPECT_EQ(alloc.TypeOfPage(static_cast<PageNum>(doubles->addr / 8192)),
+            Reg::kDouble);
+}
+
+TEST(Allocator, SameTypeSharesPage) {
+  Reg reg;
+  Allocator alloc(&reg, 64 * 1024, 8192);
+  auto a = alloc.Alloc(Reg::kInt, 10);
+  auto b = alloc.Alloc(Reg::kInt, 10);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(b->addr, a->addr + 40);
+  EXPECT_EQ(a->addr / 8192, b->addr / 8192);
+  // Extent covers both allocations.
+  EXPECT_EQ(alloc.AllocBytesOfPage(static_cast<PageNum>(a->addr / 8192)),
+            80u);
+}
+
+TEST(Allocator, LargeAllocationSpansWholePages) {
+  Reg reg;
+  Allocator alloc(&reg, 256 * 1024, 8192);
+  auto a = alloc.Alloc(Reg::kInt, 5000);  // 20000 bytes -> 3 pages
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->addr % 8192, 0u);
+  EXPECT_EQ(a->touched_pages.size(), 3u);
+  EXPECT_EQ(alloc.AllocBytesOfPage(a->touched_pages[0]), 8192u);
+  EXPECT_EQ(alloc.AllocBytesOfPage(a->touched_pages[1]), 8192u);
+  EXPECT_EQ(alloc.AllocBytesOfPage(a->touched_pages[2]), 20000u - 2 * 8192u);
+}
+
+TEST(Allocator, NonPowerOfTwoRecordGetsPaddedStride) {
+  Reg reg;
+  // 3 shorts = 6 bytes -> stride 8.
+  arch::TypeId rec = reg.RegisterRecord("odd", {{Reg::kShort, 3}});
+  Allocator alloc(&reg, 64 * 1024, 8192);
+  auto a = alloc.Alloc(rec, 2);
+  auto b = alloc.Alloc(rec, 1);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(b->addr - a->addr, 16u);  // two 8-byte strides
+}
+
+TEST(Allocator, RegionExhaustion) {
+  Reg reg;
+  Allocator alloc(&reg, 16 * 1024, 8192);
+  EXPECT_TRUE(alloc.Alloc(Reg::kInt, 2048).has_value());   // page 0
+  EXPECT_TRUE(alloc.Alloc(Reg::kChar, 8192).has_value());  // page 1
+  EXPECT_FALSE(alloc.Alloc(Reg::kInt, 1).has_value());     // full
+}
+
+TEST(Allocator, RejectsBogusRequests) {
+  Reg reg;
+  Allocator alloc(&reg, 64 * 1024, 8192);
+  EXPECT_FALSE(alloc.Alloc(Reg::kInt, 0).has_value());
+  EXPECT_FALSE(alloc.Alloc(static_cast<arch::TypeId>(999), 1).has_value());
+  arch::TypeId big = reg.RegisterRecord("big", {{Reg::kDouble, 2000}});
+  EXPECT_FALSE(alloc.Alloc(big, 1).has_value());  // element > page
+}
+
+TEST(Allocator, ManyRandomAllocationsKeepInvariants) {
+  Reg reg;
+  arch::TypeId rec =
+      reg.RegisterRecord("r", {{Reg::kInt, 3}, {Reg::kFloat, 3},
+                               {Reg::kShort, 4}});
+  Allocator alloc(&reg, 1u << 20, 1024);
+  const arch::TypeId types[] = {Reg::kChar, Reg::kShort, Reg::kInt,
+                                Reg::kDouble, rec};
+  std::map<PageNum, arch::TypeId> page_types;
+  for (int i = 0; i < 200; ++i) {
+    arch::TypeId t = types[i % 5];
+    auto r = alloc.Alloc(t, 1 + (i * 7) % 50);
+    ASSERT_TRUE(r.has_value());
+    for (PageNum p : r->touched_pages) {
+      auto [it, inserted] = page_types.emplace(p, t);
+      EXPECT_EQ(it->second, t) << "page " << p << " holds two types";
+      EXPECT_LE(alloc.AllocBytesOfPage(p), 1024u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mermaid::dsm

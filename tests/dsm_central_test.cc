@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "mermaid/dsm/central.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::dsm {
+namespace {
+
+SystemConfig SmallConfig() {
+  SystemConfig cfg;
+  cfg.region_bytes = 256 * 1024;
+  return cfg;
+}
+
+TEST(CentralServer, ReadsAndWritesAcrossHosts) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile()});
+  sys.Start();
+  sys.SpawnThread(1, "ffly", [&](dsm::Host& h) {
+    CentralClient& cc = sys.central(h.id());
+    for (int i = 0; i < 32; ++i) cc.Write<std::int32_t>(4ull * i, i * i);
+    cc.Write<double>(1024, 2.75);
+    sys.sync(1).EventSet(1);
+  });
+  sys.SpawnThread(0, "sun", [&](dsm::Host& h) {
+    sys.sync(0).EventWait(1);
+    CentralClient& cc = sys.central(h.id());
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(cc.Read<std::int32_t>(4ull * i), i * i);
+    }
+    EXPECT_EQ(cc.Read<double>(1024), 2.75);
+    (void)h;
+  });
+  eng.Run();
+  EXPECT_EQ(sys.central_server().stats().Count("central.writes"), 33);
+  // Host 0 runs the server: its reads are local, not RPCs.
+  EXPECT_EQ(sys.central_server().stats().Count("central.reads"), 0);
+}
+
+TEST(CentralServer, HeterogeneousValuesSurviveServerRepresentation) {
+  // Server on a big-endian IEEE Sun; clients on VAX-float Fireflies. Data
+  // lives in the server's representation; clients convert per access.
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile()});
+  sys.Start();
+  sys.SpawnThread(1, "writer", [&](dsm::Host& h) {
+    CentralClient& cc = sys.central(h.id());
+    cc.Write<float>(0, -12.5f);
+    cc.Write<std::int64_t>(8, 0x1122334455667788);
+    cc.Write<std::int16_t>(16, -999);
+    sys.sync(1).EventSet(1);
+  });
+  sys.SpawnThread(2, "reader", [&](dsm::Host& h) {
+    sys.sync(2).EventWait(1);
+    CentralClient& cc = sys.central(h.id());
+    EXPECT_EQ(cc.Read<float>(0), -12.5f);
+    EXPECT_EQ(cc.Read<std::int64_t>(8), 0x1122334455667788);
+    EXPECT_EQ(cc.Read<std::int16_t>(16), -999);
+    (void)h;
+  });
+  eng.Run();
+}
+
+TEST(CentralServer, EveryRemoteAccessPaysARoundTrip) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile()});
+  sys.Start();
+  SimTime elapsed = 0;
+  sys.SpawnThread(1, "client", [&](dsm::Host& h) {
+    CentralClient& cc = sys.central(h.id());
+    const SimTime t0 = h.runtime().Now();
+    for (int i = 0; i < 10; ++i) cc.Read<std::int32_t>(0);
+    elapsed = h.runtime().Now() - t0;
+  });
+  eng.Run();
+  // 10 round trips of a few ms each: no caching means no fast path.
+  EXPECT_GT(elapsed, Milliseconds(30));
+  EXPECT_EQ(sys.central_server().stats().Count("central.reads"), 10);
+}
+
+TEST(CentralServer, ConcurrentWritersInterleaveSafely) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile(), &arch::FireflyProfile()});
+  sys.Start();
+  sys.SpawnThread(0, "master", [&](dsm::Host&) {
+    sys.sync(0).SemInit(1, 0);
+    for (int i = 1; i <= 3; ++i) {
+      sys.SpawnThread(i, "w" + std::to_string(i), [&, i](dsm::Host& h) {
+        CentralClient& cc = sys.central(h.id());
+        for (int k = 0; k < 20; ++k) {
+          cc.Write<std::int32_t>(4ull * (i * 100 + k), i * 1000 + k);
+        }
+        sys.sync(i).V(1);
+      });
+    }
+    for (int i = 1; i <= 3; ++i) sys.sync(0).P(1);
+    CentralClient& cc = sys.central(0);
+    for (int i = 1; i <= 3; ++i) {
+      for (int k = 0; k < 20; ++k) {
+        EXPECT_EQ(cc.Read<std::int32_t>(4ull * (i * 100 + k)), i * 1000 + k);
+      }
+    }
+  });
+  eng.Run();
+}
+
+}  // namespace
+}  // namespace mermaid::dsm

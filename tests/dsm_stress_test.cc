@@ -1,0 +1,162 @@
+// Stress scenarios: correctness under thrashing, block accessors crossing
+// pages, and heavy synchronization fan-out.
+#include <gtest/gtest.h>
+
+#include "mermaid/apps/matmul.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::dsm {
+namespace {
+
+using Reg = arch::TypeRegistry;
+
+// Even while pages ping-pong pathologically (MM2 + large pages + element
+// writes), every value must still be exactly right.
+TEST(DsmStress, ThrashingRunComputesCorrectResult) {
+  sim::Engine eng;
+  SystemConfig cfg;
+  cfg.region_bytes = 2u << 20;
+  cfg.referee_check_access = true;
+  cfg.net.jitter = 0.1;
+  cfg.net.seed = 9;
+  System sys(eng, cfg,
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile(), &arch::FireflyProfile()});
+  sys.Start();
+  apps::MatMulConfig mm;
+  mm.n = 64;
+  mm.num_threads = 8;
+  mm.worker_hosts = {1, 2, 3};
+  mm.round_robin_rows = true;
+  mm.element_writes = true;
+  apps::MatMulResult result;
+  SetupMatMul(sys, mm, &result);
+  eng.Run();
+  EXPECT_TRUE(result.done);
+  EXPECT_TRUE(result.correct);
+  // And it really did thrash relative to the data size: the three matrices
+  // fit in ~6 pages, yet several times that many page transfers occurred.
+  EXPECT_GT(sys.GatherStats().Count("dsm.pages_in"), 30);
+}
+
+TEST(DsmStress, BlockAccessorsSpanManyPagesAndConvert) {
+  sim::Engine eng;
+  SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  cfg.referee_check_access = true;
+  System sys(eng, cfg, {&arch::Sun3Profile(), &arch::FireflyProfile()});
+  sys.Start();
+  constexpr int kN = 6000;  // ~47 KB of doubles: 6 pages
+  sys.SpawnThread(0, "writer", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(0, Reg::kDouble, kN);
+    std::vector<double> vals(kN);
+    for (int i = 0; i < kN; ++i) vals[i] = 1e-3 * i - 2.5;
+    h.WriteBlock<double>(a, vals.data(), kN);
+    sys.sync(0).EventSet(1);
+  });
+  sys.SpawnThread(1, "reader", [&](Host& h) {
+    sys.sync(1).EventWait(1);
+    std::vector<double> got(kN);
+    h.ReadBlock<double>(0, kN, got.data());
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_EQ(got[i], 1e-3 * i - 2.5) << i;
+    }
+    // Partial reads at odd offsets within and across page boundaries.
+    std::vector<double> mid(100);
+    h.ReadBlock<double>(8ull * 1020, 100, mid.data());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(mid[i], 1e-3 * (1020 + i) - 2.5);
+    }
+  });
+  eng.Run();
+  EXPECT_GE(sys.host(1).stats().Count("dsm.pages_in"), 6);
+}
+
+TEST(DsmStress, ManySemaphoresAndBarriersConcurrently) {
+  sim::Engine eng;
+  SystemConfig cfg;
+  cfg.region_bytes = 128 * 1024;
+  System sys(eng, cfg,
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile()});
+  sys.Start();
+  constexpr int kRounds = 6;
+  constexpr int kThreads = 9;  // 3 per host
+  std::vector<int> round_counts(kRounds, 0);
+  std::mutex mu;
+  sys.SpawnThread(0, "master", [&](Host&) {
+    sys.sync(0).SemInit(1, 0);
+    for (int t = 0; t < kThreads; ++t) {
+      sys.SpawnThread(t % 3, "t" + std::to_string(t), [&, t](Host& h) {
+        for (int r = 0; r < kRounds; ++r) {
+          h.Compute(100.0 * ((t * 7 + r) % 5 + 1));
+          sys.sync(h.id()).Barrier(100 + r, kThreads);
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            ++round_counts[r];
+            // Barrier semantics: nobody reaches round r+1 before all of
+            // round r arrived.
+            if (r > 0) {
+              EXPECT_EQ(round_counts[r - 1], kThreads);
+            }
+          }
+        }
+        sys.sync(h.id()).V(1);
+      });
+    }
+    for (int t = 0; t < kThreads; ++t) sys.sync(0).P(1);
+  });
+  eng.Run();
+  for (int r = 0; r < kRounds; ++r) EXPECT_EQ(round_counts[r], kThreads);
+}
+
+// The same page bouncing between three architectures many times: repeated
+// conversion chains (IEEE -> VAX -> IEEE -> ...) must stay exact for values
+// representable in both formats.
+TEST(DsmStress, RepeatedConversionChainStaysExact) {
+  sim::Engine eng;
+  SystemConfig cfg;
+  cfg.region_bytes = 128 * 1024;
+  System sys(eng, cfg,
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::Sun3Profile()});
+  sys.Start();
+  constexpr int kHops = 12;
+  sys.SpawnThread(0, "master", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(0, Reg::kFloat, 64);
+    for (int i = 0; i < 64; ++i) h.Write<float>(a + 4 * i, 0.03125f * i);
+    sys.sync(0).SemInit(1, 0);
+    net::HostId ring[] = {1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0};
+    // Per-hop semaphores enforce the exact ring order, so the page really
+    // alternates Sun -> Ffly -> Sun -> ... representations.
+    for (int hop = 0; hop < kHops; ++hop) {
+      sys.sync(0).SemInit(100 + hop, 0);
+    }
+    for (int hop = 0; hop < kHops; ++hop) {
+      sys.SpawnThread(ring[hop], "hop" + std::to_string(hop),
+                      [&, hop](Host& hh) {
+                        sys.sync(hh.id()).P(100 + hop);
+                        for (int i = 0; i < 64; ++i) {
+                          float v = hh.Read<float>(4ull * i);
+                          hh.Write<float>(4ull * i, v + 1.0f);
+                        }
+                        if (hop + 1 < kHops) {
+                          sys.sync(hh.id()).V(100 + hop + 1);
+                        } else {
+                          sys.sync(hh.id()).V(1);
+                        }
+                      });
+    }
+    sys.sync(0).V(100);  // start the chain
+    sys.sync(0).P(1);    // wait for the last hop
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(h.Read<float>(4ull * i), 0.03125f * i + kHops) << i;
+    }
+  });
+  eng.Run();
+  EXPECT_GE(sys.GatherStats().Count("dsm.conversions"), 8);
+}
+
+}  // namespace
+}  // namespace mermaid::dsm

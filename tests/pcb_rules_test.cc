@@ -1,0 +1,134 @@
+// Unit tests of the PCB design-rule checker on hand-built miniature boards,
+// independent of the generator and of DSM.
+#include <gtest/gtest.h>
+
+#include "mermaid/apps/pcb.h"
+
+namespace mermaid::apps {
+namespace {
+
+// Builds a column-major image from row-major ASCII art:
+// '.'=empty '#'=copper 'O'=pad '@'=hole.
+std::vector<std::uint8_t> Board(const std::vector<std::string>& rows) {
+  const int height = static_cast<int>(rows.size());
+  const int width = static_cast<int>(rows[0].size());
+  std::vector<std::uint8_t> img(static_cast<std::size_t>(height) * width,
+                                kEmpty);
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      std::uint8_t v = kEmpty;
+      switch (rows[r][c]) {
+        case '#': v = kCopper; break;
+        case 'O': v = kPad; break;
+        case '@': v = kHole; break;
+        default: v = kEmpty;
+      }
+      img[static_cast<std::size_t>(c) * height + r] = v;
+    }
+  }
+  return img;
+}
+
+PcbStats Check(const std::vector<std::string>& rows,
+               std::vector<std::uint8_t>* overlay = nullptr) {
+  const int height = static_cast<int>(rows.size());
+  const int width = static_cast<int>(rows[0].size());
+  std::vector<std::uint8_t> ov;
+  auto img = Board(rows);
+  return CheckBoardReference(img, height, width,
+                             overlay != nullptr ? overlay : &ov);
+}
+
+TEST(PcbRules, WideTraceIsClean) {
+  auto stats = Check({
+      "..........",
+      ".########.",
+      ".########.",
+      ".########.",
+      "..........",
+  });
+  EXPECT_EQ(stats.narrow, 0);
+  EXPECT_EQ(stats.spacing, 0);
+  EXPECT_EQ(stats.missing_hole, 0);
+}
+
+TEST(PcbRules, TwoPixelTraceIsNarrow) {
+  auto stats = Check({
+      "..........",
+      ".########.",
+      ".########.",
+      "..........",
+  });
+  EXPECT_EQ(stats.narrow, 16);  // every trace pixel is in a 2-wide ribbon
+  EXPECT_EQ(stats.spacing, 0);
+}
+
+TEST(PcbRules, OnePixelGapIsSpacingViolation) {
+  auto stats = Check({
+      "..........",
+      ".########.",
+      ".########.",
+      ".########.",
+      "..........",
+      ".########.",
+      ".########.",
+      ".########.",
+      "..........",
+  });
+  // The single empty row between the two traces: 8 squeezed pixels.
+  EXPECT_EQ(stats.spacing, 8);
+  EXPECT_EQ(stats.narrow, 0);
+}
+
+TEST(PcbRules, PadWithHoleIsClean) {
+  std::vector<std::string> rows(12, std::string(12, '.'));
+  for (int r = 1; r <= 10; ++r) {
+    for (int c = 1; c <= 10; ++c) rows[r][c] = 'O';
+  }
+  rows[5][5] = rows[5][6] = rows[6][5] = rows[6][6] = '@';
+  auto stats = Check(rows);
+  EXPECT_EQ(stats.missing_hole, 0);
+  EXPECT_EQ(stats.narrow, 0);
+}
+
+TEST(PcbRules, PadWithoutHoleFlagsEveryPadPixel) {
+  std::vector<std::string> rows(12, std::string(12, '.'));
+  for (int r = 1; r <= 10; ++r) {
+    for (int c = 1; c <= 10; ++c) rows[r][c] = 'O';
+  }
+  std::vector<std::uint8_t> overlay;
+  auto stats = Check(rows, &overlay);
+  EXPECT_EQ(stats.missing_hole, 100);
+  // Overlay marks exactly the pad pixels.
+  int marked = 0;
+  for (auto v : overlay) marked += v;
+  EXPECT_EQ(marked, 100);
+}
+
+TEST(PcbRules, BoardEdgesAreNotViolations) {
+  // A 3x4 blob flush against the border: the outside counts as empty but
+  // creates neither spacing nor width violations.
+  auto stats = Check({
+      "###.......",
+      "###.......",
+      "###.......",
+      "###.......",
+  });
+  EXPECT_EQ(stats.spacing, 0);
+  EXPECT_EQ(stats.narrow, 0);
+}
+
+TEST(PcbRules, HoleCountsAsConductorForWidth) {
+  // A pad whose hole pixels sit inside must not create narrow-width
+  // violations around the hole.
+  std::vector<std::string> rows(12, std::string(12, '.'));
+  for (int r = 1; r <= 10; ++r) {
+    for (int c = 1; c <= 10; ++c) rows[r][c] = 'O';
+  }
+  rows[5][5] = rows[5][6] = rows[6][5] = rows[6][6] = '@';
+  auto stats = Check(rows);
+  EXPECT_EQ(stats.narrow, 0);
+}
+
+}  // namespace
+}  // namespace mermaid::apps

@@ -1,0 +1,148 @@
+// Edge cases of the virtual-time engine and channel semantics.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::sim {
+namespace {
+
+TEST(SimEdge, ZeroDelayKeepsRunningAtSameTime) {
+  Engine eng;
+  std::vector<int> order;
+  eng.Spawn("a", [&] {
+    order.push_back(1);
+    eng.Delay(0);
+    order.push_back(2);
+    EXPECT_EQ(eng.Now(), 0);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimEdge, DaemonSpawnsDaemon) {
+  Engine eng;
+  Chan<int> ch(eng);
+  int got = 0;
+  eng.Spawn(
+      "outer",
+      [&] {
+        eng.Spawn(
+            "inner",
+            [&] {
+              while (auto v = ch.Recv()) got += *v;
+            },
+            /*daemon=*/true);
+        while (ch.Recv()) {
+        }
+      },
+      /*daemon=*/true);
+  eng.Spawn("app", [&] {
+    ch.Send(5);
+    eng.Delay(Milliseconds(1));
+  });
+  eng.Run();
+  // One of the two daemons received it; either way the engine unwound.
+  EXPECT_LE(got, 5);
+}
+
+TEST(SimEdge, ManyChannelsManyWaiters) {
+  Engine eng;
+  constexpr int kN = 30;
+  std::vector<Chan<int>> chans;
+  for (int i = 0; i < kN; ++i) chans.emplace_back(eng);
+  int sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    eng.Spawn("recv" + std::to_string(i), [&, i] {
+      auto v = chans[i].Recv();
+      if (v) sum += *v;
+    });
+  }
+  eng.Spawn("send", [&] {
+    for (int i = kN - 1; i >= 0; --i) {
+      chans[i].Send(i, Microseconds(10 * (i + 1)));
+    }
+  });
+  eng.Run();
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(SimEdge, CompetingReceiversEachGetOneMessage) {
+  Engine eng;
+  Chan<int> ch(eng);
+  int received = 0;
+  for (int i = 0; i < 4; ++i) {
+    eng.Spawn("r" + std::to_string(i), [&] {
+      auto v = ch.Recv();
+      if (v.has_value()) ++received;
+    });
+  }
+  eng.Spawn("s", [&] {
+    for (int i = 0; i < 4; ++i) ch.Send(i, Microseconds(i));
+  });
+  eng.Run();
+  EXPECT_EQ(received, 4);
+}
+
+TEST(SimEdge, TimeoutZeroBehavesLikeTry) {
+  Engine eng;
+  Chan<int> ch(eng);
+  eng.Spawn("p", [&] {
+    bool timed_out = false;
+    auto v = ch.RecvUntil(eng.Now(), &timed_out);
+    EXPECT_FALSE(v.has_value());
+    EXPECT_TRUE(timed_out);
+    EXPECT_EQ(eng.Now(), 0);
+  });
+  eng.Run();
+}
+
+TEST(SimEdge, NestedSpawnDepth) {
+  Engine eng;
+  int depth_reached = 0;
+  std::function<void(int)> spawn_chain = [&](int depth) {
+    depth_reached = std::max(depth_reached, depth);
+    if (depth < 20) {
+      eng.Spawn("d" + std::to_string(depth), [&, depth] {
+        eng.Delay(Microseconds(1));
+        spawn_chain(depth + 1);
+      });
+    }
+  };
+  eng.Spawn("root", [&] { spawn_chain(0); });
+  eng.Run();
+  EXPECT_EQ(depth_reached, 20);
+}
+
+TEST(SimEdge, RunWithNoProcessesCompletesImmediately) {
+  Engine eng;
+  EXPECT_EQ(eng.Run(), 0);
+}
+
+TEST(SimEdge, SwitchCountIsDeterministic) {
+  auto run = [] {
+    Engine eng;
+    Chan<int> ch(eng);
+    for (int i = 0; i < 8; ++i) {
+      eng.Spawn("p" + std::to_string(i), [&, i] {
+        for (int k = 0; k < 10; ++k) {
+          eng.Delay(Microseconds(i * 3 + k));
+          ch.Send(1, Microseconds(2));
+        }
+      });
+    }
+    eng.Spawn("sink", [&] {
+      for (int k = 0; k < 80; ++k) {
+        if (!ch.Recv()) break;
+      }
+    });
+    eng.Run();
+    return eng.switch_count();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mermaid::sim

@@ -1,0 +1,287 @@
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/base/time.h"
+#include "mermaid/sim/engine.h"
+#include "mermaid/sim/realtime.h"
+#include "mermaid/sim/runtime.h"
+
+namespace mermaid::sim {
+namespace {
+
+TEST(SimEngine, DelayAdvancesVirtualTime) {
+  Engine eng;
+  SimTime observed = -1;
+  eng.Spawn("p", [&] {
+    eng.Delay(Milliseconds(5));
+    observed = eng.Now();
+  });
+  SimTime end = eng.Run();
+  EXPECT_EQ(observed, Milliseconds(5));
+  EXPECT_EQ(end, Milliseconds(5));
+}
+
+TEST(SimEngine, ParallelDelaysOverlapInVirtualTime) {
+  Engine eng;
+  for (int i = 0; i < 10; ++i) {
+    eng.Spawn("p" + std::to_string(i), [&] { eng.Delay(Milliseconds(100)); });
+  }
+  // Ten processes each "compute" 100 ms concurrently: virtual end time is
+  // 100 ms, not 1 s.
+  EXPECT_EQ(eng.Run(), Milliseconds(100));
+}
+
+TEST(SimEngine, ChannelTransfersMessageWithLatency) {
+  Engine eng;
+  Chan<int> ch(eng);
+  SimTime recv_time = -1;
+  int value = 0;
+  eng.Spawn("sender", [&] {
+    eng.Delay(Milliseconds(1));
+    ch.Send(42, /*delay=*/Milliseconds(3));
+  });
+  eng.Spawn("receiver", [&] {
+    auto v = ch.Recv();
+    ASSERT_TRUE(v.has_value());
+    value = *v;
+    recv_time = eng.Now();
+  });
+  eng.Run();
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(recv_time, Milliseconds(4));
+}
+
+TEST(SimEngine, MessagesArriveInDeliveryTimeOrder) {
+  Engine eng;
+  Chan<int> ch(eng);
+  std::vector<int> order;
+  eng.Spawn("sender", [&] {
+    ch.Send(3, Milliseconds(30));
+    ch.Send(1, Milliseconds(10));
+    ch.Send(2, Milliseconds(20));
+  });
+  eng.Spawn("receiver", [&] {
+    for (int i = 0; i < 3; ++i) {
+      auto v = ch.Recv();
+      ASSERT_TRUE(v.has_value());
+      order.push_back(*v);
+    }
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngine, FifoAmongEqualDeliveryTimes) {
+  Engine eng;
+  Chan<int> ch(eng);
+  std::vector<int> order;
+  eng.Spawn("sender", [&] {
+    for (int i = 0; i < 5; ++i) ch.Send(i, Milliseconds(1));
+  });
+  eng.Spawn("receiver", [&] {
+    for (int i = 0; i < 5; ++i) order.push_back(*ch.Recv());
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngine, RecvTimeoutFiresAtDeadline) {
+  Engine eng;
+  Chan<int> ch(eng);
+  bool timed_out = false;
+  SimTime when = -1;
+  eng.Spawn("receiver", [&] {
+    auto v = ch.RecvUntil(Milliseconds(7), &timed_out);
+    EXPECT_FALSE(v.has_value());
+    when = eng.Now();
+  });
+  eng.Run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(when, Milliseconds(7));
+}
+
+TEST(SimEngine, MessageBeatsTimeout) {
+  Engine eng;
+  Chan<int> ch(eng);
+  bool timed_out = true;
+  eng.Spawn("sender", [&] { ch.Send(5, Milliseconds(2)); });
+  eng.Spawn("receiver", [&] {
+    auto v = ch.RecvUntil(Milliseconds(10), &timed_out);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 5);
+    EXPECT_EQ(eng.Now(), Milliseconds(2));
+  });
+  eng.Run();
+  EXPECT_FALSE(timed_out);
+}
+
+TEST(SimEngine, DaemonUnwindsOnShutdown) {
+  Engine eng;
+  Chan<int> ch(eng);
+  int served = 0;
+  bool daemon_exited = false;
+  eng.Spawn(
+      "server",
+      [&] {
+        while (auto m = ch.Recv()) ++served;
+        daemon_exited = true;
+      },
+      /*daemon=*/true);
+  eng.Spawn("client", [&] {
+    ch.Send(1);
+    ch.Send(2);
+    eng.Delay(Milliseconds(1));
+  });
+  eng.Run();
+  EXPECT_EQ(served, 2);
+  EXPECT_TRUE(daemon_exited);
+}
+
+TEST(SimEngine, SpawnFromWithinProcess) {
+  Engine eng;
+  std::vector<int> order;
+  eng.Spawn("parent", [&] {
+    order.push_back(1);
+    eng.Spawn("child", [&] { order.push_back(3); });
+    order.push_back(2);
+    eng.Delay(Milliseconds(1));
+    order.push_back(4);
+  });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimEngine, TryRecvDoesNotBlock) {
+  Engine eng;
+  Chan<int> ch(eng);
+  eng.Spawn("p", [&] {
+    EXPECT_FALSE(ch.TryRecv().has_value());
+    ch.Send(9, Milliseconds(1));
+    EXPECT_FALSE(ch.TryRecv().has_value());  // not yet deliverable
+    eng.Delay(Milliseconds(1));
+    auto v = ch.TryRecv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+  });
+  eng.Run();
+}
+
+// Runs a mixed workload twice and requires identical event interleavings.
+TEST(SimEngine, DeterministicInterleaving) {
+  auto run_once = [](std::vector<std::string>& trace) -> std::uint64_t {
+    Engine eng;
+    Chan<std::string> ch(eng);
+    for (int i = 0; i < 4; ++i) {
+      eng.Spawn("w" + std::to_string(i), [&, i] {
+        for (int k = 0; k < 5; ++k) {
+          eng.Delay(Microseconds(100 * (i + 1)));
+          ch.Send("w" + std::to_string(i) + "/" + std::to_string(k),
+                  Microseconds(50));
+        }
+      });
+    }
+    eng.Spawn("collector", [&] {
+      for (int n = 0; n < 20; ++n) {
+        auto m = ch.Recv();
+        if (!m) break;
+        trace.push_back(*m);
+      }
+    });
+    eng.Run();
+    return eng.switch_count();
+  };
+  std::vector<std::string> t1, t2;
+  auto s1 = run_once(t1);
+  auto s2 = run_once(t2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(t1.size(), 20u);
+}
+
+TEST(SimEngine, ManyProcessesStress) {
+  Engine eng;
+  Chan<int> ch(eng);
+  constexpr int kProcs = 50;
+  constexpr int kMsgs = 40;
+  long long sum = 0;
+  for (int i = 0; i < kProcs; ++i) {
+    eng.Spawn("p" + std::to_string(i), [&, i] {
+      for (int k = 0; k < kMsgs; ++k) {
+        eng.Delay(Microseconds(1 + (i * 7 + k) % 13));
+        ch.Send(1);
+      }
+    });
+  }
+  eng.Spawn("sink", [&] {
+    for (int n = 0; n < kProcs * kMsgs; ++n) {
+      auto v = ch.Recv();
+      if (!v) break;
+      sum += *v;
+    }
+  });
+  eng.Run();
+  EXPECT_EQ(sum, kProcs * kMsgs);
+}
+
+TEST(RealTimeRuntime, ChannelAndDelayWork) {
+  RealTimeRuntime rt(/*time_scale=*/1000.0);
+  Chan<int> ch(rt);
+  int got = 0;
+  rt.Spawn("sender", [&] {
+    rt.Delay(Milliseconds(50));  // 50 us wall time at scale 1000
+    ch.Send(7);
+  });
+  rt.Spawn("receiver", [&] {
+    auto v = ch.Recv();
+    if (v) got = *v;
+  });
+  rt.Run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(RealTimeRuntime, DaemonShutdownOnRun) {
+  RealTimeRuntime rt(1000.0);
+  Chan<int> ch(rt);
+  Chan<int> ack(rt);
+  std::atomic<int> served{0};
+  std::atomic<bool> exited{false};
+  rt.Spawn(
+      "server",
+      [&] {
+        while (auto m = ch.Recv()) {
+          served.fetch_add(*m);
+          ack.Send(1);
+        }
+        exited = true;
+      },
+      /*daemon=*/true);
+  rt.Spawn("client", [&] {
+    ch.Send(3);
+    ch.Send(4);
+    // Wait for both to be served: shutdown may otherwise legally race the
+    // daemon and discard queued messages.
+    ack.Recv();
+    ack.Recv();
+  });
+  rt.Run();
+  EXPECT_TRUE(exited.load());
+  EXPECT_EQ(served.load(), 7);
+}
+
+TEST(RealTimeRuntime, RecvTimeout) {
+  RealTimeRuntime rt(1000.0);
+  Chan<int> ch(rt);
+  bool timed_out = false;
+  rt.Spawn("receiver", [&] {
+    auto v = ch.RecvUntil(rt.Now() + Milliseconds(30), &timed_out);
+    EXPECT_FALSE(v.has_value());
+  });
+  rt.Run();
+  EXPECT_TRUE(timed_out);
+}
+
+}  // namespace
+}  // namespace mermaid::sim

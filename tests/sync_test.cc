@@ -1,0 +1,167 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::sync {
+namespace {
+
+using dsm::System;
+using dsm::SystemConfig;
+
+SystemConfig SmallConfig() {
+  SystemConfig cfg;
+  cfg.region_bytes = 64 * 1024;
+  return cfg;
+}
+
+TEST(Sync, SemaphoreMutualExclusion) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile()});
+  sys.Start();
+  int in_section = 0;
+  int max_in_section = 0;
+  int entries = 0;
+  sys.SpawnThread(0, "master", [&](dsm::Host& h) {
+    sys.sync(0).SemInit(1, 1);
+    sys.sync(0).SemInit(2, 0);
+    for (int i = 0; i < 3; ++i) {
+      sys.SpawnThread(i, "t" + std::to_string(i), [&, i](dsm::Host& hh) {
+        for (int k = 0; k < 10; ++k) {
+          sys.sync(i).P(1);
+          ++in_section;
+          max_in_section = std::max(max_in_section, in_section);
+          hh.Compute(100);  // hold the lock across virtual time
+          --in_section;
+          ++entries;
+          sys.sync(i).V(1);
+        }
+        sys.sync(i).V(2);
+      });
+    }
+    for (int i = 0; i < 3; ++i) sys.sync(0).P(2);
+    (void)h;
+  });
+  eng.Run();
+  EXPECT_EQ(entries, 30);
+  EXPECT_EQ(max_in_section, 1);
+}
+
+TEST(Sync, SemaphoreAsResourcePool) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(), {&arch::Sun3Profile(), &arch::Sun3Profile()});
+  sys.Start();
+  int concurrent = 0, peak = 0;
+  sys.SpawnThread(0, "master", [&](dsm::Host&) {
+    sys.sync(0).SemInit(1, 2);  // two slots
+    sys.sync(0).SemInit(2, 0);
+    for (int i = 0; i < 6; ++i) {
+      sys.SpawnThread(i % 2, "t" + std::to_string(i), [&, i](dsm::Host& hh) {
+        sys.sync(i % 2).P(1);
+        ++concurrent;
+        peak = std::max(peak, concurrent);
+        hh.Compute(1000);
+        --concurrent;
+        sys.sync(i % 2).V(1);
+        sys.sync(i % 2).V(2);
+      });
+    }
+    for (int i = 0; i < 6; ++i) sys.sync(0).P(2);
+  });
+  eng.Run();
+  EXPECT_LE(peak, 2);
+  EXPECT_GE(peak, 2);  // both slots do get used
+}
+
+TEST(Sync, EventsBroadcastToAllWaiters) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile()});
+  sys.Start();
+  int released = 0;
+  sys.SpawnThread(0, "master", [&](dsm::Host& h) {
+    sys.sync(0).SemInit(2, 0);
+    for (int i = 0; i < 4; ++i) {
+      sys.SpawnThread(i % 2, "w" + std::to_string(i), [&, i](dsm::Host&) {
+        sys.sync(i % 2).EventWait(9);
+        ++released;
+        sys.sync(i % 2).V(2);
+      });
+    }
+    h.Compute(10000);
+    EXPECT_EQ(released, 0);  // nobody through before the event fires
+    sys.sync(0).EventSet(9);
+    for (int i = 0; i < 4; ++i) sys.sync(0).P(2);
+    EXPECT_EQ(released, 4);
+    // A wait on an already-set event passes immediately.
+    sys.sync(0).EventWait(9);
+    sys.sync(0).EventClear(9);
+  });
+  eng.Run();
+}
+
+TEST(Sync, BarrierReleasesExactlyTogether) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile()});
+  sys.Start();
+  std::vector<SimTime> release_times;
+  sys.SpawnThread(0, "master", [&](dsm::Host&) {
+    sys.sync(0).SemInit(2, 0);
+    for (int i = 0; i < 3; ++i) {
+      sys.SpawnThread(i, "b" + std::to_string(i), [&, i](dsm::Host& hh) {
+        hh.Compute(1000.0 * (i + 1));  // arrive at different times
+        sys.sync(i).Barrier(5, 3);
+        release_times.push_back(hh.runtime().Now());
+        sys.sync(i).V(2);
+      });
+    }
+    for (int i = 0; i < 3; ++i) sys.sync(0).P(2);
+  });
+  eng.Run();
+  ASSERT_EQ(release_times.size(), 3u);
+  // All released after the last arrival (its compute = 3000 units).
+  for (SimTime t : release_times) {
+    EXPECT_GE(t, release_times.front());
+  }
+  const SimTime spread = *std::max_element(release_times.begin(),
+                                           release_times.end()) -
+                         *std::min_element(release_times.begin(),
+                                           release_times.end());
+  // Releases differ only by message latency, well under 10 ms.
+  EXPECT_LT(spread, Milliseconds(10));
+}
+
+TEST(Sync, ManyPVCyclesAcrossHosts) {
+  sim::Engine eng;
+  System sys(eng, SmallConfig(),
+             {&arch::Sun3Profile(), &arch::FireflyProfile()});
+  sys.Start();
+  int pings = 0;
+  sys.SpawnThread(0, "ping", [&](dsm::Host&) {
+    sys.sync(0).SemInit(1, 0);
+    sys.sync(0).SemInit(2, 0);
+    sys.SpawnThread(1, "pong", [&](dsm::Host&) {
+      for (int i = 0; i < 20; ++i) {
+        sys.sync(1).P(1);
+        sys.sync(1).V(2);
+      }
+    });
+    for (int i = 0; i < 20; ++i) {
+      sys.sync(0).V(1);
+      sys.sync(0).P(2);
+      ++pings;
+    }
+  });
+  eng.Run();
+  EXPECT_EQ(pings, 20);
+}
+
+}  // namespace
+}  // namespace mermaid::sync
