@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_phys_vs_dsm.dir/bench_fig3_phys_vs_dsm.cc.o"
+  "CMakeFiles/bench_fig3_phys_vs_dsm.dir/bench_fig3_phys_vs_dsm.cc.o.d"
+  "bench_fig3_phys_vs_dsm"
+  "bench_fig3_phys_vs_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_phys_vs_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mm_hetero.dir/bench_fig4_mm_hetero.cc.o"
+  "CMakeFiles/bench_fig4_mm_hetero.dir/bench_fig4_mm_hetero.cc.o.d"
+  "bench_fig4_mm_hetero"
+  "bench_fig4_mm_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mm_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_conversion.dir/bench_table3_conversion.cc.o"
+  "CMakeFiles/bench_table3_conversion.dir/bench_table3_conversion.cc.o.d"
+  "bench_table3_conversion"
+  "bench_table3_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

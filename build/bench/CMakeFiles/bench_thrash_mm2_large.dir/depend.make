@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thrash_mm2_large.
+# This may be replaced when dependencies are built.

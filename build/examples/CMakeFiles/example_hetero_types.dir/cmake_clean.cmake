@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hetero_types.dir/hetero_types.cpp.o"
+  "CMakeFiles/example_hetero_types.dir/hetero_types.cpp.o.d"
+  "example_hetero_types"
+  "example_hetero_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hetero_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_multiply.dir/matrix_multiply.cpp.o"
+  "CMakeFiles/example_matrix_multiply.dir/matrix_multiply.cpp.o.d"
+  "example_matrix_multiply"
+  "example_matrix_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pcb_inspect.dir/pcb_inspect.cpp.o"
+  "CMakeFiles/example_pcb_inspect.dir/pcb_inspect.cpp.o.d"
+  "example_pcb_inspect"
+  "example_pcb_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pcb_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mermaid/apps/matmul.cc" "src/CMakeFiles/mermaid.dir/mermaid/apps/matmul.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/apps/matmul.cc.o.d"
+  "/root/repo/src/mermaid/apps/matmul_mp.cc" "src/CMakeFiles/mermaid.dir/mermaid/apps/matmul_mp.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/apps/matmul_mp.cc.o.d"
+  "/root/repo/src/mermaid/apps/pcb.cc" "src/CMakeFiles/mermaid.dir/mermaid/apps/pcb.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/apps/pcb.cc.o.d"
+  "/root/repo/src/mermaid/arch/profiles.cc" "src/CMakeFiles/mermaid.dir/mermaid/arch/profiles.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/arch/profiles.cc.o.d"
+  "/root/repo/src/mermaid/arch/type_registry.cc" "src/CMakeFiles/mermaid.dir/mermaid/arch/type_registry.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/arch/type_registry.cc.o.d"
+  "/root/repo/src/mermaid/arch/vaxfloat.cc" "src/CMakeFiles/mermaid.dir/mermaid/arch/vaxfloat.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/arch/vaxfloat.cc.o.d"
+  "/root/repo/src/mermaid/base/rng.cc" "src/CMakeFiles/mermaid.dir/mermaid/base/rng.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/base/rng.cc.o.d"
+  "/root/repo/src/mermaid/base/stats.cc" "src/CMakeFiles/mermaid.dir/mermaid/base/stats.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/base/stats.cc.o.d"
+  "/root/repo/src/mermaid/base/wire.cc" "src/CMakeFiles/mermaid.dir/mermaid/base/wire.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/base/wire.cc.o.d"
+  "/root/repo/src/mermaid/dsm/allocator.cc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/allocator.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/allocator.cc.o.d"
+  "/root/repo/src/mermaid/dsm/central.cc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/central.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/central.cc.o.d"
+  "/root/repo/src/mermaid/dsm/host.cc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/host.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/host.cc.o.d"
+  "/root/repo/src/mermaid/dsm/page_table.cc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/page_table.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/page_table.cc.o.d"
+  "/root/repo/src/mermaid/dsm/referee.cc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/referee.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/referee.cc.o.d"
+  "/root/repo/src/mermaid/dsm/system.cc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/system.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/dsm/system.cc.o.d"
+  "/root/repo/src/mermaid/net/fragment.cc" "src/CMakeFiles/mermaid.dir/mermaid/net/fragment.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/net/fragment.cc.o.d"
+  "/root/repo/src/mermaid/net/network.cc" "src/CMakeFiles/mermaid.dir/mermaid/net/network.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/net/network.cc.o.d"
+  "/root/repo/src/mermaid/net/reqrep.cc" "src/CMakeFiles/mermaid.dir/mermaid/net/reqrep.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/net/reqrep.cc.o.d"
+  "/root/repo/src/mermaid/sim/engine.cc" "src/CMakeFiles/mermaid.dir/mermaid/sim/engine.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/sim/engine.cc.o.d"
+  "/root/repo/src/mermaid/sim/realtime.cc" "src/CMakeFiles/mermaid.dir/mermaid/sim/realtime.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/sim/realtime.cc.o.d"
+  "/root/repo/src/mermaid/sync/sync.cc" "src/CMakeFiles/mermaid.dir/mermaid/sync/sync.cc.o" "gcc" "src/CMakeFiles/mermaid.dir/mermaid/sync/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mermaid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_mp_test.cc" "tests/CMakeFiles/mermaid_tests.dir/apps_mp_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/apps_mp_test.cc.o.d"
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/mermaid_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/arch_convert_test.cc" "tests/CMakeFiles/mermaid_tests.dir/arch_convert_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/arch_convert_test.cc.o.d"
+  "/root/repo/tests/arch_describe_test.cc" "tests/CMakeFiles/mermaid_tests.dir/arch_describe_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/arch_describe_test.cc.o.d"
+  "/root/repo/tests/arch_vaxfloat_test.cc" "tests/CMakeFiles/mermaid_tests.dir/arch_vaxfloat_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/arch_vaxfloat_test.cc.o.d"
+  "/root/repo/tests/base_wire_test.cc" "tests/CMakeFiles/mermaid_tests.dir/base_wire_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/base_wire_test.cc.o.d"
+  "/root/repo/tests/dsm_allocator_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_allocator_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_allocator_test.cc.o.d"
+  "/root/repo/tests/dsm_central_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_central_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_central_test.cc.o.d"
+  "/root/repo/tests/dsm_internals_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_internals_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_internals_test.cc.o.d"
+  "/root/repo/tests/dsm_litmus_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_litmus_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_litmus_test.cc.o.d"
+  "/root/repo/tests/dsm_realtime_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_realtime_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_realtime_test.cc.o.d"
+  "/root/repo/tests/dsm_sourcepref_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_sourcepref_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_sourcepref_test.cc.o.d"
+  "/root/repo/tests/dsm_stress_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_stress_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_stress_test.cc.o.d"
+  "/root/repo/tests/dsm_system_test.cc" "tests/CMakeFiles/mermaid_tests.dir/dsm_system_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/dsm_system_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/mermaid_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/pcb_rules_test.cc" "tests/CMakeFiles/mermaid_tests.dir/pcb_rules_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/pcb_rules_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mermaid_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sim_edge_test.cc" "tests/CMakeFiles/mermaid_tests.dir/sim_edge_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/sim_edge_test.cc.o.d"
+  "/root/repo/tests/sim_engine_test.cc" "tests/CMakeFiles/mermaid_tests.dir/sim_engine_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/sim_engine_test.cc.o.d"
+  "/root/repo/tests/sync_test.cc" "tests/CMakeFiles/mermaid_tests.dir/sync_test.cc.o" "gcc" "tests/CMakeFiles/mermaid_tests.dir/sync_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mermaid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
