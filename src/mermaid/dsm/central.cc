@@ -1,5 +1,6 @@
 #include "mermaid/dsm/central.h"
 
+#include "mermaid/base/check.h"
 #include "mermaid/base/wire.h"
 
 namespace mermaid::dsm {
@@ -70,6 +71,20 @@ CentralClient::CentralClient(net::Endpoint* ep, net::HostId server_host,
       server_profile_(server_profile),
       local_(local) {}
 
+namespace {
+
+// The central server is the only copy of the data: a lost operation cannot
+// be recovered locally, so calls retry generously and fail loudly when the
+// server stays unreachable.
+net::Endpoint::CallOpts CentralCallOpts() {
+  net::Endpoint::CallOpts opts;
+  opts.timeout = Milliseconds(400);
+  opts.max_attempts = 64;
+  return opts;
+}
+
+}  // namespace
+
 void CentralClient::ReadRaw(GlobalAddr addr, std::span<std::uint8_t> out) {
   if (local_ != nullptr) {
     local_->ReadBytes(addr, out);
@@ -78,10 +93,13 @@ void CentralClient::ReadRaw(GlobalAddr addr, std::span<std::uint8_t> out) {
   base::WireWriter w;
   w.U64(addr);
   w.U32(static_cast<std::uint32_t>(out.size()));
-  auto reply = ep_->Call(server_host_, kOpCentralRead, std::move(w).Take());
-  if (!reply.has_value()) return;  // shutdown
-  MERMAID_CHECK(reply->size() == out.size());
-  std::copy(reply->begin(), reply->end(), out.begin());
+  auto reply = ep_->CallWithStatus(server_host_, kOpCentralRead,
+                                   std::move(w).Take(),
+                                   net::MsgKind::kControl, CentralCallOpts());
+  if (reply.status == net::CallStatus::kShutdown) return;
+  MERMAID_CHECK_MSG(reply.ok(), "central-server read timed out");
+  MERMAID_CHECK(reply.body.size() == out.size());
+  std::copy(reply.body.begin(), reply.body.end(), out.begin());
 }
 
 void CentralClient::WriteRaw(GlobalAddr addr,
@@ -93,8 +111,11 @@ void CentralClient::WriteRaw(GlobalAddr addr,
   base::WireWriter w;
   w.U64(addr);
   w.Raw(data);
-  auto reply = ep_->Call(server_host_, kOpCentralWrite, std::move(w).Take());
-  (void)reply;
+  auto reply = ep_->CallWithStatus(server_host_, kOpCentralWrite,
+                                   std::move(w).Take(),
+                                   net::MsgKind::kControl, CentralCallOpts());
+  MERMAID_CHECK_MSG(reply.status != net::CallStatus::kTimedOut,
+                    "central-server write timed out");
 }
 
 }  // namespace mermaid::dsm

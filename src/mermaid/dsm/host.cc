@@ -28,6 +28,15 @@ void ConvertSlots(const arch::TypeRegistry& reg, arch::TypeId type,
   }
 }
 
+// Capped exponential backoff between whole fault-path retry rounds (the
+// per-Call retransmits already jitter, so rounds need no extra randomness).
+SimDuration FaultBackoff(const SystemConfig& cfg, int round) {
+  SimDuration d = std::max<SimDuration>(1, cfg.fault_retry_backoff);
+  const SimDuration cap = Seconds(2);
+  for (int i = 1; i < round && d < cap; ++i) d *= 2;
+  return std::min(d, cap);
+}
+
 }  // namespace
 
 Host::Host(sim::Runtime& rt, net::Network& net, const SystemConfig& cfg,
@@ -86,10 +95,18 @@ void Host::Start() {
   endpoint_.SetHandler(kOpConfirmProbe, [this](net::RequestContext ctx) {
     HandleConfirmProbe(std::move(ctx));
   });
+  endpoint_.SetHandler(kOpGrantReject, [this](net::RequestContext ctx) {
+    HandleGrantReject(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpGrantExtend, [this](net::RequestContext ctx) {
+    HandleGrantExtend(std::move(ctx));
+  });
   endpoint_.Start();
 
-  // Confirm-loss janitor: probes requesters of long-busy transfers. Blocks
-  // on a never-written channel so engine shutdown unwinds it.
+  // Confirm-loss janitor: probes requesters of long-busy transfers and
+  // lease-revokes grants whose requester has been unreachable past the
+  // grant lease. Blocks on a never-written channel so engine shutdown
+  // unwinds it.
   rt_.Spawn(
       "dsm-janitor-" + std::to_string(self_),
       [this] {
@@ -105,15 +122,25 @@ void Host::Start() {
             net::HostId requester;
           };
           std::vector<Probe> probes;
+          std::vector<std::pair<PageNum, std::uint64_t>> expired;
           {
             std::lock_guard<std::mutex> lk(state_mu_);
             const SimTime now = rt_.Now();
             ptable_.ForEachManaged([&](PageNum p, ManagerEntry& m2) {
-              if (m2.busy && m2.busy_requester != self_ &&
-                  now - m2.busy_since > cfg_.confirm_probe_after) {
+              // Local requesters recover in their own fault path (they
+              // revoke their grant directly on a failed owner fetch); the
+              // janitor only chases remote ones.
+              if (!m2.busy || m2.busy_requester == self_) return;
+              if (now - m2.busy_since > cfg_.grant_lease) {
+                expired.push_back({p, m2.busy_op_id});
+              } else if (now - m2.busy_since > cfg_.confirm_probe_after) {
                 probes.push_back({p, m2.busy_op_id, m2.busy_requester});
               }
             });
+          }
+          for (const auto& [page, op_id] : expired) {
+            stats_.Inc("dsm.grant_lease_expired");
+            ManagerRevoke(page, op_id);
           }
           for (const Probe& pr : probes) {
             base::WireWriter w;
@@ -167,6 +194,14 @@ void Host::ApplyTypeSet(PageNum p, arch::TypeId type,
   }
 }
 
+void Host::CountManagerLoad(std::uint64_t* busy, std::uint64_t* pending) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  ptable_.ForEachManaged([&](PageNum, ManagerEntry& m) {
+    if (m.busy) ++*busy;
+    *pending += m.pending.size();
+  });
+}
+
 net::Endpoint::CallOpts Host::DsmCallOpts() const {
   net::Endpoint::CallOpts opts;
   opts.timeout = cfg_.call_timeout;
@@ -216,6 +251,7 @@ void Host::FaultGroup(PageNum p, Access needed) {
 }
 
 void Host::FaultOne(PageNum p, Access needed) {
+  int retries = 0;
   for (;;) {
     bool start_fetch = false;
     sim::Chan<bool> waiter;
@@ -231,17 +267,16 @@ void Host::FaultOne(PageNum p, Access needed) {
       }
     }
     if (!start_fetch) {
-      waiter.Recv();  // another thread is fetching this page; re-check
+      // Another thread is fetching this page; re-check when it finishes.
+      if (!waiter.Recv().has_value()) return;  // shutdown
       continue;
     }
 
     const bool is_write = needed == Access::kWrite;
     stats_.Inc(is_write ? "dsm.write_faults" : "dsm.read_faults");
-    if (ptable_.ManagedHere(p)) {
-      FaultViaLocalManager(p, is_write);
-    } else {
-      FaultViaRemoteManager(p, is_write);
-    }
+    const FaultOutcome outcome = ptable_.ManagedHere(p)
+                                     ? FaultViaLocalManager(p, is_write)
+                                     : FaultViaRemoteManager(p, is_write);
 
     std::vector<sim::Chan<bool>> waiters;
     {
@@ -250,22 +285,41 @@ void Host::FaultOne(PageNum p, Access needed) {
       waiters.swap(fault_waiters_[p]);
     }
     for (auto& w : waiters) w.Send(true);
+
+    switch (outcome) {
+      case FaultOutcome::kShutdown:
+        return;
+      case FaultOutcome::kRetry:
+        ++retries;
+        // No silent failure: a page that stays unreachable past the retry
+        // budget is a deployment fault, not something to limp past.
+        MERMAID_CHECK_MSG(retries <= cfg_.fault_retry_limit,
+                          "DSM fault path exhausted retries; page unreachable");
+        stats_.Inc("dsm.fault_retries");
+        rt_.Delay(FaultBackoff(cfg_, retries));
+        break;
+      case FaultOutcome::kDone:
+        retries = 0;  // loop re-checks access (it may have been invalidated)
+        break;
+    }
   }
 }
 
-void Host::FaultViaLocalManager(PageNum p, bool is_write) {
+Host::FaultOutcome Host::FaultViaLocalManager(PageNum p, bool is_write) {
   ManagerGrant grant;
   bool granted_inline = false;
   sim::Chan<ManagerGrant> grant_chan;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     ManagerEntry& m = ptable_.Manager(p);
+    const bool has_copy = ptable_.Local(p).access != Access::kNone;
     if (!m.busy) {
-      grant = BuildGrantLocked(p, self_, is_write);
+      grant = BuildGrantLocked(p, self_, is_write, has_copy);
       granted_inline = true;
     } else {
       PendingTransfer t;
       t.is_write = is_write;
+      t.has_copy = has_copy;
       t.requester = self_;
       grant_chan = sim::Chan<ManagerGrant>(rt_);
       t.local_grant = grant_chan;
@@ -274,7 +328,7 @@ void Host::FaultViaLocalManager(PageNum p, bool is_write) {
   }
   if (!granted_inline) {
     auto g = grant_chan.Recv();
-    if (!g.has_value()) return;  // shutdown
+    if (!g.has_value()) return FaultOutcome::kShutdown;
     grant = *g;
   }
 
@@ -303,30 +357,65 @@ void Host::FaultViaLocalManager(PageNum p, bool is_write) {
     w.U32(grant.alloc_bytes);
     w.U16(static_cast<std::uint16_t>(grant.to_invalidate.size()));
     for (net::HostId h : grant.to_invalidate) w.U16(h);
-    auto resp = endpoint_.Call(grant.owner,
-                               is_write ? kOpWriteReq : kOpReadReq,
-                               std::move(w).Take(), net::MsgKind::kControl,
-                               DsmCallOpts());
-    if (!resp.has_value()) return;  // shutdown (or hopeless loss)
-    reply = DecodeFetchReply(*resp);
+    auto resp = endpoint_.CallWithStatus(grant.owner,
+                                         is_write ? kOpWriteReq : kOpReadReq,
+                                         std::move(w).Take(),
+                                         net::MsgKind::kControl,
+                                         DsmCallOpts());
+    if (resp.status == net::CallStatus::kShutdown) {
+      return FaultOutcome::kShutdown;
+    }
+    if (resp.status == net::CallStatus::kTimedOut) {
+      // The owner is unreachable: free our own grant so the entry does not
+      // stay busy (other requesters may reach the owner), then retry.
+      stats_.Inc("dsm.owner_fetch_timeouts");
+      ManagerRevoke(p, grant.op_id);
+      return FaultOutcome::kRetry;
+    }
+    reply = DecodeFetchReply(resp.body);
   }
 
-  CompleteTransfer(p, is_write, reply);
+  if (!CompleteTransfer(p, is_write, reply)) return FaultOutcome::kShutdown;
   ManagerCommit(p, grant.op_id, self_, is_write);
+  return FaultOutcome::kDone;
 }
 
-void Host::FaultViaRemoteManager(PageNum p, bool is_write) {
+Host::FaultOutcome Host::FaultViaRemoteManager(PageNum p, bool is_write) {
   base::WireWriter w;
   w.U8(kToManager);
   w.U32(p);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    w.U8(ptable_.Local(p).access != Access::kNone ? 1 : 0);  // has_copy
+  }
   const net::HostId mgr = ptable_.ManagerOf(p);
-  auto resp =
-      endpoint_.Call(mgr, is_write ? kOpWriteReq : kOpReadReq,
-                     std::move(w).Take(), net::MsgKind::kControl,
-                     DsmCallOpts());
-  if (!resp.has_value()) return;  // shutdown (or hopeless loss)
-  FetchReply reply = DecodeFetchReply(*resp);
-  CompleteTransfer(p, is_write, reply);
+  auto resp = endpoint_.CallWithStatus(mgr, is_write ? kOpWriteReq : kOpReadReq,
+                                       std::move(w).Take(),
+                                       net::MsgKind::kControl, DsmCallOpts());
+  if (resp.status == net::CallStatus::kShutdown) return FaultOutcome::kShutdown;
+  if (resp.status == net::CallStatus::kTimedOut) {
+    // The manager (or the owner it forwarded to) is unreachable. Our reply
+    // channel is closed now, so a replayed grant can never be consumed; if
+    // one was issued, the manager's probe/lease machinery reclaims it.
+    stats_.Inc("dsm.manager_call_timeouts");
+    return FaultOutcome::kRetry;
+  }
+  FetchReply reply = DecodeFetchReply(resp.body);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (fenced_.count({p, reply.op_id}) > 0) {
+      // We disowned this grant when a confirm-probe caught us without it;
+      // the manager revoked it, so this late reply must not be installed.
+      stats_.Inc("dsm.fenced_replies");
+      return FaultOutcome::kRetry;
+    }
+    inflight_ops_.insert({p, reply.op_id});
+  }
+  if (!CompleteTransfer(p, is_write, reply)) {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    inflight_ops_.erase({p, reply.op_id});
+    return FaultOutcome::kShutdown;
+  }
   RecordCompleted(p, reply.op_id, mgr, is_write);
 
   base::WireWriter cw;
@@ -335,9 +424,10 @@ void Host::FaultViaRemoteManager(PageNum p, bool is_write) {
   cw.U16(self_);
   cw.U8(is_write ? 1 : 0);
   endpoint_.Notify(mgr, kOpConfirm, std::move(cw).Take());
+  return FaultOutcome::kDone;
 }
 
-void Host::CompleteTransfer(PageNum p, bool is_write,
+bool Host::CompleteTransfer(PageNum p, bool is_write,
                             const FetchReply& reply) {
   const GlobalAddr page_base = static_cast<GlobalAddr>(p) * page_bytes_;
   if (reply.has_data) {
@@ -353,6 +443,7 @@ void Host::CompleteTransfer(PageNum p, bool is_write,
       e.version = reply.data_version;
       e.type = reply.type;
       e.alloc_bytes = reply.alloc_bytes;
+      e.retained = false;
       if (referee_ != nullptr) {
         referee_->OnInstall(self_, p, reply.data_version, Access::kRead);
       }
@@ -360,17 +451,41 @@ void Host::CompleteTransfer(PageNum p, bool is_write,
     stats_.Inc("dsm.pages_in");
     stats_.Inc("dsm.bytes_in", static_cast<std::int64_t>(reply.data.size()));
   } else if (!is_write) {
-    // A read grant without data can only mean we already hold a valid copy.
+    // A read grant without data means we hold a valid copy — possibly one we
+    // relinquished in a transfer the manager has since revoked (the retained
+    // bytes are still the current version; re-animate them).
     std::lock_guard<std::mutex> lk(state_mu_);
     LocalPageEntry& e = ptable_.Local(p);
+    if (e.access == Access::kNone && e.retained) {
+      e.access = Access::kRead;
+      e.retained = false;
+      if (referee_ != nullptr) {
+        referee_->OnInstall(self_, p, e.version, Access::kRead);
+      }
+    }
     MERMAID_CHECK(e.access >= Access::kRead);
   } else {
+    // A write grant without data is an ownership upgrade. The copy being
+    // upgraded may be one we relinquished in a transfer the manager has
+    // since revoked (we are still the owner of record); the retained bytes
+    // are the current version, so re-animate them like the read case.
+    std::lock_guard<std::mutex> lk(state_mu_);
+    LocalPageEntry& e = ptable_.Local(p);
+    if (e.access == Access::kNone && e.retained) {
+      e.access = Access::kRead;
+      e.retained = false;
+      if (referee_ != nullptr) {
+        referee_->OnInstall(self_, p, e.version, Access::kRead);
+      }
+    }
+    MERMAID_CHECK_MSG(e.access != Access::kNone,
+                      "write upgrade granted to a host without a copy");
     stats_.Inc("dsm.upgrades");
   }
   rt_.Delay(profile_->page_install_cost);
 
   if (is_write) {
-    InvalidateCopies(p, reply.to_invalidate);
+    if (!InvalidateCopies(p, reply.to_invalidate)) return false;
     std::lock_guard<std::mutex> lk(state_mu_);
     LocalPageEntry& e = ptable_.Local(p);
     e.access = Access::kWrite;
@@ -378,27 +493,46 @@ void Host::CompleteTransfer(PageNum p, bool is_write,
     e.version = reply.new_version;
     e.type = reply.type;
     e.alloc_bytes = std::max(e.alloc_bytes, reply.alloc_bytes);
+    e.retained = false;
     if (referee_ != nullptr) {
       referee_->OnWriteGrant(self_, p, reply.new_version);
     }
   }
+  return true;
 }
 
-void Host::InvalidateCopies(PageNum p,
+bool Host::InvalidateCopies(PageNum p,
                             const std::vector<net::HostId>& hosts) {
   std::vector<net::HostId> targets;
   for (net::HostId h : hosts) {
     if (h != self_) targets.push_back(h);
   }
-  if (targets.empty()) return;
+  if (targets.empty()) return true;
   base::WireWriter w;
   w.U32(p);
-  stats_.Inc("dsm.invalidations_sent",
-             static_cast<std::int64_t>(targets.size()));
-  auto acks = endpoint_.MultiCall(targets, kOpInvalidate, std::move(w).Take(),
-                                  net::MsgKind::kControl, DsmCallOpts());
-  MERMAID_CHECK_MSG(acks.has_value() || true,
-                    "invalidation multicast failed");  // shutdown tolerated
+  const auto body = std::move(w).Take();
+  // Write access must not be granted until every copy is gone: re-multicast
+  // to the targets that did not ack, round after round, and abort loudly if
+  // a copy holder stays unreachable past the retry budget.
+  for (int round = 0; !targets.empty(); ++round) {
+    MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
+                      "invalidation multicast exhausted retries");
+    if (round > 0) {
+      stats_.Inc("dsm.invalidation_retries");
+      rt_.Delay(FaultBackoff(cfg_, round));
+    }
+    stats_.Inc("dsm.invalidations_sent",
+               static_cast<std::int64_t>(targets.size()));
+    auto acks = endpoint_.MultiCallWithStatus(targets, kOpInvalidate, body,
+                                              net::MsgKind::kControl,
+                                              DsmCallOpts());
+    if (acks.status == net::CallStatus::kShutdown) return false;
+    if (acks.status == net::CallStatus::kOk) return true;
+    std::vector<net::HostId> unacked;
+    for (std::size_t i : acks.timed_out) unacked.push_back(targets[i]);
+    targets = std::move(unacked);
+  }
+  return true;
 }
 
 // --------------------------------------------------------------------------
@@ -406,7 +540,7 @@ void Host::InvalidateCopies(PageNum p,
 // --------------------------------------------------------------------------
 
 ManagerGrant Host::BuildGrantLocked(PageNum p, net::HostId requester,
-                                    bool is_write) {
+                                    bool is_write, bool has_copy) {
   ManagerEntry& m = ptable_.Manager(p);
   MERMAID_CHECK(!m.busy);
   ManagerGrant g;
@@ -429,7 +563,10 @@ ManagerGrant Host::BuildGrantLocked(PageNum p, net::HostId requester,
   }
   g.op_id = ++op_counter_;
   g.new_version = is_write ? m.version + 1 : m.version;
-  g.requester_has_copy = m.copyset.count(requester) > 0;
+  // Both must agree: after a revoked write grant the copyset can hold
+  // phantom members whose copies the vanished writer already invalidated,
+  // so the requester's own claim gates the "no data needed" shortcut.
+  g.requester_has_copy = has_copy && m.copyset.count(requester) > 0;
   g.type = m.type;
   g.alloc_bytes = m.alloc_bytes;
   if (is_write) {
@@ -450,7 +587,7 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
   ManagerGrant grant;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    grant = BuildGrantLocked(p, t.requester, t.is_write);
+    grant = BuildGrantLocked(p, t.requester, t.is_write, t.has_copy);
   }
   if (!t.remote.has_value()) {
     t.local_grant.Send(grant);
@@ -537,6 +674,17 @@ void Host::ManagerDrain(PageNum p) {
   ManagerIssue(p, std::move(next));
 }
 
+void Host::ManagerRevoke(PageNum p, std::uint64_t op_id) {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry& m = ptable_.Manager(p);
+    if (!m.busy || m.busy_op_id != op_id) return;  // committed or re-granted
+    m.busy = false;  // owner/copyset/version deliberately unchanged
+    stats_.Inc("dsm.grants_revoked");
+  }
+  ManagerDrain(p);
+}
+
 // --------------------------------------------------------------------------
 // Owner role
 // --------------------------------------------------------------------------
@@ -559,7 +707,9 @@ std::vector<std::uint8_t> Host::EncodeServeReply(
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     LocalPageEntry& e = ptable_.Local(p);
-    MERMAID_CHECK_MSG(e.access != Access::kNone,
+    // A retained entry (relinquished in a since-revoked transfer) is a legal
+    // data source: the bytes are still the current version.
+    MERMAID_CHECK_MSG(e.access != Access::kNone || e.retained,
                       "owner asked to serve a page it does not hold");
     if (data_needed) {
       const std::uint32_t extent =
@@ -569,10 +719,14 @@ std::vector<std::uint8_t> Host::EncodeServeReply(
                     mem_.begin() + page_base + extent);
     }
     if (is_write) {
-      // Relinquish: the new owner takes over.
-      if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
+      // Relinquish: the new owner takes over. Keep the bytes servable in
+      // case the manager revokes this grant and names us the source again.
+      if (e.access != Access::kNone) {
+        if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
+      }
       e.access = Access::kNone;
       e.owned = false;
+      e.retained = true;
     } else if (e.access == Access::kWrite) {
       // Downgrade to read-only; we stay the owner.
       if (referee_ != nullptr) referee_->OnDowngrade(self_, p);
@@ -594,6 +748,7 @@ void Host::HandleTransferReq(net::RequestContext ctx, bool is_write) {
   base::WireReader r(ctx.body());
   r.U8();  // role
   const PageNum p = r.U32();
+  const bool has_copy = r.U8() != 0;
   if (!r.ok() || !ptable_.ManagedHere(p)) {
     stats_.Inc("dsm.malformed");
     return;
@@ -602,6 +757,7 @@ void Host::HandleTransferReq(net::RequestContext ctx, bool is_write) {
 
   PendingTransfer t;
   t.is_write = is_write;
+  t.has_copy = has_copy;
   t.requester = ctx.origin();
   t.remote = std::move(ctx);
   bool issue_now = false;
@@ -663,6 +819,8 @@ void Host::HandleInvalidate(net::RequestContext ctx) {
       stats_.Inc("dsm.invalidations_received");
       if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
     }
+    // Another writer is committing: any retained image is now stale.
+    e.retained = false;
   }
   ctx.Reply({});
 }
@@ -685,25 +843,85 @@ void Host::HandleConfirmProbe(net::RequestContext ctx) {
   const PageNum p = r.U32();
   const std::uint64_t op_id = r.U64();
   if (!r.ok()) return;
-  bool found = false;
+  enum class Answer { kConfirm, kExtend, kReject } answer;
   bool is_write = false;
-  net::HostId manager = 0;
+  net::HostId manager = ctx.origin();
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    auto it = completed_.find({p, op_id});
-    if (it != completed_.end()) {
-      found = true;
+    if (auto it = completed_.find({p, op_id}); it != completed_.end()) {
+      answer = Answer::kConfirm;  // confirm was lost: replay it
       manager = it->second.manager;
       is_write = it->second.is_write;
+    } else if (inflight_ops_.count({p, op_id}) > 0) {
+      answer = Answer::kExtend;  // still invalidating/installing
+    } else {
+      // We never saw (or long evicted) this grant. Disown it — and fence the
+      // op so a late-arriving reply carrying it is discarded, never
+      // installed after the manager revokes.
+      answer = Answer::kReject;
+      if (fenced_.insert({p, op_id}).second) {
+        while (fenced_order_.size() >= 4096) {
+          fenced_.erase(fenced_order_.front());
+          fenced_order_.pop_front();
+        }
+        fenced_order_.emplace_back(p, op_id);
+      }
     }
   }
-  if (!found) return;  // transfer not completed here (or long evicted)
   base::WireWriter w;
   w.U32(p);
   w.U64(op_id);
-  w.U16(self_);
-  w.U8(is_write ? 1 : 0);
-  endpoint_.Notify(manager, kOpConfirm, std::move(w).Take());
+  switch (answer) {
+    case Answer::kConfirm:
+      w.U16(self_);
+      w.U8(is_write ? 1 : 0);
+      endpoint_.Notify(manager, kOpConfirm, std::move(w).Take());
+      break;
+    case Answer::kExtend:
+      endpoint_.Notify(manager, kOpGrantExtend, std::move(w).Take());
+      break;
+    case Answer::kReject:
+      stats_.Inc("dsm.grants_disowned");
+      endpoint_.Notify(manager, kOpGrantReject, std::move(w).Take());
+      break;
+  }
+}
+
+void Host::HandleGrantReject(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const std::uint64_t op_id = r.U64();
+  if (!r.ok() || !ptable_.ManagedHere(p)) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry& m = ptable_.Manager(p);
+    if (!m.busy || m.busy_op_id != op_id ||
+        m.busy_requester != ctx.origin()) {
+      return;  // stale reject of a committed or re-granted transfer
+    }
+  }
+  stats_.Inc("dsm.grant_rejects");
+  ManagerRevoke(p, op_id);
+}
+
+void Host::HandleGrantExtend(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const std::uint64_t op_id = r.U64();
+  if (!r.ok() || !ptable_.ManagedHere(p)) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  std::lock_guard<std::mutex> lk(state_mu_);
+  ManagerEntry& m = ptable_.Manager(p);
+  if (m.busy && m.busy_op_id == op_id &&
+      m.busy_requester == ctx.origin()) {
+    m.busy_since = rt_.Now();  // requester is alive and mid-transfer
+    stats_.Inc("dsm.grant_extends");
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -736,6 +954,7 @@ void Host::ConvertIncoming(PageNum p, std::vector<std::uint8_t>& data,
 void Host::RecordCompleted(PageNum p, std::uint64_t op_id,
                            net::HostId manager, bool is_write) {
   std::lock_guard<std::mutex> lk(state_mu_);
+  inflight_ops_.erase({p, op_id});
   while (completed_order_.size() >= 4096) {
     completed_.erase(completed_order_.front());
     completed_order_.pop_front();

@@ -30,6 +30,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "mermaid/arch/arch.h"
@@ -167,6 +168,10 @@ class Host {
   // extent information to this host in its manager role.
   void ApplyTypeSet(PageNum p, arch::TypeId type, std::uint32_t alloc_bytes);
 
+  // Quiescence accounting for chaos tests: adds this host's still-busy
+  // manager entries and queued transfers to the counters.
+  void CountManagerLoad(std::uint64_t* busy, std::uint64_t* pending);
+
  private:
   friend class System;
 
@@ -182,6 +187,10 @@ class Host {
     std::vector<std::uint8_t> data;
   };
 
+  // One protocol round's outcome: kDone re-checks access, kRetry backs off
+  // and refaults, kShutdown unwinds the thread.
+  enum class FaultOutcome { kDone, kRetry, kShutdown };
+
   // --- fault path ---------------------------------------------------------
   void EnsureAccess(PageNum p, Access needed);
   // One VM-level fault: acquires every DSM page of the enclosing VM page
@@ -189,21 +198,28 @@ class Host {
   void FaultGroup(PageNum p, Access needed);
   // One DSM-page protocol round.
   void FaultOne(PageNum p, Access needed);
-  void FaultViaLocalManager(PageNum p, bool is_write);
-  void FaultViaRemoteManager(PageNum p, bool is_write);
-  // Install + invalidate + (write-)grant + record completion; shared tail of
-  // both fault variants.
-  void CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply);
-  void InvalidateCopies(PageNum p, const std::vector<net::HostId>& hosts);
+  FaultOutcome FaultViaLocalManager(PageNum p, bool is_write);
+  FaultOutcome FaultViaRemoteManager(PageNum p, bool is_write);
+  // Install + invalidate + (write-)grant; shared tail of both fault
+  // variants. False means the runtime shut down mid-transfer.
+  bool CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply);
+  // Reliable write invalidation: re-multicasts to unacked targets until all
+  // ack (bounded rounds; aborts loudly when exhausted). False on shutdown.
+  bool InvalidateCopies(PageNum p, const std::vector<net::HostId>& hosts);
 
   // --- manager role -------------------------------------------------------
   ManagerGrant BuildGrantLocked(PageNum p, net::HostId requester,
-                                bool is_write);
+                                bool is_write, bool has_copy);
   // Processes one pending transfer (issues grant / forward / direct serve).
   void ManagerIssue(PageNum p, PendingTransfer t);
   void ManagerCommit(PageNum p, std::uint64_t op_id, net::HostId requester,
                      bool is_write);
   void ManagerDrain(PageNum p);
+  // Revokes the in-flight grant (p, op_id) if it is still the busy one:
+  // frees the entry with owner/copyset/version unchanged and re-drains the
+  // pending queue. Used by grant rejects, lease expiry, and the local fault
+  // path when its owner fetch times out.
+  void ManagerRevoke(PageNum p, std::uint64_t op_id);
 
   // --- owner role ---------------------------------------------------------
   // Serves a fetch against the local copy; fills `reply` fields that depend
@@ -224,6 +240,8 @@ class Host {
   void HandleInvalidate(net::RequestContext ctx);
   void HandleConfirm(net::RequestContext ctx);
   void HandleConfirmProbe(net::RequestContext ctx);
+  void HandleGrantReject(net::RequestContext ctx);
+  void HandleGrantExtend(net::RequestContext ctx);
 
   // --- helpers -------------------------------------------------------------
   void ConvertIncoming(PageNum p, std::vector<std::uint8_t>& data,
@@ -259,6 +277,15 @@ class Host {
   };
   std::map<std::pair<PageNum, std::uint64_t>, CompletedOp> completed_;
   std::deque<std::pair<PageNum, std::uint64_t>> completed_order_;
+  // Grants this host is processing right now (reply decoded, confirm not yet
+  // sent): a confirm-probe for one of these answers "still working"
+  // (kOpGrantExtend) instead of disowning the grant.
+  std::set<std::pair<PageNum, std::uint64_t>> inflight_ops_;
+  // Grants this host disowned in answer to a confirm-probe. A late reply
+  // carrying a fenced op must be discarded — the manager has revoked it, and
+  // installing it would put two writers on the page (bounded FIFO).
+  std::set<std::pair<PageNum, std::uint64_t>> fenced_;
+  std::deque<std::pair<PageNum, std::uint64_t>> fenced_order_;
   std::uint64_t op_counter_ = 0;
   // Earliest-free times of this host's CPUs (application Compute calls).
   std::vector<SimTime> cpu_busy_until_;

@@ -28,6 +28,12 @@ struct LocalPageEntry {
   std::uint64_t version = 0;
   arch::TypeId type = arch::TypeRegistry::kChar;
   std::uint32_t alloc_bytes = 0;  // allocated extent (partial transfer)
+  // Set when this host relinquished the page in a write transfer that has
+  // not been confirmed: the bytes in memory are still the pre-transfer image
+  // at `version`, legal to serve again if the manager revokes that grant and
+  // names this host as the data source once more. Cleared by any install,
+  // upgrade, or invalidation.
+  bool retained = false;
 };
 
 // A transfer request waiting its turn at the manager: either a remote
@@ -45,6 +51,11 @@ struct ManagerGrant {
 
 struct PendingTransfer {
   bool is_write = false;
+  // The requester's own claim of holding a valid copy. The grant's
+  // "no data needed" decision requires this AND copyset membership: after a
+  // revoked write grant the copyset can retain phantom members whose copies
+  // the vanished writer already invalidated.
+  bool has_copy = false;
   net::HostId requester = 0;
   std::optional<net::RequestContext> remote;   // remote requester
   sim::Chan<ManagerGrant> local_grant;         // local requester

@@ -109,10 +109,12 @@ void System::AllocWorker() {
       w.U32(p);
       w.U16(req->type);
       w.U32(alloc_bytes);
-      auto ack = h0.endpoint().Call(mgr, kOpTypeSet, std::move(w).Take(),
-                                    net::MsgKind::kControl,
-                                    h0.DsmCallOpts());
-      MERMAID_CHECK_MSG(ack.has_value() || true, "type-set failed");
+      auto ack = h0.endpoint().CallWithStatus(mgr, kOpTypeSet,
+                                              std::move(w).Take(),
+                                              net::MsgKind::kControl,
+                                              h0.DsmCallOpts());
+      if (ack.status == net::CallStatus::kShutdown) return;
+      MERMAID_CHECK_MSG(ack.ok(), "type-set call to page manager timed out");
     }
     if (req->remote.has_value()) {
       base::WireWriter w;
@@ -167,9 +169,18 @@ CentralClient& System::central(net::HostId h) {
 
 base::StatsRegistry& System::GatherStats() {
   merged_stats_.Clear();
-  for (auto& h : hosts_) merged_stats_.Merge(h->stats());
+  for (auto& h : hosts_) {
+    merged_stats_.Merge(h->stats());
+    merged_stats_.Merge(h->endpoint().stats());
+  }
   merged_stats_.Merge(network_->stats());
   return merged_stats_;
+}
+
+System::QuiescenceReport System::CheckQuiescent() {
+  QuiescenceReport r;
+  for (auto& h : hosts_) h->CountManagerLoad(&r.busy_entries, &r.pending_transfers);
+  return r;
 }
 
 std::string System::ReportStats() {
@@ -200,6 +211,23 @@ std::string System::ReportStats() {
                     network_->stats().Count("net.bytes_sent") / 1024),
                 static_cast<long long>(
                     network_->stats().Count("net.packets_dropped")));
+  out += line;
+  std::int64_t retransmits = 0, call_timeouts = 0, backoff_ms = 0;
+  std::int64_t revoked = 0;
+  for (auto& h : hosts_) {
+    auto& es = h->endpoint().stats();
+    retransmits += es.Count("reqrep.retransmits");
+    call_timeouts += es.Count("reqrep.call_timeouts");
+    backoff_ms += es.Count("reqrep.backoff_total_ms");
+    revoked += h->stats().Count("dsm.grants_revoked");
+  }
+  std::snprintf(line, sizeof(line),
+                "reqrep: %lld retransmits, %lld call timeouts, "
+                "%lld ms backoff, %lld grants revoked\n",
+                static_cast<long long>(retransmits),
+                static_cast<long long>(call_timeouts),
+                static_cast<long long>(backoff_ms),
+                static_cast<long long>(revoked));
   out += line;
   return out;
 }

@@ -74,8 +74,17 @@ class System {
   CoherenceReferee& referee() { return referee_; }
   const SystemConfig& config() const { return cfg_; }
 
-  // Merged statistics across hosts and the network.
+  // Merged statistics across hosts, endpoints, and the network.
   base::StatsRegistry& GatherStats();
+
+  // Protocol quiescence snapshot: once all application threads are done and
+  // confirms have drained, no manager entry should remain busy and no
+  // transfer queued. Chaos tests assert both are zero.
+  struct QuiescenceReport {
+    std::uint64_t busy_entries = 0;
+    std::uint64_t pending_transfers = 0;
+  };
+  QuiescenceReport CheckQuiescent();
 
   // Multi-line human-readable per-host breakdown (faults, transfers,
   // conversions) plus network totals.

@@ -45,6 +45,21 @@ struct SystemConfig {
   SimDuration janitor_period = Milliseconds(500);
   SimDuration confirm_probe_after = Seconds(1);
 
+  // Grant-lease recovery: a busy manager entry whose requester is
+  // unreachable (no confirm, no probe answer) is revoked after this long and
+  // its pending queue re-drained. Safety requires the lease to exceed both
+  // the longest single fault-path Call (timeout schedule x attempts — after
+  // that the requester's reply channel is closed, so a replayed grant can
+  // never be consumed) and the longest network partition a live requester
+  // may sit behind mid-transfer.
+  SimDuration grant_lease = Seconds(30);
+
+  // Fault-path retry policy: a manager/owner Call that exhausts its
+  // transport retries is retried this many whole rounds (with exponential
+  // backoff, capped) before the host aborts loudly.
+  int fault_retry_limit = 8;
+  SimDuration fault_retry_backoff = Milliseconds(50);
+
   // Ablation switches (all default to the paper's system).
   bool convert_enabled = true;          // heterogeneous data conversion
   bool partial_page_transfer = true;    // move only the allocated extent
@@ -62,6 +77,12 @@ inline constexpr std::uint8_t kOpWriteReq = 4;    // requester -> manager -> own
 inline constexpr std::uint8_t kOpInvalidate = 5;  // writer -> copyset member
 inline constexpr std::uint8_t kOpConfirm = 6;     // requester -> manager (notify)
 inline constexpr std::uint8_t kOpConfirmProbe = 7;  // manager -> requester
+// Probe answers when the requester cannot confirm: kOpGrantReject disowns a
+// grant the requester never completed (the manager revokes it and re-drains
+// the queue); kOpGrantExtend refreshes the lease of a transfer still being
+// processed. Both are notifies.
+inline constexpr std::uint8_t kOpGrantReject = 8;   // requester -> manager
+inline constexpr std::uint8_t kOpGrantExtend = 9;   // requester -> manager
 inline constexpr std::uint8_t kOpSync = 10;       // sync client -> sync server
 
 // Role byte inside kOpReadReq/kOpWriteReq bodies: the same opcode serves the

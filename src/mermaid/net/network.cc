@@ -1,8 +1,22 @@
 #include "mermaid/net/network.h"
 
+#include <algorithm>
+
 #include "mermaid/base/check.h"
 
 namespace mermaid::net {
+
+namespace {
+
+bool InWindow(SimTime t, SimTime from, SimTime until) {
+  return t >= from && t < until;
+}
+
+bool InGroup(const std::vector<HostId>& group, HostId h) {
+  return std::find(group.begin(), group.end(), h) != group.end();
+}
+
+}  // namespace
 
 Network::Network(sim::Runtime& rt, Config cfg)
     : rt_(rt), cfg_(cfg), rng_(cfg.seed) {}
@@ -26,6 +40,113 @@ const arch::ArchProfile& Network::ProfileOf(HostId id) const {
   return *it->second.profile;
 }
 
+void Network::SetFaultPlan(FaultPlan plan) {
+  // Collect hook firings before installing (the daemon captures them by
+  // value so a later SetFaultPlan cannot race with in-flight hooks).
+  struct Firing {
+    SimTime at;
+    std::function<void()> fn;
+  };
+  std::vector<Firing> firings;
+  for (auto& o : plan.outages) {
+    if (o.on_down) firings.push_back({o.from, o.on_down});
+    if (o.on_restart && o.until != kFaultForever) {
+      firings.push_back({o.until, o.on_restart});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    plan_ = std::move(plan);
+  }
+  if (firings.empty()) return;
+  std::sort(firings.begin(), firings.end(),
+            [](const Firing& a, const Firing& b) { return a.at < b.at; });
+  rt_.Spawn(
+      "net-chaos",
+      [this, firings = std::move(firings)] {
+        sim::Chan<bool> never(rt_);
+        for (const Firing& f : firings) {
+          if (f.at > rt_.Now()) {
+            bool timed_out = false;
+            auto m = never.RecvUntil(f.at, &timed_out);
+            if (!m.has_value() && !timed_out) return;  // shutdown
+          }
+          f.fn();
+        }
+      },
+      /*daemon=*/true);
+}
+
+void Network::PauseHost(HostId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_.insert(id);
+  stats_.Inc("net.host_pauses");
+}
+
+void Network::ResumeHost(HostId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_.erase(id);
+}
+
+void Network::CrashHost(HostId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_.insert(id);
+  stats_.Inc("net.host_crashes");
+}
+
+void Network::RestartHost(HostId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_.erase(id);
+}
+
+bool Network::HostDownLocked(HostId id, SimTime t) const {
+  if (crashed_.count(id) > 0 || paused_.count(id) > 0) return true;
+  for (const auto& o : plan_.outages) {
+    if (o.host == id && InWindow(t, o.from, o.until)) return true;
+  }
+  return false;
+}
+
+bool Network::HostDown(HostId id, SimTime t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return HostDownLocked(id, t);
+}
+
+bool Network::FaultDropLocked(const Packet& pkt, SimTime send_time,
+                              SimTime deliver_time) {
+  // A down host cannot put packets on the wire.
+  if (HostDownLocked(pkt.src, send_time)) {
+    stats_.Inc("net.outage_dropped");
+    return true;
+  }
+  // Receive side: nothing reaches a host that is down when the packet is
+  // sent or when it would arrive (a crash loses in-flight packets; a paused
+  // host is simply unreachable for the window).
+  if (HostDownLocked(pkt.dst, send_time) ||
+      HostDownLocked(pkt.dst, deliver_time)) {
+    stats_.Inc("net.outage_dropped");
+    return true;
+  }
+  for (const auto& p : plan_.partitions) {
+    if (!InWindow(send_time, p.from, p.until)) continue;
+    if (InGroup(p.group, pkt.src) != InGroup(p.group, pkt.dst)) {
+      stats_.Inc("net.partition_dropped");
+      return true;
+    }
+  }
+  for (const auto& r : plan_.drops) {
+    if (!InWindow(send_time, r.from, r.until)) continue;
+    if (r.src.has_value() && *r.src != pkt.src) continue;
+    if (r.dst.has_value() && *r.dst != pkt.dst) continue;
+    if (r.kind.has_value() && *r.kind != pkt.kind) continue;
+    if (rng_.NextBool(r.probability)) {
+      stats_.Inc("net.rule_dropped");
+      return true;
+    }
+  }
+  return false;
+}
+
 void Network::Send(Packet pkt, SimDuration extra_delay) {
   auto src_it = hosts_.find(pkt.src);
   auto dst_it = hosts_.find(pkt.dst);
@@ -41,6 +162,8 @@ void Network::Send(Packet pkt, SimDuration extra_delay) {
       static_cast<double>(fixed) +
       link.wire_ns_per_byte * static_cast<double>(pkt.bytes.size()) +
       static_cast<double>(extra_delay);
+  bool duplicate = false;
+  SimDuration dup_extra = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (cfg_.jitter > 0) {
@@ -48,10 +171,36 @@ void Network::Send(Packet pkt, SimDuration extra_delay) {
     }
     stats_.Inc("net.packets_sent");
     stats_.Inc("net.bytes_sent", static_cast<std::int64_t>(pkt.bytes.size()));
+    const SimTime now = rt_.Now();
+    if (FaultDropLocked(pkt, now, now + static_cast<SimDuration>(latency))) {
+      stats_.Inc("net.packets_dropped");
+      return;
+    }
     if (cfg_.loss_probability > 0 && rng_.NextBool(cfg_.loss_probability)) {
       stats_.Inc("net.packets_dropped");
       return;
     }
+    if (plan_.reorder_probability > 0 &&
+        rng_.NextBool(plan_.reorder_probability)) {
+      // Delay this packet past its natural slot so later sends overtake it.
+      latency += static_cast<double>(
+          rng_.NextBelow(static_cast<std::uint64_t>(
+              std::max<SimDuration>(1, plan_.reorder_delay_max))));
+      stats_.Inc("net.reorder_injected");
+    }
+    if (plan_.duplicate_probability > 0 &&
+        rng_.NextBool(plan_.duplicate_probability)) {
+      duplicate = true;
+      dup_extra = static_cast<SimDuration>(
+          rng_.NextBelow(static_cast<std::uint64_t>(
+              std::max<SimDuration>(1, plan_.reorder_delay_max))));
+      stats_.Inc("net.dup_injected");
+    }
+  }
+  if (duplicate) {
+    Packet copy = pkt;
+    dst_it->second.rx.Send(std::move(copy),
+                           static_cast<SimDuration>(latency) + dup_extra);
   }
   dst_it->second.rx.Send(std::move(pkt),
                          static_cast<SimDuration>(latency));

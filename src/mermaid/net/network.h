@@ -6,12 +6,24 @@
 // byte, with the per-packet fragmentation cost paid by the *sender's* CPU in
 // the fragment layer). Optional seeded packet loss and latency jitter
 // support failure-injection tests and the paper's thrashing variance.
+//
+// Beyond i.i.d. loss, a scriptable FaultPlan injects the correlated failures
+// a real deployment sees: timed network partitions (drop between host
+// groups, then heal), targeted per-(src, dst, kind) drop rules, message
+// duplication, latency-spike reordering, and host outages (pause or
+// crash+restart windows during which a host can neither send nor receive).
+// Every probabilistic decision draws from the network's seeded RNG, so a
+// chaos run under the virtual-time engine is exactly reproducible.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "mermaid/arch/arch.h"
@@ -34,6 +46,56 @@ struct Packet {
   std::vector<std::uint8_t> bytes;  // wire bytes (fragment header + payload)
 };
 
+// Open-ended time bound for fault windows.
+inline constexpr SimTime kFaultForever = std::numeric_limits<SimTime>::max();
+
+// Chaos script applied on top of the base loss/jitter model. All windows are
+// [from, until) in simulation time; kFaultForever means "never heals".
+struct FaultPlan {
+  // Traffic between `group` and every host NOT in `group` is dropped during
+  // the window (a clean two-sided partition; intra-group traffic is fine).
+  struct Partition {
+    std::vector<HostId> group;
+    SimTime from = 0;
+    SimTime until = kFaultForever;
+  };
+
+  // Targeted drop: a packet matching every specified field (nullopt = any)
+  // inside the window is dropped with `probability`.
+  struct DropRule {
+    std::optional<HostId> src;
+    std::optional<HostId> dst;
+    std::optional<MsgKind> kind;
+    SimTime from = 0;
+    SimTime until = kFaultForever;
+    double probability = 1.0;
+  };
+
+  // Host outage (pause or crash window): while down, the host neither sends
+  // nor receives, and packets that would arrive during the window are lost.
+  // The optional hooks fire from a chaos daemon exactly at the window edges
+  // — use them to model crash/restart side effects or to assert mid-outage
+  // state in tests.
+  struct Outage {
+    HostId host = 0;
+    SimTime from = 0;
+    SimTime until = kFaultForever;
+    std::function<void()> on_down;     // fired at `from`
+    std::function<void()> on_restart;  // fired at `until`
+  };
+
+  std::vector<Partition> partitions;
+  std::vector<DropRule> drops;
+  std::vector<Outage> outages;
+
+  // Per delivered packet: probability of injecting a duplicate copy and of
+  // delaying the packet by up to `reorder_delay_max` (which lets later
+  // packets overtake it).
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  SimDuration reorder_delay_max = Milliseconds(5);
+};
+
 class Network {
  public:
   struct Config {
@@ -53,6 +115,22 @@ class Network {
   // wire serialization of earlier fragments of the same message.
   void Send(Packet pkt, SimDuration extra_delay = 0);
 
+  // Installs (replaces) the chaos script. May be called before or during a
+  // run; a daemon is spawned to fire outage hooks if any are present.
+  void SetFaultPlan(FaultPlan plan);
+
+  // Imperative host control for tests that steer chaos by hand: a paused or
+  // crashed host can neither send nor receive until resumed/restarted.
+  void PauseHost(HostId id);
+  void ResumeHost(HostId id);
+  void CrashHost(HostId id);    // like pause; in-flight packets also die
+  void RestartHost(HostId id);
+
+  // True if `id` cannot exchange packets at time `t` (outage or imperative
+  // pause/crash). Exposed so protocol tests can line assertions up with the
+  // scripted windows.
+  bool HostDown(HostId id, SimTime t) const;
+
   std::uint32_t mtu() const { return cfg_.mtu; }
   const arch::ArchProfile& ProfileOf(HostId id) const;
 
@@ -64,13 +142,24 @@ class Network {
     sim::Chan<Packet> rx;
   };
 
+  // Drop verdict for one packet under the current plan; called with mu_
+  // held (draws from rng_). `send_time`/`deliver_time` bound the windows the
+  // packet must survive.
+  bool FaultDropLocked(const Packet& pkt, SimTime send_time,
+                       SimTime deliver_time);
+  bool HostDownLocked(HostId id, SimTime t) const;
+
   sim::Runtime& rt_;
   Config cfg_;
-  // Guards rng_ and stats_ on the real-time runtime (concurrent senders);
-  // uncontended under the virtual-time engine. Never held across blocking.
-  std::mutex mu_;
+  // Guards rng_, stats_, plan_ and the imperative down-sets on the real-time
+  // runtime (concurrent senders); uncontended under the virtual-time engine.
+  // Never held across blocking.
+  mutable std::mutex mu_;
   base::Rng rng_;
   std::map<HostId, HostEntry> hosts_;
+  FaultPlan plan_;
+  std::set<HostId> paused_;   // imperative PauseHost
+  std::set<HostId> crashed_;  // imperative CrashHost
   base::StatsRegistry stats_;
 };
 

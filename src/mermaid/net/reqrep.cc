@@ -51,7 +51,8 @@ Endpoint::Endpoint(sim::Runtime& rt, Network& net, HostId self,
       cfg_(cfg),
       fragmenter_(rt, net, self),
       reassembler_(rt),
-      rx_(net.Attach(self, profile)) {}
+      rx_(net.Attach(self, profile)),
+      backoff_rng_(cfg.backoff_seed + 0x9e3779b97f4a7c15ULL * (self + 1)) {}
 
 void Endpoint::SetHandler(std::uint8_t op,
                           std::function<void(RequestContext)> handler) {
@@ -217,17 +218,21 @@ Endpoint::DedupEntry& Endpoint::DedupInsert(HostId origin,
   return dedup_[{origin, req_id}];
 }
 
-std::optional<std::vector<std::uint8_t>> Endpoint::Call(
-    HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
-    MsgKind kind, const CallOpts& opts) {
-  auto replies = MultiCall({dst}, op, std::move(body), kind, opts);
-  if (!replies.has_value()) return std::nullopt;
-  return std::move((*replies)[0]);
+CallResult Endpoint::CallWithStatus(HostId dst, std::uint8_t op,
+                                    std::vector<std::uint8_t> body,
+                                    MsgKind kind, const CallOpts& opts) {
+  auto multi = MultiCallWithStatus({dst}, op, std::move(body), kind, opts);
+  CallResult out;
+  out.status = multi.status;
+  if (multi.status == CallStatus::kOk) out.body = std::move(multi.replies[0]);
+  return out;
 }
 
-std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
-    const std::vector<HostId>& dsts, std::uint8_t op,
-    std::vector<std::uint8_t> body, MsgKind kind, const CallOpts& opts) {
+MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
+                                              std::uint8_t op,
+                                              std::vector<std::uint8_t> body,
+                                              MsgKind kind,
+                                              const CallOpts& opts) {
   MERMAID_CHECK(started_);
   MERMAID_CHECK(!dsts.empty());
   const SimDuration timeout =
@@ -257,8 +262,11 @@ std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
   }
 
   std::size_t remaining = dsts.size();
+  // Attempt k's wait is min(timeout * factor^(k-1), cap) with +/- jitter so
+  // concurrent losers of the same page don't retransmit in lockstep.
+  double wait_ns = static_cast<double>(timeout);
   SimTime deadline = rt_.Now() + timeout;
-  bool failed = false;
+  bool shutdown = false;
   while (remaining > 0) {
     bool timed_out = false;
     auto msg = reply_chan.RecvUntil(deadline, &timed_out);
@@ -274,7 +282,7 @@ std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
       continue;
     }
     if (!timed_out) {  // runtime shutdown
-      failed = true;
+      shutdown = true;
       break;
     }
     // Deadline hit: retransmit every unanswered request that has attempts
@@ -282,33 +290,71 @@ std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
     bool any_left = false;
     for (std::size_t i = 0; i < dsts.size(); ++i) {
       Slot& s = slots[i];
-      if (s.done) continue;
-      if (s.attempts >= max_attempts) {
-        failed = true;
-        continue;
-      }
+      if (s.done || s.attempts >= max_attempts) continue;
       ++s.attempts;
       any_left = true;
-      stats_.Inc("reqrep.retransmissions");
+      stats_.Inc("reqrep.retransmits");
       SendRequestWire(WireType::kRequest, dsts[i], op, self_, s.req_id, body,
                       kind);
     }
     if (!any_left) break;
-    deadline = rt_.Now() + timeout;
+    wait_ns = std::min(wait_ns * cfg_.backoff_factor,
+                       static_cast<double>(cfg_.backoff_cap));
+    double jittered = wait_ns;
+    if (cfg_.backoff_jitter > 0) {
+      std::lock_guard<std::mutex> lk(maps_mu_);
+      jittered *=
+          1.0 + cfg_.backoff_jitter * (2.0 * backoff_rng_.NextDouble() - 1.0);
+    }
+    const auto wait = std::max<SimDuration>(
+        1, static_cast<SimDuration>(jittered));
+    if (wait > timeout) {
+      stats_.Inc("reqrep.backoff_total_ms",
+                 static_cast<std::int64_t>((wait - timeout) / 1'000'000));
+    }
+    deadline = rt_.Now() + wait;
   }
 
   {
     std::lock_guard<std::mutex> lk(maps_mu_);
     for (const auto& s : slots) pending_.erase(s.req_id);
   }
-  if (failed || remaining > 0) {
-    stats_.Inc("reqrep.call_failures");
-    return std::nullopt;
+  MultiCallResult out;
+  out.replies.resize(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].done) {
+      out.replies[i] = std::move(slots[i].reply);
+    } else {
+      out.timed_out.push_back(i);
+    }
   }
-  std::vector<std::vector<std::uint8_t>> out;
-  out.reserve(slots.size());
-  for (auto& s : slots) out.push_back(std::move(s.reply));
+  if (shutdown) {
+    out.status = CallStatus::kShutdown;
+    stats_.Inc("reqrep.call_failures");
+  } else if (remaining > 0) {
+    out.status = CallStatus::kTimedOut;
+    stats_.Inc("reqrep.call_failures");
+    stats_.Inc("reqrep.call_timeouts");
+  } else {
+    out.status = CallStatus::kOk;
+  }
   return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Endpoint::Call(
+    HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
+    MsgKind kind, const CallOpts& opts) {
+  auto r = CallWithStatus(dst, op, std::move(body), kind, opts);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r.body);
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
+    const std::vector<HostId>& dsts, std::uint8_t op,
+    std::vector<std::uint8_t> body, MsgKind kind, const CallOpts& opts) {
+  auto r = MultiCallWithStatus(dsts, op, std::move(body), kind, opts);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r.replies);
 }
 
 void Endpoint::Notify(HostId dst, std::uint8_t op,

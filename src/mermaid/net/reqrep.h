@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "mermaid/base/rng.h"
 #include "mermaid/base/stats.h"
 #include "mermaid/net/fragment.h"
 #include "mermaid/net/network.h"
@@ -71,6 +72,31 @@ struct CallOpts {
   int max_attempts = 0;
 };
 
+// Why a Call/MultiCall came back without a full reply set. Callers must
+// treat the two failure modes differently: kTimedOut means the peer is
+// unreachable (retry with backoff, recover, or fail loudly); kShutdown means
+// the engine is tearing down (unwind silently, never escalate).
+enum class CallStatus : std::uint8_t { kOk = 0, kTimedOut = 1, kShutdown = 2 };
+
+struct CallResult {
+  CallStatus status = CallStatus::kShutdown;
+  std::vector<std::uint8_t> body;  // valid iff status == kOk
+
+  bool ok() const { return status == CallStatus::kOk; }
+};
+
+struct MultiCallResult {
+  CallStatus status = CallStatus::kShutdown;
+  // One entry per destination, in destination order. On kTimedOut the
+  // entries whose indices appear in `timed_out` never replied (their bodies
+  // are empty); the rest hold real replies, so a multicast caller can
+  // retry just the missing targets.
+  std::vector<std::vector<std::uint8_t>> replies;
+  std::vector<std::size_t> timed_out;
+
+  bool ok() const { return status == CallStatus::kOk; }
+};
+
 class Endpoint {
  public:
   using CallOpts = net::CallOpts;
@@ -79,6 +105,14 @@ class Endpoint {
     SimDuration call_timeout = Milliseconds(400);
     int max_attempts = 6;       // first send + retransmissions
     std::size_t dedup_window = 512;  // remembered (origin, req_id) entries
+    // Retransmission backoff: attempt k waits min(timeout * factor^(k-1),
+    // backoff_cap), stretched by a seeded jitter of up to +/- backoff_jitter
+    // so synchronized losers don't retransmit in lockstep. factor = 1
+    // restores the legacy fixed re-arm.
+    double backoff_factor = 2.0;
+    SimDuration backoff_cap = Seconds(4);
+    double backoff_jitter = 0.2;
+    std::uint64_t backoff_seed = 0x6d657277616964ULL;  // per-host salt added
   };
 
   // Attaches `self` to the network with the given architecture profile.
@@ -95,13 +129,28 @@ class Endpoint {
   // Spawns the receive daemon. Call after handlers are registered.
   void Start();
 
-  // Blocking request; nullopt after max_attempts timeouts (or shutdown).
+  // Blocking request with a typed outcome; retransmits with exponential
+  // backoff until a reply arrives or max_attempts is exhausted.
+  CallResult CallWithStatus(HostId dst, std::uint8_t op,
+                            std::vector<std::uint8_t> body,
+                            MsgKind kind = MsgKind::kControl,
+                            const CallOpts& opts = {});
+
+  // Blocking multicast with a typed outcome: one request per destination,
+  // waits for all replies; on timeout, reports which destinations failed and
+  // keeps the partial replies.
+  MultiCallResult MultiCallWithStatus(const std::vector<HostId>& dsts,
+                                      std::uint8_t op,
+                                      std::vector<std::uint8_t> body,
+                                      MsgKind kind = MsgKind::kControl,
+                                      const CallOpts& opts = {});
+
+  // Legacy conveniences: nullopt on any failure (timeout or shutdown
+  // indistinguishably). Prefer the WithStatus variants on protocol paths
+  // that must react to faults.
   std::optional<std::vector<std::uint8_t>> Call(
       HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
       MsgKind kind = MsgKind::kControl, const CallOpts& opts = {});
-
-  // Blocking multicast: one request per destination, waits for all replies.
-  // Returns replies in destination order; nullopt if any destination failed.
   std::optional<std::vector<std::vector<std::uint8_t>>> MultiCall(
       const std::vector<HostId>& dsts, std::uint8_t op,
       std::vector<std::uint8_t> body, MsgKind kind = MsgKind::kControl,
@@ -159,6 +208,7 @@ class Endpoint {
   // mutex held across a process switch would wedge the scheduler.
   std::mutex maps_mu_;
   std::uint64_t next_req_id_ = 1;
+  base::Rng backoff_rng_;  // jitter source; guarded by maps_mu_
   // Outstanding Calls/MultiCalls: req_id -> the caller's reply channel.
   std::map<std::uint64_t, sim::Chan<ReplyMsg>> pending_;
   // Dedup table with FIFO eviction (rx daemon only, but kept under the same

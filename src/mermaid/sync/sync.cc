@@ -171,10 +171,13 @@ void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg) {
   net::Endpoint::CallOpts opts;
   opts.timeout = Milliseconds(500);
   opts.max_attempts = 1 << 20;  // a parked P may wait arbitrarily long
-  auto r = ep_->Call(server_host_, dsm::kOpSync, EncodeOp(subop, id, arg),
-                     net::MsgKind::kControl, opts);
-  // nullopt only on runtime shutdown; unwinding is fine.
-  (void)r;
+  auto r = ep_->CallWithStatus(server_host_, dsm::kOpSync,
+                               EncodeOp(subop, id, arg),
+                               net::MsgKind::kControl, opts);
+  // Shutdown unwinds silently; anything else losing a sync op would corrupt
+  // the application's synchronization invariants, so fail loudly.
+  MERMAID_CHECK_MSG(r.status != net::CallStatus::kTimedOut,
+                    "sync operation timed out: sync server unreachable");
 }
 
 void Client::SemInit(SyncId id, std::int64_t value) {

@@ -300,11 +300,117 @@ TEST_P(ReqRepLoss, RetransmissionSurvivesLoss) {
   EXPECT_EQ(succeeded, kCalls);
   // Exactly-once handler invocation despite retransmissions.
   EXPECT_EQ(handled, kCalls);
-  EXPECT_GT(a.stats().Count("reqrep.retransmissions"), 0);
+  EXPECT_GT(a.stats().Count("reqrep.retransmits"), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReqRepLoss,
                          ::testing::Values(3, 17, 99, 1990));
+
+// Injected duplication and reordering on top of loss: all calls must still
+// succeed and the handler must run exactly once per call.
+TEST(ReqRep, DuplicationAndReorderingStayExactlyOnce) {
+  sim::Engine eng;
+  Network::Config cfg;
+  cfg.loss_probability = 0.1;
+  cfg.seed = 42;
+  Network net(eng, cfg);
+  FaultPlan plan;
+  plan.duplicate_probability = 0.3;
+  plan.reorder_probability = 0.3;
+  net.SetFaultPlan(plan);
+  Endpoint::Config epcfg;
+  epcfg.call_timeout = Milliseconds(80);
+  epcfg.max_attempts = 30;
+  Endpoint a(eng, net, 0, &arch::Sun3Profile(), epcfg);
+  Endpoint b(eng, net, 1, &arch::FireflyProfile(), epcfg);
+  int handled = 0;
+  b.SetHandler(3, [&](RequestContext ctx) {
+    ++handled;
+    std::vector<std::uint8_t> echo = ctx.body();
+    ctx.Reply(std::move(echo));
+  });
+  a.Start();
+  b.Start();
+  constexpr int kCalls = 25;
+  int succeeded = 0;
+  eng.Spawn("client", [&] {
+    for (int i = 0; i < kCalls; ++i) {
+      std::vector<std::uint8_t> body{static_cast<std::uint8_t>(i)};
+      auto r = a.Call(1, 3, body);
+      if (r.has_value() && *r == body) ++succeeded;
+    }
+  });
+  eng.Run();
+  EXPECT_EQ(succeeded, kCalls);
+  EXPECT_EQ(handled, kCalls);
+  EXPECT_GT(net.stats().Count("net.dup_injected"), 0);
+  EXPECT_GT(net.stats().Count("net.reorder_injected"), 0);
+}
+
+// Typed call outcomes: a reachable peer yields kOk with the reply body; a
+// crashed peer exhausts its attempts and yields kTimedOut (with the timeout
+// counted and backoff applied), never a silent empty success.
+TEST(ReqRep, CallStatusDistinguishesTimeoutFromSuccess) {
+  sim::Engine eng;
+  Network net(eng, {});
+  Endpoint a(eng, net, 0, &arch::Sun3Profile());
+  Endpoint b(eng, net, 1, &arch::FireflyProfile());
+  Endpoint c(eng, net, 2, &arch::FireflyProfile());
+  b.SetHandler(4, [](RequestContext ctx) { ctx.Reply({7}); });
+  c.SetHandler(4, [](RequestContext ctx) { ctx.Reply({8}); });
+  a.Start();
+  b.Start();
+  c.Start();
+  net.CrashHost(2);
+  eng.Spawn("client", [&] {
+    CallOpts opts;
+    opts.timeout = Milliseconds(50);
+    opts.max_attempts = 3;
+    auto ok = a.CallWithStatus(1, 4, {}, MsgKind::kControl, opts);
+    EXPECT_EQ(ok.status, CallStatus::kOk);
+    EXPECT_EQ(ok.body, std::vector<std::uint8_t>{7});
+    auto dead = a.CallWithStatus(2, 4, {}, MsgKind::kControl, opts);
+    EXPECT_EQ(dead.status, CallStatus::kTimedOut);
+    EXPECT_TRUE(dead.body.empty());
+  });
+  eng.Run();
+  EXPECT_GE(a.stats().Count("reqrep.call_timeouts"), 1);
+  EXPECT_GT(a.stats().Count("reqrep.backoff_total_ms"), 0);
+}
+
+// Partial multicast outcomes: the caller learns exactly which destinations
+// timed out and keeps the replies that did arrive, so it can retry just the
+// missing targets (the invalidation-multicast pattern).
+TEST(ReqRep, MultiCallReportsPartialTimeouts) {
+  sim::Engine eng;
+  Network net(eng, {});
+  Endpoint a(eng, net, 0, &arch::Sun3Profile());
+  Endpoint b(eng, net, 1, &arch::FireflyProfile());
+  Endpoint c(eng, net, 2, &arch::FireflyProfile());
+  b.SetHandler(4, [](RequestContext ctx) { ctx.Reply({7}); });
+  c.SetHandler(4, [](RequestContext ctx) { ctx.Reply({8}); });
+  a.Start();
+  b.Start();
+  c.Start();
+  net.CrashHost(2);
+  eng.Spawn("client", [&] {
+    CallOpts opts;
+    opts.timeout = Milliseconds(50);
+    opts.max_attempts = 3;
+    auto rs = a.MultiCallWithStatus({1, 2}, 4, {}, MsgKind::kControl, opts);
+    EXPECT_EQ(rs.status, CallStatus::kTimedOut);
+    ASSERT_EQ(rs.replies.size(), 2u);
+    EXPECT_EQ(rs.replies[0], std::vector<std::uint8_t>{7});
+    EXPECT_TRUE(rs.replies[1].empty());
+    ASSERT_EQ(rs.timed_out.size(), 1u);
+    EXPECT_EQ(rs.timed_out[0], 1u);
+    // After a restart the same targets all answer.
+    net.RestartHost(2);
+    auto rs2 = a.MultiCallWithStatus({1, 2}, 4, {}, MsgKind::kControl, opts);
+    EXPECT_EQ(rs2.status, CallStatus::kOk);
+  });
+  eng.Run();
+}
 
 // Forwarded requests under loss: the origin retransmits, the manager
 // re-forwards from its dedup record, the owner replays its reply.
