@@ -19,7 +19,7 @@ namespace {
 
 using Reg = arch::TypeRegistry;
 
-void AblationConversion() {
+void AblationConversion(benchutil::JsonReport& report) {
   benchutil::PrintHeader("Ablation A: data conversion cost on/off "
                          "(MM 256x256, master Sun + 4 Fireflies, 8 threads)");
   apps::MatMulConfig mm;
@@ -41,9 +41,12 @@ void AblationConversion() {
   std::printf("without conversion: %7.1f s\n", without.seconds);
   std::printf("conversion adds %.1f%% to the response time\n",
               100.0 * (with.seconds - without.seconds) / without.seconds);
+  report.Add("conversion.with_s", with.seconds);
+  report.Add("conversion.without_s", without.seconds);
+  report.Add("conversion.count", with.conversions);
 }
 
-void AblationPartialTransfer() {
+void AblationPartialTransfer(benchutil::JsonReport& report) {
   benchutil::PrintHeader(
       "Ablation B: partial-page transfer (page holding only 64 allocated "
       "ints of its 8 KB)");
@@ -71,10 +74,13 @@ void AblationPartialTransfer() {
         "receiving Firefly scales with the same extent\n",
         partial ? "on" : "off",
         static_cast<long long>(sys.host(1).stats().Count("dsm.bytes_in")));
+    report.Add(std::string("partial.") + (partial ? "on" : "off") +
+                   ".bytes_in",
+               sys.host(1).stats().Count("dsm.bytes_in"));
   }
 }
 
-void AblationSameTypeSource() {
+void AblationSameTypeSource(benchutil::JsonReport& report) {
   benchutil::PrintHeader(
       "Ablation C: same-type source preference for read-shared pages "
       "(1 Sun owner, 3 Sun + 3 Ffly readers)");
@@ -118,6 +124,9 @@ void AblationSameTypeSource() {
         "preference=%-5s conversions=%-4lld same-type grants=%lld\n",
         pref ? "on" : "off", static_cast<long long>(conversions),
         static_cast<long long>(same_type));
+    report.Add(std::string("sourcepref.") + (pref ? "on" : "off") +
+                   ".conversions",
+               conversions);
   }
   std::printf("(reads served from same-representation replicas skip "
               "conversion entirely)\n");
@@ -127,8 +136,10 @@ void AblationSameTypeSource() {
 }  // namespace mermaid
 
 int main() {
-  mermaid::AblationConversion();
-  mermaid::AblationPartialTransfer();
-  mermaid::AblationSameTypeSource();
+  mermaid::benchutil::JsonReport report("ablation_hetero");
+  mermaid::AblationConversion(report);
+  mermaid::AblationPartialTransfer(report);
+  mermaid::AblationSameTypeSource(report);
+  report.Write();
   return 0;
 }

@@ -125,6 +125,7 @@ double RunCentral(const Workload& w) {
 
 int main() {
   using namespace mermaid;
+  benchutil::JsonReport report("algo_crossover");
   benchutil::PrintHeader(
       "Algorithm crossover: page-based MRSW vs central server "
       "(4 Firefly workers, 400 mixed ops each)");
@@ -136,8 +137,13 @@ int main() {
     const double cs = RunCentral(w);
     std::printf("%-10.2f %16.2f %16.2f %12s\n", locality, pb, cs,
                 pb < cs ? "page-based" : "central");
+    char key[32];
+    std::snprintf(key, sizeof(key), "locality%.2f", locality);
+    report.Add(std::string(key) + ".page_based_s", pb);
+    report.Add(std::string(key) + ".central_s", cs);
   }
   std::printf("(§2.1: the right DSM algorithm depends on the application's "
               "memory access behavior)\n");
+  report.Write();
   return 0;
 }

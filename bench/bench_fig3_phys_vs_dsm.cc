@@ -13,6 +13,7 @@
 int main() {
   using namespace mermaid;
   using benchutil::Ffly;
+  benchutil::JsonReport report("fig3_phys_vs_dsm");
   benchutil::PrintHeader(
       "Figure 3: MM 256x256, physical vs distributed shared memory "
       "(response time, s)");
@@ -44,8 +45,12 @@ int main() {
     std::printf("%-8d %18.1f %18.1f %9.2fx\n", threads, physical.seconds,
                 distributed.seconds,
                 distributed.seconds / physical.seconds);
+    const std::string k = "threads" + std::to_string(threads);
+    report.Add(k + ".physical_s", physical.seconds);
+    report.Add(k + ".distributed_s", distributed.seconds);
   }
   std::printf("(paper: DSM slightly slower than physical shared memory; the "
               "penalty is the page transfer cost)\n");
+  report.Write();
   return 0;
 }

@@ -15,6 +15,7 @@ int main() {
   using namespace mermaid;
   using benchutil::Ffly;
   using benchutil::Sun;
+  benchutil::JsonReport report("fig4_mm_hetero");
   benchutil::PrintHeader(
       "Figure 4: MM 256x256, master on Sun, slaves on 1-4 Fireflies");
   std::printf("%-8s %10s %14s %12s %14s %12s\n", "threads", "fireflies",
@@ -44,8 +45,13 @@ int main() {
     std::printf("%-8d %10d %14.1f %11.2fx %14.1f %12lld\n", threads,
                 fireflies, hetero.seconds, hetero_base / hetero.seconds,
                 homo.seconds, static_cast<long long>(hetero.conversions));
+    const std::string k = "threads" + std::to_string(threads);
+    report.Add(k + ".hetero_s", hetero.seconds);
+    report.Add(k + ".homo_s", homo.seconds);
+    report.Add(k + ".conversions", hetero.conversions);
   }
   std::printf("(paper: speedup up to 14 threads, then communication "
               "overhead; hetero ~= homo)\n");
+  report.Write();
   return 0;
 }

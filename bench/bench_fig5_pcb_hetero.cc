@@ -13,6 +13,7 @@
 int main() {
   using namespace mermaid;
   using benchutil::Sun;
+  benchutil::JsonReport report("fig5_pcb_hetero");
   benchutil::PrintHeader(
       "Figure 5: PCB 2x16 cm, master on Sun, slaves on 1-4 Fireflies");
 
@@ -30,6 +31,7 @@ int main() {
   auto seq = benchutil::RunPcbOnce(cfg, {&Sun()}, pcb);
   std::printf("sequential on the Sun: %.0f s (paper: ~5-6 minutes)\n\n",
               seq.seconds);
+  report.Add("sequential_s", seq.seconds);
 
   std::printf("%-8s %10s %14s %12s\n", "threads", "fireflies", "time (s)",
               "speedup");
@@ -45,8 +47,10 @@ int main() {
     std::printf("%-8d %10d %14.1f %11.2fx%s\n", threads, fireflies,
                 run.seconds, base / run.seconds,
                 run.correct ? "" : "  (INCORRECT)");
+    report.Add("threads" + std::to_string(threads) + "_s", run.seconds);
   }
   std::printf("(paper: speedup ~7 at 10 threads; limits are stripe "
               "imbalance and overlap work)\n");
+  report.Write();
   return 0;
 }

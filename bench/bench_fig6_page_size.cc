@@ -13,6 +13,7 @@
 int main() {
   using namespace mermaid;
   using benchutil::Sun;
+  benchutil::JsonReport report("fig6_page_size");
   benchutil::PrintHeader(
       "Figure 6: MM1 256x256, large vs small page size algorithm");
   std::printf("%-8s %14s %14s %12s %16s %16s\n", "threads", "large (s)",
@@ -39,8 +40,14 @@ int main() {
                 large.seconds, small.seconds, small.seconds / large.seconds,
                 static_cast<long long>(large.pages_transferred),
                 static_cast<long long>(small.pages_transferred));
+    const std::string k = "threads" + std::to_string(threads);
+    report.Add(k + ".large_s", large.seconds);
+    report.Add(k + ".small_s", small.seconds);
+    report.Add(k + ".large_transfers", large.pages_transferred);
+    report.Add(k + ".small_transfers", small.pages_transferred);
   }
   std::printf("(paper: definite degradation with the small algorithm "
               "throughout the processor range)\n");
+  report.Write();
   return 0;
 }

@@ -12,6 +12,7 @@
 int main() {
   using namespace mermaid;
   using benchutil::Sun;
+  benchutil::JsonReport report("fig7_locality");
   benchutil::PrintHeader(
       "Figure 7: MM1 vs MM2, small page size algorithm");
   std::printf("%-8s %14s %14s %12s\n", "threads", "MM1 (s)", "MM2 (s)",
@@ -37,8 +38,12 @@ int main() {
 
     std::printf("%-8d %14.1f %14.1f %11.2fx\n", threads, mm1.seconds,
                 mm2.seconds, mm2.seconds / mm1.seconds);
+    const std::string k = "threads" + std::to_string(threads);
+    report.Add(k + ".mm1_s", mm1.seconds);
+    report.Add(k + ".mm2_s", mm2.seconds);
   }
   std::printf("(paper: MM2's degradation over MM1 is small under the small "
               "page size algorithm)\n");
+  report.Write();
   return 0;
 }

@@ -20,6 +20,7 @@
 int main() {
   using namespace mermaid;
   using benchutil::Sun;
+  benchutil::JsonReport report("mp_vs_dsm");
   benchutil::PrintHeader(
       "DSM vs message passing: MM 256x256, master on Sun + 4 Fireflies");
   std::printf("%-8s %12s %20s %10s\n", "threads", "DSM (s)",
@@ -59,9 +60,13 @@ int main() {
     const double mp_s = ToSeconds(mp_result.elapsed);
     std::printf("%-8d %12.1f %20.1f %9.2fx\n", threads, dsm_run.seconds,
                 mp_s, dsm_run.seconds / mp_s);
+    const std::string k = "threads" + std::to_string(threads);
+    report.Add(k + ".dsm_s", dsm_run.seconds);
+    report.Add(k + ".mp_s", mp_s);
   }
   std::printf("(paper: DSM is competitive with message passing and can win "
               "when demand paging overlaps the exchange phase with "
               "computation)\n");
+  report.Write();
   return 0;
 }

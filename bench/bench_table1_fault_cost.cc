@@ -66,9 +66,14 @@ Cell MeasureFaultHandling(const arch::ArchProfile& requester) {
 
 int main() {
   using namespace mermaid;
+  benchutil::JsonReport report("table1_fault_cost");
   benchutil::PrintHeader("Table 1: costs of page fault handling (ms)");
   auto sun = MeasureFaultHandling(benchutil::Sun());
   auto ffly = MeasureFaultHandling(benchutil::Ffly());
+  report.Add("sun.read_ms", sun.read_ms);
+  report.Add("sun.write_ms", sun.write_ms);
+  report.Add("ffly.read_ms", ffly.read_ms);
+  report.Add("ffly.write_ms", ffly.write_ms);
   std::printf("%-8s %10s %10s %14s %14s\n", "", "Sun", "Firefly",
               "paper(Sun)", "paper(Ffly)");
   std::printf("%-8s %10.2f %10.2f %14.2f %14.2f\n", "Read", sun.read_ms,
@@ -77,5 +82,6 @@ int main() {
               ffly.write_ms, 2.04, 6.70);
   std::printf("(values are calibration inputs exercised through the fault "
               "path; see EXPERIMENTS.md)\n");
+  report.Write();
   return 0;
 }

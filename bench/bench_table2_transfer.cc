@@ -59,6 +59,7 @@ int main() {
   const arch::ArchProfile* profs[2] = {&Sun(), &Ffly()};
   const char* names[2] = {"Sun", "Firefly"};
 
+  benchutil::JsonReport report("table2_transfer");
   benchutil::PrintHeader("Table 2: cost of transferring a page (ms)");
   for (std::size_t size : {std::size_t{8192}, std::size_t{1024}}) {
     std::printf("\npage size %zu KB  (measured | paper)\n", size / 1024);
@@ -70,9 +71,13 @@ int main() {
         const double paper =
             size == 8192 ? paper8[f][t] : paper1[f][t];
         std::printf("     %8.1f | %5.1f", ms, paper);
+        report.Add(std::to_string(size) + "B." + names[f] + "_to_" +
+                       names[t] + "_ms",
+                   ms);
       }
       std::printf("\n");
     }
   }
+  report.Write();
   return 0;
 }

@@ -56,7 +56,7 @@ BENCHMARK_TEMPLATE(BM_ConvertPage, Reg::kShort)->Arg(8192)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_ConvertPage, Reg::kFloat)->Arg(8192)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_ConvertPage, Reg::kDouble)->Arg(8192)->Arg(1024);
 
-void PrintModeledTable() {
+void PrintModeledTable(benchutil::JsonReport& report) {
   Reg reg;
   const arch::ArchProfile& ffly = benchutil::Ffly();
   const arch::ArchProfile& sun = benchutil::Sun();
@@ -81,6 +81,8 @@ void PrintModeledTable() {
     const double e1 = 1024.0 / reg.SizeOf(r.type);
     std::printf("%-8s %14.1f %14.2f %12.1f %12.2f\n", r.name, per * e8,
                 per * e1, r.paper8, r.paper1);
+    report.Add(std::string(r.name) + ".8KB_ms", per * e8);
+    report.Add(std::string(r.name) + ".1KB_ms", per * e1);
   }
   arch::TypeId rec = reg.RegisterRecord(
       "paper_record", {{Reg::kInt, 3}, {Reg::kFloat, 3}, {Reg::kShort, 4}});
@@ -88,15 +90,18 @@ void PrintModeledTable() {
       ToMillis(reg.ModeledElementCost(sun, rec)) * (8192.0 / reg.SizeOf(rec));
   std::printf("%-8s %14.1f %14s %12.1f %12s   (on Sun3/60)\n", "record",
               rec_ms, "-", 19.6, "-");
+  report.Add("record.8KB_sun_ms", rec_ms);
 }
 
 }  // namespace
 }  // namespace mermaid
 
 int main(int argc, char** argv) {
-  mermaid::PrintModeledTable();
+  mermaid::benchutil::JsonReport report("table3_conversion");
+  mermaid::PrintModeledTable(report);
   std::printf("\nReal conversion-routine timings on this machine:\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  report.Write();
   return 0;
 }

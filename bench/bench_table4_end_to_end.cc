@@ -109,6 +109,7 @@ int main() {
        {{31.7, 31.3}, {54.7, 55.5}, {61.9, 61.3}, {54.4, 53.6}}},
   };
 
+  benchutil::JsonReport report("table4_end_to_end");
   benchutil::PrintHeader(
       "Table 4: end-to-end page fault delays for 8 KB pages (ms), "
       "measured | paper");
@@ -124,11 +125,15 @@ int main() {
         const double ms =
             MeasureMs(row.sc, *pairs[p].r, *pairs[p].o, w == 1);
         std::printf(" %4.1f|%4.1f", ms, row.paper[p][w]);
+        report.Add(std::string(row.name) + "." + pairs[p].name +
+                       (w == 1 ? ".W_ms" : ".R_ms"),
+                   ms);
       }
     }
     std::printf("\n");
   }
   std::printf("(requester->owner pairs; integer conversion included when "
               "types differ)\n");
+  report.Write();
   return 0;
 }

@@ -13,6 +13,7 @@
 int main() {
   using namespace mermaid;
   using benchutil::Sun;
+  benchutil::JsonReport report("thrash_mm2_large");
   benchutil::PrintHeader(
       "Thrashing: MM2 under the large page size algorithm (256x256)");
 
@@ -35,6 +36,7 @@ int main() {
       cfg, benchutil::MasterPlusFireflies(Sun(), 1), mm);
   std::printf("sequential baseline: %.1f s, %lld page transfers\n\n",
               seq.seconds, static_cast<long long>(seq.pages_transferred));
+  report.Add("sequential_s", seq.seconds);
 
   std::printf("%-22s %6s %12s %12s %14s\n", "configuration", "seed",
               "time (s)", "vs seq", "transfers");
@@ -52,6 +54,10 @@ int main() {
                   threads, fireflies, static_cast<unsigned long long>(seed),
                   run.seconds, run.seconds / seq.seconds,
                   static_cast<long long>(run.pages_transferred));
+      const std::string k = "mm2.ffly" + std::to_string(fireflies) +
+                            ".seed" + std::to_string(seed);
+      report.Add(k + "_s", run.seconds);
+      report.Add(k + "_transfers", run.pages_transferred);
     }
   }
 
@@ -67,5 +73,8 @@ int main() {
               static_cast<long long>(mm1.pages_transferred));
   std::printf("(paper: MM2+large fluctuates wildly, up to 10x sequential, "
               "with very large page-transfer counts)\n");
+  report.Add("mm1.ffly3_s", mm1.seconds);
+  report.Add("mm1.ffly3_transfers", mm1.pages_transferred);
+  report.Write();
   return 0;
 }

@@ -4,8 +4,10 @@
 // EXPERIMENTS.md for the calibration story).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mermaid/apps/matmul.h"
@@ -84,5 +86,55 @@ inline PcbRun RunPcbOnce(const dsm::SystemConfig& sys_cfg,
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+// Machine-readable results: every bench writes BENCH_<name>.json next to the
+// binary with its key modeled totals/counters plus the real wall-clock time
+// of the run, so sweeps and CI can diff results without parsing tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    metrics_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, std::int64_t value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<std::int64_t>(value));
+  }
+
+  // Writes BENCH_<name>.json in the current directory.
+  void Write() const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"wall_clock_s\": %.3f,\n",
+                 name_.c_str(), wall);
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",
+                   metrics_[i].first.c_str(), metrics_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 }  // namespace mermaid::benchutil

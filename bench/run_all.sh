@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Runs every benchmark binary in a build tree and collects the
+# BENCH_<name>.json results.
+#
+# Usage: bench/run_all.sh [build-dir] [output-dir]
+#   build-dir   defaults to ./build
+#   output-dir  defaults to <build-dir>/bench-results
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR/bench-results}"
+BENCH_DIR=$(cd "$BUILD_DIR/bench" 2>/dev/null && pwd) || {
+    echo "no bench binaries under $BUILD_DIR/bench — build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+}
+
+mkdir -p "$OUT_DIR"
+cd "$OUT_DIR"
+
+status=0
+for bin in "$BENCH_DIR"/bench_*; do
+    [ -x "$bin" ] || continue
+    name=$(basename "$bin")
+    echo "==> $name"
+    if ! "$bin" > "$name.log" 2>&1; then
+        echo "FAILED: $name (see $OUT_DIR/$name.log)" >&2
+        status=1
+    fi
+done
+
+echo
+echo "results in $OUT_DIR:"
+ls -1 BENCH_*.json 2>/dev/null || echo "  (no JSON emitted)"
+exit $status

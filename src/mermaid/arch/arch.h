@@ -66,6 +66,16 @@ struct ArchProfile {
   }
 };
 
+// Compact wire encoding of a profile's representation class (byte order +
+// float format). Two profiles share a class iff SameRepresentation; the DSM
+// layer uses the byte to key converted-page caches and to tag FetchReply
+// payloads with the representation they are encoded in.
+inline std::uint8_t RepClassByte(const ArchProfile& p) {
+  return static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(p.byte_order) << 1) |
+      static_cast<std::uint8_t>(p.float_format));
+}
+
 // Per-link (ordered host-type pair) message cost parameters, calibrated from
 // Table 2 by fitting fixed + per-packet + wire terms (see EXPERIMENTS.md):
 //   data message latency  = data_fixed + per_packet * n_packets + wire * bytes

@@ -233,12 +233,20 @@ void TypeRegistry::ConvertElement(const TypeInfo& info, std::uint8_t* p,
 void TypeRegistry::ConvertBuffer(TypeId t, std::span<std::uint8_t> data,
                                  std::size_t count,
                                  const ConvertContext& ctx) const {
+  ConvertStrided(t, data, count, SizeOf(t), ctx);
+}
+
+void TypeRegistry::ConvertStrided(TypeId t, std::span<std::uint8_t> data,
+                                  std::size_t count, std::size_t stride,
+                                  const ConvertContext& ctx) const {
   MERMAID_CHECK(IsValid(t));
   MERMAID_CHECK(ctx.src != nullptr && ctx.dst != nullptr);
   const TypeInfo& info = types_[t];
-  MERMAID_CHECK(data.size() >= count * info.size);
+  MERMAID_CHECK(stride >= info.size);
+  if (count == 0) return;
+  MERMAID_CHECK(data.size() >= (count - 1) * stride + info.size);
   std::uint8_t* p = data.data();
-  for (std::size_t i = 0; i < count; ++i, p += info.size) {
+  for (std::size_t i = 0; i < count; ++i, p += stride) {
     ConvertElement(info, p, ctx);
   }
 }

@@ -110,6 +110,14 @@ class TypeRegistry {
   void ConvertBuffer(TypeId t, std::span<std::uint8_t> data,
                      std::size_t count, const ConvertContext& ctx) const;
 
+  // Converts `count` elements of `t` placed `stride` bytes apart (stride >=
+  // SizeOf(t); the gap bytes are untouched). This is the bulk entry point
+  // for page layouts that round elements up to a slot size — one call
+  // converts the whole page instead of one ConvertBuffer call per element.
+  void ConvertStrided(TypeId t, std::span<std::uint8_t> data,
+                      std::size_t count, std::size_t stride,
+                      const ConvertContext& ctx) const;
+
  private:
   struct TypeInfo {
     std::string name;

@@ -1,0 +1,121 @@
+#include "mermaid/base/buffer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace mermaid::base {
+
+namespace {
+
+std::atomic<std::uint64_t> g_bulk_copies{0};
+std::atomic<std::uint64_t> g_bulk_bytes{0};
+
+}  // namespace
+
+void BulkCopyRecord(std::size_t bytes) {
+  if (bytes < kBulkCopyThreshold) return;
+  g_bulk_copies.fetch_add(1, std::memory_order_relaxed);
+  g_bulk_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t BulkCopyCount() {
+  return g_bulk_copies.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BulkCopyBytes() {
+  return g_bulk_bytes.load(std::memory_order_relaxed);
+}
+
+void BulkCopyReset() {
+  g_bulk_copies.store(0, std::memory_order_relaxed);
+  g_bulk_bytes.store(0, std::memory_order_relaxed);
+}
+
+Buffer Buffer::CopyOf(std::span<const std::uint8_t> data) {
+  BulkCopyRecord(data.size());
+  return Buffer(std::vector<std::uint8_t>(data.begin(), data.end()));
+}
+
+Buffer Buffer::Slice(std::size_t off, std::size_t len) const {
+  Buffer out;
+  if (off >= len_) return out;
+  out.storage_ = storage_;
+  out.off_ = off_ + off;
+  out.len_ = std::min(len, len_ - off);
+  return out;
+}
+
+void BufferChain::Append(Buffer b) {
+  if (b.empty()) return;
+  size_ += b.size();
+  chunks_.push_back(std::move(b));
+}
+
+void BufferChain::Append(BufferChain other) {
+  for (auto& c : other.chunks_) Append(std::move(c));
+}
+
+std::uint8_t BufferChain::operator[](std::size_t i) const {
+  for (const auto& c : chunks_) {
+    if (i < c.size()) return c[i];
+    i -= c.size();
+  }
+  return 0;
+}
+
+BufferChain BufferChain::Slice(std::size_t off, std::size_t len) const {
+  BufferChain out;
+  if (off >= size_) return out;
+  len = std::min(len, size_ - off);
+  for (const auto& c : chunks_) {
+    if (len == 0) break;
+    if (off >= c.size()) {
+      off -= c.size();
+      continue;
+    }
+    const std::size_t take = std::min(len, c.size() - off);
+    out.Append(c.Slice(off, take));
+    off = 0;
+    len -= take;
+  }
+  return out;
+}
+
+std::size_t BufferChain::CopyTo(std::span<std::uint8_t> out) const {
+  std::size_t pos = 0;
+  for (const auto& c : chunks_) {
+    std::memcpy(out.data() + pos, c.data(), c.size());
+    pos += c.size();
+  }
+  BulkCopyRecord(pos);
+  return pos;
+}
+
+std::vector<std::uint8_t> BufferChain::ToVector() const {
+  std::vector<std::uint8_t> out(size_);
+  std::size_t pos = 0;
+  for (const auto& c : chunks_) {
+    std::memcpy(out.data() + pos, c.data(), c.size());
+    pos += c.size();
+  }
+  BulkCopyRecord(pos);
+  return out;
+}
+
+Buffer BufferChain::Flatten() const {
+  if (chunks_.size() == 1) return chunks_[0];
+  return Buffer(ToVector());
+}
+
+bool operator==(const BufferChain& a, const std::vector<std::uint8_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::size_t pos = 0;
+  for (const auto& c : a.chunks_) {
+    if (std::memcmp(c.data(), b.data() + pos, c.size()) != 0) return false;
+    pos += c.size();
+  }
+  return true;
+}
+
+}  // namespace mermaid::base

@@ -1,0 +1,120 @@
+// Immutable, ref-counted byte buffers for the zero-copy data path.
+//
+// A Buffer is a (shared storage, offset, length) view: slicing and copying
+// Buffer values shares the underlying bytes, so a page payload produced once
+// by the owner can travel through reqrep framing, fragmentation, the network,
+// and reassembly without being duplicated. A BufferChain is an ordered list
+// of Buffer chunks — the natural result of prepending small protocol headers
+// to a large payload, or of reassembling a message from fragments — and is
+// consumed either by scatter-copying into destination memory (CopyTo) or by
+// flattening when contiguity is genuinely required.
+//
+// Bulk-copy accounting: every routine here that physically duplicates bytes
+// (and WireWriter::Raw) reports copies of kBulkCopyThreshold bytes or more
+// to a global counter. Tests use BulkCopyReset()/BulkCopyCount() to assert
+// how many times a page payload is copied end-to-end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace mermaid::base {
+
+// Copies of at least this many bytes count toward the bulk-copy counters.
+// Protocol headers (tens of bytes) stay below it; page payloads are far
+// above it.
+inline constexpr std::size_t kBulkCopyThreshold = 256;
+
+// Records one physical copy of `bytes` bytes (no-op below the threshold).
+void BulkCopyRecord(std::size_t bytes);
+// Number of bulk copies since the last reset.
+std::uint64_t BulkCopyCount();
+// Total bytes moved by bulk copies since the last reset.
+std::uint64_t BulkCopyBytes();
+void BulkCopyReset();
+
+// An immutable view of shared byte storage. Copying a Buffer or taking a
+// Slice is O(1) and never duplicates the bytes.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Takes ownership of the vector's storage without copying.
+  Buffer(std::vector<std::uint8_t> bytes)  // NOLINT: implicit by design
+      : storage_(std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(bytes))),
+        off_(0),
+        len_(storage_->size()) {}
+
+  // Physically copies `data` into fresh shared storage (counted).
+  static Buffer CopyOf(std::span<const std::uint8_t> data);
+
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  const std::uint8_t* data() const {
+    return storage_ ? storage_->data() + off_ : nullptr;
+  }
+  std::span<const std::uint8_t> span() const { return {data(), len_}; }
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+
+  // Sub-view sharing the same storage. Clamped to the buffer's bounds.
+  Buffer Slice(std::size_t off,
+               std::size_t len = static_cast<std::size_t>(-1)) const;
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> storage_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+// An ordered sequence of Buffer chunks treated as one logical byte string.
+class BufferChain {
+ public:
+  BufferChain() = default;
+  BufferChain(Buffer b) {  // NOLINT: implicit by design
+    Append(std::move(b));
+  }
+  BufferChain(std::vector<std::uint8_t> bytes)  // NOLINT: implicit by design
+      : BufferChain(Buffer(std::move(bytes))) {}
+
+  void Append(Buffer b);
+  void Append(BufferChain other);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  const Buffer& chunk(std::size_t i) const { return chunks_[i]; }
+
+  // Byte at logical offset `i` (walks the chunk list; for tests/small data).
+  std::uint8_t operator[](std::size_t i) const;
+
+  // Logical sub-range [off, off+len) as a chain of shared slices (no copy).
+  BufferChain Slice(std::size_t off,
+                    std::size_t len = static_cast<std::size_t>(-1)) const;
+
+  // Scatter-copies the whole chain into `out` (counted). `out.size()` must
+  // be >= size(); returns the number of bytes written.
+  std::size_t CopyTo(std::span<std::uint8_t> out) const;
+
+  // Contiguous copies (counted, except the single-chunk Flatten fast path).
+  std::vector<std::uint8_t> ToVector() const;
+  // Returns the single chunk unchanged when the chain is already contiguous;
+  // otherwise concatenates into one freshly allocated Buffer (counted).
+  Buffer Flatten() const;
+
+  friend bool operator==(const BufferChain& a,
+                         const std::vector<std::uint8_t>& b);
+  friend bool operator==(const std::vector<std::uint8_t>& a,
+                         const BufferChain& b) {
+    return b == a;
+  }
+
+ private:
+  std::vector<Buffer> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mermaid::base

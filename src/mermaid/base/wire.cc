@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mermaid/base/buffer.h"
 #include "mermaid/base/bytes.h"
 
 namespace mermaid::base {
@@ -31,6 +32,7 @@ void WireWriter::Bytes(std::span<const std::uint8_t> data) {
 }
 
 void WireWriter::Raw(std::span<const std::uint8_t> data) {
+  BulkCopyRecord(data.size());
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 

@@ -99,7 +99,7 @@ void CentralClient::ReadRaw(GlobalAddr addr, std::span<std::uint8_t> out) {
   if (reply.status == net::CallStatus::kShutdown) return;
   MERMAID_CHECK_MSG(reply.ok(), "central-server read timed out");
   MERMAID_CHECK(reply.body.size() == out.size());
-  std::copy(reply.body.begin(), reply.body.end(), out.begin());
+  reply.body.CopyTo(out);
 }
 
 void CentralClient::WriteRaw(GlobalAddr addr,
@@ -110,10 +110,10 @@ void CentralClient::WriteRaw(GlobalAddr addr,
   }
   base::WireWriter w;
   w.U64(addr);
-  w.Raw(data);
-  auto reply = ep_->CallWithStatus(server_host_, kOpCentralWrite,
-                                   std::move(w).Take(),
-                                   net::MsgKind::kControl, CentralCallOpts());
+  net::Body body(std::move(w).Take(), base::Buffer::CopyOf(data));
+  auto reply =
+      ep_->CallWithStatus(server_host_, kOpCentralWrite, std::move(body),
+                          net::MsgKind::kControl, CentralCallOpts());
   MERMAID_CHECK_MSG(reply.status != net::CallStatus::kTimedOut,
                     "central-server write timed out");
 }

@@ -12,20 +12,13 @@ namespace {
 
 // Converts `extent` bytes of element slots in place. Slots are the
 // power-of-two stride the allocator lays elements out on; for basic types
-// stride == size so this is one contiguous ConvertBuffer call.
+// stride == size and non-power-of-two types simply convert at the slot
+// stride — one bulk call either way.
 void ConvertSlots(const arch::TypeRegistry& reg, arch::TypeId type,
                   std::span<std::uint8_t> data, std::uint32_t extent,
                   const arch::ConvertContext& ctx) {
-  const std::size_t size = reg.SizeOf(type);
-  const std::size_t stride = std::bit_ceil(size);
-  const std::size_t slots = extent / stride;
-  if (size == stride) {
-    reg.ConvertBuffer(type, data, slots, ctx);
-    return;
-  }
-  for (std::size_t i = 0; i < slots; ++i) {
-    reg.ConvertBuffer(type, data.subspan(i * stride, size), 1, ctx);
-  }
+  const std::size_t stride = std::bit_ceil(reg.SizeOf(type));
+  reg.ConvertStrided(type, data.first(extent), extent / stride, stride, ctx);
 }
 
 // Capped exponential backoff between whole fault-path retry rounds (the
@@ -345,6 +338,7 @@ Host::FaultOutcome Host::FaultViaLocalManager(PageNum p, bool is_write) {
     reply.alloc_bytes = e.alloc_bytes;
     reply.to_invalidate = grant.to_invalidate;
     reply.has_data = false;
+    reply.data_rep = arch::RepClassByte(*profile_);
   } else {
     // Fetch from the owner directly (the R/M -> O pattern of Table 4).
     base::WireWriter w;
@@ -431,12 +425,31 @@ bool Host::CompleteTransfer(PageNum p, bool is_write,
                             const FetchReply& reply) {
   const GlobalAddr page_base = static_cast<GlobalAddr>(p) * page_bytes_;
   if (reply.has_data) {
-    std::vector<std::uint8_t> data = reply.data;
-    ConvertIncoming(p, data, reply.type, net_.ProfileOf(reply.owner));
+    const std::size_t data_size = reply.data.size();
+    {
+      // Copy #2 of the data path: wire buffer -> requester memory. Writing
+      // into mem_ before the entry is installed is safe: access is still
+      // kNone and fault coalescing keeps local threads out of this page.
+      std::lock_guard<std::mutex> lk(state_mu_);
+      MERMAID_CHECK(data_size <= page_bytes_);
+      reply.data.CopyTo(
+          std::span<std::uint8_t>(mem_.data() + page_base, data_size));
+    }
+    // Convert in place in mem_ (still uninstalled, so nothing can read it).
+    // The codec runs here only when the payload arrived in a foreign
+    // representation; when the owner pre-converted, just the calibrated
+    // delay is charged — and a cache-hit image costs nothing at all.
+    if (cfg_.convert_enabled &&
+        !(reply.sender_converted && reply.from_cache)) {
+      const bool foreign = reply.data_rep != arch::RepClassByte(*profile_);
+      if (foreign || reply.sender_converted) {
+        ConvertIncoming(
+            p, std::span<std::uint8_t>(mem_.data() + page_base, data_size),
+            reply.type, net_.ProfileOf(reply.owner), /*run_codec=*/foreign);
+      }
+    }
     {
       std::lock_guard<std::mutex> lk(state_mu_);
-      MERMAID_CHECK(data.size() <= page_bytes_);
-      std::copy(data.begin(), data.end(), mem_.begin() + page_base);
       LocalPageEntry& e = ptable_.Local(p);
       e.access = Access::kRead;
       e.owned = false;
@@ -449,7 +462,7 @@ bool Host::CompleteTransfer(PageNum p, bool is_write,
       }
     }
     stats_.Inc("dsm.pages_in");
-    stats_.Inc("dsm.bytes_in", static_cast<std::int64_t>(reply.data.size()));
+    stats_.Inc("dsm.bytes_in", static_cast<std::int64_t>(data_size));
   } else if (!is_write) {
     // A read grant without data means we hold a valid copy — possibly one we
     // relinquished in a transfer the manager has since revoked (the retained
@@ -494,6 +507,9 @@ bool Host::CompleteTransfer(PageNum p, bool is_write,
     e.type = reply.type;
     e.alloc_bytes = std::max(e.alloc_bytes, reply.alloc_bytes);
     e.retained = false;
+    // The version just bumped: any converted images of the old version can
+    // never be served again.
+    DropConvertCacheLocked(p);
     if (referee_ != nullptr) {
       referee_->OnWriteGrant(self_, p, reply.new_version);
     }
@@ -612,15 +628,16 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
     r.alloc_bytes = grant.alloc_bytes;
     r.to_invalidate = grant.to_invalidate;
     r.has_data = false;
+    r.data_rep = arch::RepClassByte(net_.ProfileOf(grant.owner));
     ctx.Reply(EncodeFetchReply(r));
     return;
   }
   if (grant.owner == self_) {
     // The manager host owns the page: serve directly (R -> M/O of Table 4).
     rt_.Delay(profile_->server_op_cost);
-    auto reply = EncodeServeReply(p, t.is_write, !grant.requester_has_copy,
-                                  grant.op_id, data_version,
-                                  grant.new_version, grant.type,
+    auto reply = EncodeServeReply(p, t.requester, t.is_write,
+                                  !grant.requester_has_copy, grant.op_id,
+                                  data_version, grant.new_version, grant.type,
                                   grant.alloc_bytes, grant.to_invalidate);
     ctx.Reply(std::move(reply), net::MsgKind::kData);
     return;
@@ -689,10 +706,11 @@ void Host::ManagerRevoke(PageNum p, std::uint64_t op_id) {
 // Owner role
 // --------------------------------------------------------------------------
 
-std::vector<std::uint8_t> Host::EncodeServeReply(
-    PageNum p, bool is_write, bool data_needed, std::uint64_t op_id,
-    std::uint64_t data_version, std::uint64_t new_version, arch::TypeId type,
-    std::uint32_t alloc_bytes, const std::vector<net::HostId>& to_invalidate) {
+net::Body Host::EncodeServeReply(
+    PageNum p, net::HostId requester, bool is_write, bool data_needed,
+    std::uint64_t op_id, std::uint64_t data_version,
+    std::uint64_t new_version, arch::TypeId type, std::uint32_t alloc_bytes,
+    const std::vector<net::HostId>& to_invalidate) {
   FetchReply r;
   r.op_id = op_id;
   r.data_version = data_version;
@@ -702,8 +720,25 @@ std::vector<std::uint8_t> Host::EncodeServeReply(
   r.alloc_bytes = alloc_bytes;
   r.to_invalidate = to_invalidate;
   r.has_data = data_needed;
+  r.data_rep = arch::RepClassByte(*profile_);
 
   const GlobalAddr page_base = static_cast<GlobalAddr>(p) * page_bytes_;
+  const arch::ArchProfile& req_prof = net_.ProfileOf(requester);
+  const std::uint8_t req_rep = arch::RepClassByte(req_prof);
+  // With the cache enabled the owner converts outgoing pages itself; the
+  // receiver then skips the codec (and, for cache hits, the modeled delay).
+  const bool want_convert = data_needed && cfg_.convert_enabled &&
+                            cfg_.convert_cache &&
+                            !profile_->SameRepresentation(req_prof);
+
+  // Phase 1 (locked): validate, read the serve parameters, look up the
+  // conversion cache, and apply the downgrade/relinquish state transition.
+  std::uint32_t extent = 0;
+  std::uint64_t version = 0;
+  bool invalidated = false;
+  bool downgraded = false;
+  bool cache_hit = false;
+  base::Buffer image;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     LocalPageEntry& e = ptable_.Local(p);
@@ -711,28 +746,87 @@ std::vector<std::uint8_t> Host::EncodeServeReply(
     // data source: the bytes are still the current version.
     MERMAID_CHECK_MSG(e.access != Access::kNone || e.retained,
                       "owner asked to serve a page it does not hold");
+    version = e.version;
     if (data_needed) {
-      const std::uint32_t extent =
-          cfg_.partial_page_transfer ? std::min(alloc_bytes, page_bytes_)
-                                     : page_bytes_;
-      r.data.assign(mem_.begin() + page_base,
-                    mem_.begin() + page_base + extent);
+      extent = cfg_.partial_page_transfer ? std::min(alloc_bytes, page_bytes_)
+                                          : page_bytes_;
+      if (want_convert) {
+        auto it = convert_cache_.find(ConvertCacheKey{p, version, req_rep});
+        if (it != convert_cache_.end() && it->second.size() == extent) {
+          image = it->second;
+          cache_hit = true;
+        }
+      }
     }
     if (is_write) {
       // Relinquish: the new owner takes over. Keep the bytes servable in
       // case the manager revokes this grant and names us the source again.
-      if (e.access != Access::kNone) {
-        if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
-      }
+      invalidated = e.access != Access::kNone;
       e.access = Access::kNone;
       e.owned = false;
       e.retained = true;
     } else if (e.access == Access::kWrite) {
       // Downgrade to read-only; we stay the owner.
-      if (referee_ != nullptr) referee_->OnDowngrade(self_, p);
+      downgraded = true;
       e.access = Access::kRead;
     }
   }
+  if (referee_ != nullptr) {
+    if (is_write && invalidated) {
+      referee_->OnInvalidate(self_, p);
+    } else if (downgraded) {
+      referee_->OnDowngrade(self_, p);
+    }
+  }
+
+  // Phase 2 (unlocked): copy and convert the page image. Safe outside
+  // state_mu_: the manager entry stays busy until the requester confirms,
+  // so no competing transfer can change these bytes underneath us.
+  if (data_needed) {
+    if (cache_hit) {
+      r.data_rep = req_rep;
+      r.sender_converted = true;
+      r.from_cache = true;
+      stats_.Inc("dsm.convert_cache_hits");
+    } else {
+      // Copy #1 of the data path: owner memory -> wire buffer.
+      std::vector<std::uint8_t> img(mem_.begin() + page_base,
+                                    mem_.begin() + page_base + extent);
+      base::BulkCopyRecord(img.size());
+      if (want_convert) {
+        arch::ConvertStats cstats;
+        arch::ConvertContext cctx;
+        cctx.src = profile_;
+        cctx.dst = &req_prof;
+        cctx.stats = &cstats;
+        ConvertSlots(registry_, type, img, extent, cctx);
+        if (cstats.total_lossy() > 0) {
+          stats_.Inc("dsm.convert_lossy", cstats.total_lossy());
+        }
+        r.data_rep = req_rep;
+        r.sender_converted = true;
+        stats_.Inc("dsm.convert_cache_misses");
+      }
+      image = base::Buffer(std::move(img));
+      if (want_convert && !is_write) {
+        // Cache the converted image for repeat readers of this version.
+        std::lock_guard<std::mutex> lk(state_mu_);
+        const ConvertCacheKey key{p, version, req_rep};
+        if (convert_cache_.emplace(key, image).second) {
+          convert_cache_order_.push_back(key);
+          while (convert_cache_order_.size() > cfg_.convert_cache_capacity) {
+            convert_cache_.erase(convert_cache_order_.front());
+            convert_cache_order_.pop_front();
+            stats_.Inc("dsm.convert_cache_evictions");
+          }
+        } else {
+          convert_cache_[key] = image;  // refresh (extent grew)
+        }
+      }
+    }
+    r.data = base::BufferChain(image);
+  }
+
   stats_.Inc("dsm.pages_served");
   if (data_needed) {
     stats_.Inc("dsm.bytes_out", static_cast<std::int64_t>(r.data.size()));
@@ -795,8 +889,8 @@ void Host::HandleOwnerFetch(net::RequestContext ctx, bool is_write) {
     std::lock_guard<std::mutex> lk(state_mu_);
     data_version = ptable_.Local(p).version;
   }
-  auto reply = EncodeServeReply(p, is_write, data_needed, op_id, data_version,
-                                new_version, type, alloc_bytes,
+  auto reply = EncodeServeReply(p, ctx.origin(), is_write, data_needed, op_id,
+                                data_version, new_version, type, alloc_bytes,
                                 to_invalidate);
   ctx.Reply(std::move(reply),
             data_needed ? net::MsgKind::kData : net::MsgKind::kControl);
@@ -819,8 +913,10 @@ void Host::HandleInvalidate(net::RequestContext ctx) {
       stats_.Inc("dsm.invalidations_received");
       if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
     }
-    // Another writer is committing: any retained image is now stale.
+    // Another writer is committing: any retained image is now stale, and so
+    // is every cached converted image of this page.
     e.retained = false;
+    DropConvertCacheLocked(p);
   }
   ctx.Reply({});
 }
@@ -928,27 +1024,46 @@ void Host::HandleGrantExtend(net::RequestContext ctx) {
 // Helpers
 // --------------------------------------------------------------------------
 
-void Host::ConvertIncoming(PageNum p, std::vector<std::uint8_t>& data,
-                           arch::TypeId type, const arch::ArchProfile& from) {
-  if (!cfg_.convert_enabled) return;
-  if (from.SameRepresentation(*profile_)) return;
-  arch::ConvertStats cstats;
-  arch::ConvertContext ctx;
-  ctx.src = &from;
-  ctx.dst = profile_;
-  ctx.stats = &cstats;
-  ConvertSlots(registry_, type, data, static_cast<std::uint32_t>(data.size()),
-               ctx);
+void Host::ConvertIncoming(PageNum p, std::span<std::uint8_t> data,
+                           arch::TypeId type, const arch::ArchProfile& from,
+                           bool run_codec) {
+  if (run_codec) {
+    arch::ConvertStats cstats;
+    arch::ConvertContext ctx;
+    ctx.src = &from;
+    ctx.dst = profile_;
+    ctx.stats = &cstats;
+    ConvertSlots(registry_, type, data,
+                 static_cast<std::uint32_t>(data.size()), ctx);
+    if (cstats.total_lossy() > 0) {
+      stats_.Inc("dsm.convert_lossy", cstats.total_lossy());
+    }
+  }
+  // The calibrated Table-3 delay and the per-host conversion counters are
+  // always charged at the receiver, independent of where the codec ran, so
+  // first-fault timing and stats match the paper's receiver-converts model.
   const std::size_t stride = std::bit_ceil(registry_.SizeOf(type));
   const std::size_t elems = data.size() / stride;
-  rt_.Delay(registry_.ModeledElementCost(*profile_, type) *
-            static_cast<SimDuration>(elems));
+  const SimDuration delay = registry_.ModeledElementCost(*profile_, type) *
+                            static_cast<SimDuration>(elems);
+  rt_.Delay(delay);
   stats_.Inc("dsm.conversions");
   stats_.Inc("dsm.converted_elements", static_cast<std::int64_t>(elems));
-  if (cstats.total_lossy() > 0) {
-    stats_.Inc("dsm.convert_lossy", cstats.total_lossy());
-  }
+  stats_.Sample("dsm.convert_ms", ToMillis(delay));
   (void)p;
+}
+
+void Host::DropConvertCacheLocked(PageNum p) {
+  for (auto it = convert_cache_.begin(); it != convert_cache_.end();) {
+    if (it->first.page == p) {
+      it = convert_cache_.erase(it);
+      stats_.Inc("dsm.convert_cache_evictions");
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(convert_cache_order_,
+                [p](const ConvertCacheKey& k) { return k.page == p; });
 }
 
 void Host::RecordCompleted(PageNum p, std::uint64_t op_id,
@@ -963,7 +1078,7 @@ void Host::RecordCompleted(PageNum p, std::uint64_t op_id,
   completed_[{p, op_id}] = CompletedOp{manager, is_write};
 }
 
-std::vector<std::uint8_t> Host::EncodeFetchReply(const FetchReply& r) {
+net::Body Host::EncodeFetchReply(const FetchReply& r) {
   base::WireWriter w;
   w.U64(r.op_id);
   w.U64(r.data_version);
@@ -974,29 +1089,51 @@ std::vector<std::uint8_t> Host::EncodeFetchReply(const FetchReply& r) {
   w.U16(static_cast<std::uint16_t>(r.to_invalidate.size()));
   for (net::HostId h : r.to_invalidate) w.U16(h);
   w.U8(r.has_data ? 1 : 0);
-  if (r.has_data) w.Raw(r.data);
-  return std::move(w).Take();
+  w.U8(r.data_rep);
+  w.U8(static_cast<std::uint8_t>((r.sender_converted ? 1 : 0) |
+                                 (r.from_cache ? 2 : 0)));
+  // The page data rides as a shared buffer chain behind the metadata — the
+  // endpoint and fragment layers never copy it.
+  return net::Body(std::move(w).Take(), r.data);
 }
 
-Host::FetchReply Host::DecodeFetchReply(std::span<const std::uint8_t> bytes) {
-  base::WireReader r(bytes);
-  FetchReply out;
-  out.op_id = r.U64();
-  out.data_version = r.U64();
-  out.new_version = r.U64();
-  out.owner = r.U16();
-  out.type = r.U16();
-  out.alloc_bytes = r.U32();
-  const std::uint16_t n = r.U16();
-  out.to_invalidate.resize(n);
-  for (auto& h : out.to_invalidate) h = r.U16();
-  out.has_data = r.U8() != 0;
-  if (out.has_data) {
-    auto rest = r.Rest();
-    out.data.assign(rest.begin(), rest.end());
+Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) {
+  // Metadata sits in the first chunk by construction (the sender serializes
+  // framing + metadata into one buffer); fall back to flattening if a
+  // degenerate MTU split it.
+  base::Buffer meta =
+      body.chunk_count() > 0 ? body.chunk(0) : base::Buffer();
+  bool flattened = false;
+  for (;;) {
+    base::WireReader r(meta.span());
+    FetchReply out;
+    out.op_id = r.U64();
+    out.data_version = r.U64();
+    out.new_version = r.U64();
+    out.owner = r.U16();
+    out.type = r.U16();
+    out.alloc_bytes = r.U32();
+    const std::uint16_t n = r.U16();
+    out.to_invalidate.resize(n);
+    for (auto& h : out.to_invalidate) h = r.U16();
+    out.has_data = r.U8() != 0;
+    out.data_rep = r.U8();
+    const std::uint8_t flags = r.U8();
+    out.sender_converted = (flags & 1) != 0;
+    out.from_cache = (flags & 2) != 0;
+    if (r.ok()) {
+      if (out.has_data) {
+        const std::size_t consumed = meta.size() - r.remaining();
+        out.data = flattened ? base::BufferChain(meta).Slice(consumed)
+                             : body.Slice(consumed);
+      }
+      return out;
+    }
+    MERMAID_CHECK_MSG(!flattened && meta.size() < body.size(),
+                      "malformed fetch reply");
+    meta = body.Flatten();
+    flattened = true;
   }
-  MERMAID_CHECK_MSG(r.ok(), "malformed fetch reply");
-  return out;
 }
 
 }  // namespace mermaid::dsm

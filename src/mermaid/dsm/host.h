@@ -36,6 +36,7 @@
 #include "mermaid/arch/arch.h"
 #include "mermaid/arch/scalar.h"
 #include "mermaid/arch/type_registry.h"
+#include "mermaid/base/buffer.h"
 #include "mermaid/base/stats.h"
 #include "mermaid/dsm/page_table.h"
 #include "mermaid/dsm/referee.h"
@@ -184,7 +185,13 @@ class Host {
     std::uint32_t alloc_bytes = 0;
     std::vector<net::HostId> to_invalidate;
     bool has_data = false;
-    std::vector<std::uint8_t> data;
+    // Representation class the payload is encoded in (arch::RepClassByte).
+    // When the owner pre-converted for the requester this is the
+    // requester's class and the receiver skips the codec.
+    std::uint8_t data_rep = 0;
+    bool sender_converted = false;
+    bool from_cache = false;  // served from the owner's conversion cache
+    base::BufferChain data;
   };
 
   // One protocol round's outcome: kDone re-checks access, kRetry backs off
@@ -222,17 +229,17 @@ class Host {
   void ManagerRevoke(PageNum p, std::uint64_t op_id);
 
   // --- owner role ---------------------------------------------------------
-  // Serves a fetch against the local copy; fills `reply` fields that depend
-  // on the local state and appends the data. Caller provides grant info.
-  std::vector<std::uint8_t> EncodeServeReply(PageNum p, bool is_write,
-                                             bool data_needed,
-                                             std::uint64_t op_id,
-                                             std::uint64_t data_version,
-                                             std::uint64_t new_version,
-                                             arch::TypeId type,
-                                             std::uint32_t alloc_bytes,
-                                             const std::vector<net::HostId>&
-                                                 to_invalidate);
+  // Serves a fetch against the local copy; fills reply fields that depend
+  // on the local state and attaches the data (pre-converted for the
+  // requester's representation class when the conversion cache is enabled).
+  // Caller provides grant info. State transitions happen under state_mu_;
+  // the page copy, codec work, and encode run outside it.
+  net::Body EncodeServeReply(PageNum p, net::HostId requester, bool is_write,
+                             bool data_needed, std::uint64_t op_id,
+                             std::uint64_t data_version,
+                             std::uint64_t new_version, arch::TypeId type,
+                             std::uint32_t alloc_bytes,
+                             const std::vector<net::HostId>& to_invalidate);
 
   // --- handlers (run in the endpoint's rx daemon; never block) ------------
   void HandleTransferReq(net::RequestContext ctx, bool is_write);
@@ -244,12 +251,21 @@ class Host {
   void HandleGrantExtend(net::RequestContext ctx);
 
   // --- helpers -------------------------------------------------------------
-  void ConvertIncoming(PageNum p, std::vector<std::uint8_t>& data,
-                       arch::TypeId type, const arch::ArchProfile& from);
+  // Charges the receiver-side modeled conversion delay and stats for an
+  // incoming page; runs the real codec (in place on `data`) only when
+  // `run_codec` — when the owner already converted, only the calibrated
+  // delay is paid here so Table 3/4 cells are independent of where the
+  // codec physically runs.
+  void ConvertIncoming(PageNum p, std::span<std::uint8_t> data,
+                       arch::TypeId type, const arch::ArchProfile& from,
+                       bool run_codec);
+  // Drops every conversion-cache entry for page p (counted as evictions).
+  // Caller holds state_mu_.
+  void DropConvertCacheLocked(PageNum p);
   void RecordCompleted(PageNum p, std::uint64_t op_id, net::HostId manager,
                        bool is_write);
-  static std::vector<std::uint8_t> EncodeFetchReply(const FetchReply& r);
-  static FetchReply DecodeFetchReply(std::span<const std::uint8_t> bytes);
+  static net::Body EncodeFetchReply(const FetchReply& r);
+  static FetchReply DecodeFetchReply(const base::BufferChain& body);
   net::Endpoint::CallOpts DsmCallOpts() const;
 
   sim::Runtime& rt_;
@@ -287,6 +303,18 @@ class Host {
   std::set<std::pair<PageNum, std::uint64_t>> fenced_;
   std::deque<std::pair<PageNum, std::uint64_t>> fenced_order_;
   std::uint64_t op_counter_ = 0;
+  // Owner-side conversion cache: converted outgoing page images keyed by
+  // (page, version, representation class), FIFO-bounded. Version keying
+  // makes stale hits impossible; entries are also dropped eagerly on
+  // invalidation and local write commit. Guarded by state_mu_.
+  struct ConvertCacheKey {
+    PageNum page = 0;
+    std::uint64_t version = 0;
+    std::uint8_t rep = 0;
+    auto operator<=>(const ConvertCacheKey&) const = default;
+  };
+  std::map<ConvertCacheKey, base::Buffer> convert_cache_;
+  std::deque<ConvertCacheKey> convert_cache_order_;
   // Earliest-free times of this host's CPUs (application Compute calls).
   std::vector<SimTime> cpu_busy_until_;
 

@@ -229,6 +229,19 @@ std::string System::ReportStats() {
                 static_cast<long long>(backoff_ms),
                 static_cast<long long>(revoked));
   out += line;
+  std::int64_t cc_hits = 0, cc_misses = 0, cc_evictions = 0;
+  for (auto& h : hosts_) {
+    auto& s = h->stats();
+    cc_hits += s.Count("dsm.convert_cache_hits");
+    cc_misses += s.Count("dsm.convert_cache_misses");
+    cc_evictions += s.Count("dsm.convert_cache_evictions");
+  }
+  std::snprintf(line, sizeof(line),
+                "convert-cache: %lld hits, %lld misses, %lld evictions\n",
+                static_cast<long long>(cc_hits),
+                static_cast<long long>(cc_misses),
+                static_cast<long long>(cc_evictions));
+  out += line;
   return out;
 }
 

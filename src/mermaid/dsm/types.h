@@ -1,6 +1,7 @@
 // Shared DSM types, configuration, and protocol opcodes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "mermaid/base/time.h"
@@ -65,6 +66,13 @@ struct SystemConfig {
   bool partial_page_transfer = true;    // move only the allocated extent
   bool prefer_same_type_source = false; // serve read faults from a same-arch
                                         // copyset member when possible
+  // Owner-side conversion cache: converted outgoing page images are kept
+  // keyed by (page, version, representation class) and reused for repeat
+  // read faults on unmodified pages, skipping both the codec work and the
+  // modeled conversion delay. Invalidation is by construction: a write
+  // bumps the version, so stale images can never be served.
+  bool convert_cache = true;
+  std::size_t convert_cache_capacity = 64;  // cached images per host (FIFO)
   // Check every typed access against the coherence referee (tests).
   bool referee_check_access = false;
 };

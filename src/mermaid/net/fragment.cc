@@ -41,16 +41,25 @@ void Fragmenter::Send(Message msg) {
     w.U16(static_cast<std::uint16_t>(i));
     w.U16(static_cast<std::uint16_t>(count));
     w.U8(static_cast<std::uint8_t>(msg.kind));
-    w.Raw(std::span<const std::uint8_t>(msg.payload.data() + off, len));
 
     Packet pkt;
     pkt.src = msg.src;
     pkt.dst = msg.dst;
     pkt.kind = msg.kind;
+    // Everything but the final chunk of this fragment's range goes behind
+    // the header (small protocol heads in practice); the final chunk — the
+    // bulk data in a page transfer — rides as a shared zero-copy view.
+    base::BufferChain range = msg.payload.Slice(off, len);
+    for (std::size_t c = 0; c + 1 < range.chunk_count(); ++c) {
+      w.Raw(range.chunk(c).span());
+    }
+    if (range.chunk_count() > 0) {
+      pkt.payload = range.chunk(range.chunk_count() - 1);
+    }
     pkt.bytes = std::move(w).Take();
     const auto extra = static_cast<SimDuration>(cum_wire_ns);
     cum_wire_ns +=
-        link.wire_ns_per_byte * static_cast<double>(pkt.bytes.size());
+        link.wire_ns_per_byte * static_cast<double>(pkt.wire_size());
     net_.Send(std::move(pkt), extra);
   }
 }
@@ -58,18 +67,22 @@ void Fragmenter::Send(Message msg) {
 Reassembler::Reassembler(sim::Runtime& rt, SimDuration stale_after)
     : rt_(rt), stale_after_(stale_after) {}
 
-std::optional<Message> Reassembler::OnPacket(const Packet& pkt) {
+std::optional<Message> Reassembler::OnPacket(Packet pkt) {
   base::WireReader r(pkt.bytes);
   const std::uint64_t msg_id = r.U64();
   const HostId src = r.U16();
   const std::uint16_t index = r.U16();
   const std::uint16_t count = r.U16();
   const auto kind = static_cast<MsgKind>(r.U8());
-  auto payload_view = r.Rest();
   if (!r.ok() || count == 0 || index >= count || src != pkt.src) {
     stats_.Inc("frag.malformed_dropped");
     return std::nullopt;
   }
+  // Adopt the packet's wire storage: the fragment payload is a zero-copy
+  // view past the header, plus the packet's bulk payload tail.
+  base::BufferChain frag;
+  frag.Append(base::Buffer(std::move(pkt.bytes)).Slice(kFragHeaderBytes));
+  frag.Append(std::move(pkt.payload));
 
   const SimTime now = rt_.Now();
   DropStale(now);
@@ -80,27 +93,29 @@ std::optional<Message> Reassembler::OnPacket(const Packet& pkt) {
     msg.src = pkt.src;
     msg.dst = pkt.dst;
     msg.kind = kind;
-    msg.payload.assign(payload_view.begin(), payload_view.end());
+    msg.payload = std::move(frag);
     return msg;
   }
 
   Partial& part = partial_[{src, msg_id}];
-  if (part.frags.empty()) {
+  if (part.seen.empty()) {
     part.first_seen = now;
     part.kind = kind;
     part.expected = count;
     part.frags.resize(count);
+    part.seen.assign(count, 0);
   }
   if (part.expected != count) {
     stats_.Inc("frag.malformed_dropped");
     partial_.erase({src, msg_id});
     return std::nullopt;
   }
-  if (!part.frags[index].empty()) {
+  if (part.seen[index]) {
     stats_.Inc("frag.duplicate_fragments");
     return std::nullopt;  // duplicate fragment (retransmitted message)
   }
-  part.frags[index].assign(payload_view.begin(), payload_view.end());
+  part.frags[index] = std::move(frag);
+  part.seen[index] = 1;
   ++part.received;
   if (part.received < part.expected) return std::nullopt;
 
@@ -108,9 +123,7 @@ std::optional<Message> Reassembler::OnPacket(const Packet& pkt) {
   msg.src = pkt.src;
   msg.dst = pkt.dst;
   msg.kind = part.kind;
-  for (auto& f : part.frags) {
-    msg.payload.insert(msg.payload.end(), f.begin(), f.end());
-  }
+  for (auto& f : part.frags) msg.payload.Append(std::move(f));
   partial_.erase({src, msg_id});
   stats_.Inc("frag.messages_delivered");
   return msg;

@@ -14,18 +14,22 @@
 #include <optional>
 #include <vector>
 
+#include "mermaid/base/buffer.h"
 #include "mermaid/base/stats.h"
 #include "mermaid/net/network.h"
 #include "mermaid/sim/runtime.h"
 
 namespace mermaid::net {
 
-// A complete (reassembled) message between host endpoints.
+// A complete (reassembled) message between host endpoints. The payload is a
+// chain of shared buffer views — typically [protocol head, bulk data] on the
+// send side and one slice per fragment after reassembly — so fragmentation
+// and reassembly never duplicate the bulk bytes.
 struct Message {
   HostId src = 0;
   HostId dst = 0;
   MsgKind kind = MsgKind::kControl;
-  std::vector<std::uint8_t> payload;
+  base::BufferChain payload;
 };
 
 // Per-host sending side. Stateless apart from the message-id counter.
@@ -57,7 +61,9 @@ class Reassembler {
   explicit Reassembler(sim::Runtime& rt,
                        SimDuration stale_after = Seconds(2));
 
-  std::optional<Message> OnPacket(const Packet& pkt);
+  // Takes the packet by value so its wire bytes can be adopted into the
+  // reassembled message's buffer chain without copying.
+  std::optional<Message> OnPacket(Packet pkt);
 
   base::StatsRegistry& stats() { return stats_; }
 
@@ -67,7 +73,8 @@ class Reassembler {
     MsgKind kind = MsgKind::kControl;
     std::uint16_t expected = 0;
     std::uint16_t received = 0;
-    std::vector<std::vector<std::uint8_t>> frags;
+    std::vector<base::BufferChain> frags;
+    std::vector<std::uint8_t> seen;
   };
 
   void DropStale(SimTime now);

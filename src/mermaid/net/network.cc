@@ -152,7 +152,7 @@ void Network::Send(Packet pkt, SimDuration extra_delay) {
   auto dst_it = hosts_.find(pkt.dst);
   MERMAID_CHECK_MSG(src_it != hosts_.end() && dst_it != hosts_.end(),
                     "send between unattached hosts");
-  MERMAID_CHECK(pkt.bytes.size() <= cfg_.mtu);
+  MERMAID_CHECK(pkt.wire_size() <= cfg_.mtu);
 
   const arch::LinkCost link =
       arch::LinkCostFor(*src_it->second.profile, *dst_it->second.profile);
@@ -160,7 +160,7 @@ void Network::Send(Packet pkt, SimDuration extra_delay) {
                                                           : link.data_fixed;
   double latency =
       static_cast<double>(fixed) +
-      link.wire_ns_per_byte * static_cast<double>(pkt.bytes.size()) +
+      link.wire_ns_per_byte * static_cast<double>(pkt.wire_size()) +
       static_cast<double>(extra_delay);
   bool duplicate = false;
   SimDuration dup_extra = 0;
@@ -170,7 +170,7 @@ void Network::Send(Packet pkt, SimDuration extra_delay) {
       latency *= 1.0 + cfg_.jitter * (2.0 * rng_.NextDouble() - 1.0);
     }
     stats_.Inc("net.packets_sent");
-    stats_.Inc("net.bytes_sent", static_cast<std::int64_t>(pkt.bytes.size()));
+    stats_.Inc("net.bytes_sent", static_cast<std::int64_t>(pkt.wire_size()));
     const SimTime now = rt_.Now();
     if (FaultDropLocked(pkt, now, now + static_cast<SimDuration>(latency))) {
       stats_.Inc("net.packets_dropped");

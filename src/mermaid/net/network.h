@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mermaid/arch/arch.h"
+#include "mermaid/base/buffer.h"
 #include "mermaid/base/rng.h"
 #include "mermaid/base/stats.h"
 #include "mermaid/sim/runtime.h"
@@ -43,7 +44,13 @@ struct Packet {
   HostId src = 0;
   HostId dst = 0;
   MsgKind kind = MsgKind::kControl;
-  std::vector<std::uint8_t> bytes;  // wire bytes (fragment header + payload)
+  // Wire bytes = `bytes` followed by `payload`. Headers and small messages
+  // live in `bytes`; a bulk payload tail rides along as a shared zero-copy
+  // view (duplicating or re-queueing a Packet never copies the page data).
+  std::vector<std::uint8_t> bytes;
+  base::Buffer payload;
+
+  std::size_t wire_size() const { return bytes.size() + payload.size(); }
 };
 
 // Open-ended time bound for fault windows.

@@ -12,14 +12,13 @@ namespace mermaid::net {
 // Reply layout:
 //   u8 type | u64 req_id | body...
 
-void RequestContext::Reply(std::vector<std::uint8_t> body,
-                           MsgKind kind) const {
+void RequestContext::Reply(Body body, MsgKind kind) const {
   MERMAID_CHECK(ep_ != nullptr);
   {
     std::lock_guard<std::mutex> lk(ep_->maps_mu_);
     if (auto* entry = ep_->DedupFind(origin_, req_id_)) {
       entry->state = Endpoint::DedupEntry::State::kReplied;
-      entry->saved_body = body;
+      entry->saved_body = body;  // bulk data saved as a shared view
       entry->saved_kind = kind;
     }
     ep_->stats_.Inc("reqrep.replies_sent");
@@ -27,8 +26,7 @@ void RequestContext::Reply(std::vector<std::uint8_t> body,
   ep_->SendReplyWire(origin_, req_id_, body, kind);
 }
 
-void RequestContext::Forward(HostId next,
-                             std::vector<std::uint8_t> body) const {
+void RequestContext::Forward(HostId next, Body body) const {
   MERMAID_CHECK(ep_ != nullptr);
   {
     std::lock_guard<std::mutex> lk(ep_->maps_mu_);
@@ -67,20 +65,41 @@ void Endpoint::Start() {
             /*daemon=*/true);
 }
 
+namespace {
+
+// Request framing: u8 type | u64 req_id | u16 origin | u8 op.
+constexpr std::size_t kRequestFramingBytes = 12;
+// Reply framing: u8 type | u64 req_id.
+constexpr std::size_t kReplyFramingBytes = 9;
+
+// Contiguous view of a message's protocol framing. The sender serializes
+// framing and protocol head into one chunk, so this is the first chunk in
+// practice; flatten only in degenerate tiny-chunk cases.
+base::Buffer FramingView(const base::BufferChain& payload) {
+  if (payload.chunk_count() == 0) return base::Buffer();
+  base::Buffer head = payload.chunk(0);
+  if (head.size() < kRequestFramingBytes && head.size() < payload.size()) {
+    return payload.Flatten();
+  }
+  return head;
+}
+
+}  // namespace
+
 void Endpoint::RxLoop() {
   while (auto pkt = rx_.Recv()) {
-    auto msg = reassembler_.OnPacket(*pkt);
+    auto msg = reassembler_.OnPacket(std::move(*pkt));
     if (!msg.has_value()) continue;
-    base::WireReader r(msg->payload);
+    base::Buffer head = FramingView(msg->payload);
+    base::WireReader r(head.span());
     const auto type = static_cast<WireType>(r.U8());
     switch (type) {
       case WireType::kRequest:
       case WireType::kNotify:
-        DispatchRequest(*msg);
+        DispatchRequest(std::move(*msg));
         break;
       case WireType::kReply: {
         const std::uint64_t req_id = r.U64();
-        auto rest = r.Rest();
         if (!r.ok()) {
           stats_.Inc("reqrep.malformed");
           break;
@@ -97,7 +116,7 @@ void Endpoint::RxLoop() {
         }
         ReplyMsg reply;
         reply.req_id = req_id;
-        reply.body.assign(rest.begin(), rest.end());
+        reply.body = msg->payload.Slice(kReplyFramingBytes);
         target.Send(std::move(reply));
         break;
       }
@@ -108,13 +127,13 @@ void Endpoint::RxLoop() {
   }
 }
 
-void Endpoint::DispatchRequest(const Message& msg) {
-  base::WireReader r(msg.payload);
+void Endpoint::DispatchRequest(Message msg) {
+  base::Buffer framing = FramingView(msg.payload);
+  base::WireReader r(framing.span());
   const auto type = static_cast<WireType>(r.U8());
   const std::uint64_t req_id = r.U64();
   const HostId origin = r.U16();
   const std::uint8_t op = r.U8();
-  auto rest = r.Rest();
   if (!r.ok()) {
     stats_.Inc("reqrep.malformed");
     return;
@@ -163,7 +182,7 @@ void Endpoint::DispatchRequest(const Message& msg) {
   ctx.origin_ = origin;
   ctx.req_id_ = req_id;
   ctx.op_ = op;
-  ctx.body_.assign(rest.begin(), rest.end());
+  ctx.body_ = msg.payload.Slice(kRequestFramingBytes).Flatten();
   stats_.Inc(type == WireType::kRequest ? "reqrep.requests_handled"
                                         : "reqrep.notifies_handled");
   it->second(std::move(ctx));
@@ -171,34 +190,34 @@ void Endpoint::DispatchRequest(const Message& msg) {
 
 void Endpoint::SendRequestWire(WireType type, HostId dst, std::uint8_t op,
                                HostId origin, std::uint64_t req_id,
-                               const std::vector<std::uint8_t>& body,
-                               MsgKind kind) {
+                               const Body& body, MsgKind kind) {
   base::WireWriter w;
   w.U8(static_cast<std::uint8_t>(type));
   w.U64(req_id);
   w.U16(origin);
   w.U8(op);
-  w.Raw(body);
+  w.Raw(body.head);
   Message m;
   m.src = self_;
   m.dst = dst;
   m.kind = kind;
   m.payload = std::move(w).Take();
+  m.payload.Append(body.data);  // bulk data: shared views, no copy
   fragmenter_.Send(std::move(m));
 }
 
 void Endpoint::SendReplyWire(HostId dst, std::uint64_t req_id,
-                             const std::vector<std::uint8_t>& body,
-                             MsgKind kind) {
+                             const Body& body, MsgKind kind) {
   base::WireWriter w;
   w.U8(static_cast<std::uint8_t>(WireType::kReply));
   w.U64(req_id);
-  w.Raw(body);
+  w.Raw(body.head);
   Message m;
   m.src = self_;
   m.dst = dst;
   m.kind = kind;
   m.payload = std::move(w).Take();
+  m.payload.Append(body.data);
   fragmenter_.Send(std::move(m));
 }
 
@@ -218,8 +237,7 @@ Endpoint::DedupEntry& Endpoint::DedupInsert(HostId origin,
   return dedup_[{origin, req_id}];
 }
 
-CallResult Endpoint::CallWithStatus(HostId dst, std::uint8_t op,
-                                    std::vector<std::uint8_t> body,
+CallResult Endpoint::CallWithStatus(HostId dst, std::uint8_t op, Body body,
                                     MsgKind kind, const CallOpts& opts) {
   auto multi = MultiCallWithStatus({dst}, op, std::move(body), kind, opts);
   CallResult out;
@@ -229,8 +247,7 @@ CallResult Endpoint::CallWithStatus(HostId dst, std::uint8_t op,
 }
 
 MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
-                                              std::uint8_t op,
-                                              std::vector<std::uint8_t> body,
+                                              std::uint8_t op, Body body,
                                               MsgKind kind,
                                               const CallOpts& opts) {
   MERMAID_CHECK(started_);
@@ -245,7 +262,7 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
     std::uint64_t req_id = 0;
     int attempts = 1;
     bool done = false;
-    std::vector<std::uint8_t> reply;
+    base::BufferChain reply;
   };
   std::vector<Slot> slots(dsts.size());
   {
@@ -342,23 +359,25 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
 }
 
 std::optional<std::vector<std::uint8_t>> Endpoint::Call(
-    HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
-    MsgKind kind, const CallOpts& opts) {
+    HostId dst, std::uint8_t op, Body body, MsgKind kind,
+    const CallOpts& opts) {
   auto r = CallWithStatus(dst, op, std::move(body), kind, opts);
   if (!r.ok()) return std::nullopt;
-  return std::move(r.body);
+  return r.body.ToVector();
 }
 
 std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
-    const std::vector<HostId>& dsts, std::uint8_t op,
-    std::vector<std::uint8_t> body, MsgKind kind, const CallOpts& opts) {
+    const std::vector<HostId>& dsts, std::uint8_t op, Body body,
+    MsgKind kind, const CallOpts& opts) {
   auto r = MultiCallWithStatus(dsts, op, std::move(body), kind, opts);
   if (!r.ok()) return std::nullopt;
-  return std::move(r.replies);
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(r.replies.size());
+  for (const auto& chain : r.replies) out.push_back(chain.ToVector());
+  return out;
 }
 
-void Endpoint::Notify(HostId dst, std::uint8_t op,
-                      std::vector<std::uint8_t> body, MsgKind kind) {
+void Endpoint::Notify(HostId dst, std::uint8_t op, Body body, MsgKind kind) {
   stats_.Inc("reqrep.notifies_sent");
   SendRequestWire(WireType::kNotify, dst, op, self_, 0, body, kind);
 }

@@ -25,8 +25,10 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "mermaid/base/buffer.h"
 #include "mermaid/base/rng.h"
 #include "mermaid/base/stats.h"
 #include "mermaid/net/fragment.h"
@@ -37,21 +39,40 @@ namespace mermaid::net {
 
 class Endpoint;
 
+// An outgoing request/reply body: a small serialized protocol head plus an
+// optional bulk data chain that is carried by reference all the way to the
+// wire (never copied by the endpoint). Implicitly constructible from a
+// plain byte vector so control-message call sites stay unchanged.
+struct Body {
+  std::vector<std::uint8_t> head;
+  base::BufferChain data;
+
+  Body() = default;
+  Body(std::vector<std::uint8_t> h)  // NOLINT: implicit by design
+      : head(std::move(h)) {}
+  Body(std::span<const std::uint8_t> h)  // NOLINT: implicit by design
+      : head(h.begin(), h.end()) {}
+  Body(std::initializer_list<std::uint8_t> h) : head(h) {}
+  Body(std::vector<std::uint8_t> h, base::BufferChain d)
+      : head(std::move(h)), data(std::move(d)) {}
+
+  std::size_t size() const { return head.size() + data.size(); }
+};
+
 // A received request, routable to its origin. Value type: handlers may keep
 // it (e.g. in a per-page queue) and reply long after returning.
 class RequestContext {
  public:
   HostId origin() const { return origin_; }
   std::uint8_t op() const { return op_; }
-  const std::vector<std::uint8_t>& body() const { return body_; }
+  std::span<const std::uint8_t> body() const { return body_.span(); }
 
   // Sends the reply to the original requester.
-  void Reply(std::vector<std::uint8_t> body,
-             MsgKind kind = MsgKind::kControl) const;
+  void Reply(Body body, MsgKind kind = MsgKind::kControl) const;
   // Passes the request (with a new body) to another host; the reply duty
   // moves with it. May be called with next == the local host's id only via
   // the network loop, so DSM short-circuits local forwards itself.
-  void Forward(HostId next, std::vector<std::uint8_t> body) const;
+  void Forward(HostId next, Body body) const;
 
  private:
   friend class Endpoint;
@@ -59,7 +80,7 @@ class RequestContext {
   HostId origin_ = 0;
   std::uint64_t req_id_ = 0;
   std::uint8_t op_ = 0;
-  std::vector<std::uint8_t> body_;
+  base::Buffer body_;
 };
 
 // Per-call overrides of an endpoint's timeout/retry configuration. A zero
@@ -80,7 +101,7 @@ enum class CallStatus : std::uint8_t { kOk = 0, kTimedOut = 1, kShutdown = 2 };
 
 struct CallResult {
   CallStatus status = CallStatus::kShutdown;
-  std::vector<std::uint8_t> body;  // valid iff status == kOk
+  base::BufferChain body;  // valid iff status == kOk
 
   bool ok() const { return status == CallStatus::kOk; }
 };
@@ -91,7 +112,7 @@ struct MultiCallResult {
   // entries whose indices appear in `timed_out` never replied (their bodies
   // are empty); the rest hold real replies, so a multicast caller can
   // retry just the missing targets.
-  std::vector<std::vector<std::uint8_t>> replies;
+  std::vector<base::BufferChain> replies;
   std::vector<std::size_t> timed_out;
 
   bool ok() const { return status == CallStatus::kOk; }
@@ -131,8 +152,7 @@ class Endpoint {
 
   // Blocking request with a typed outcome; retransmits with exponential
   // backoff until a reply arrives or max_attempts is exhausted.
-  CallResult CallWithStatus(HostId dst, std::uint8_t op,
-                            std::vector<std::uint8_t> body,
+  CallResult CallWithStatus(HostId dst, std::uint8_t op, Body body,
                             MsgKind kind = MsgKind::kControl,
                             const CallOpts& opts = {});
 
@@ -140,8 +160,7 @@ class Endpoint {
   // waits for all replies; on timeout, reports which destinations failed and
   // keeps the partial replies.
   MultiCallResult MultiCallWithStatus(const std::vector<HostId>& dsts,
-                                      std::uint8_t op,
-                                      std::vector<std::uint8_t> body,
+                                      std::uint8_t op, Body body,
                                       MsgKind kind = MsgKind::kControl,
                                       const CallOpts& opts = {});
 
@@ -149,15 +168,14 @@ class Endpoint {
   // indistinguishably). Prefer the WithStatus variants on protocol paths
   // that must react to faults.
   std::optional<std::vector<std::uint8_t>> Call(
-      HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
+      HostId dst, std::uint8_t op, Body body,
       MsgKind kind = MsgKind::kControl, const CallOpts& opts = {});
   std::optional<std::vector<std::vector<std::uint8_t>>> MultiCall(
-      const std::vector<HostId>& dsts, std::uint8_t op,
-      std::vector<std::uint8_t> body, MsgKind kind = MsgKind::kControl,
-      const CallOpts& opts = {});
+      const std::vector<HostId>& dsts, std::uint8_t op, Body body,
+      MsgKind kind = MsgKind::kControl, const CallOpts& opts = {});
 
   // One-way message; at-most-once, no retransmission.
-  void Notify(HostId dst, std::uint8_t op, std::vector<std::uint8_t> body,
+  void Notify(HostId dst, std::uint8_t op, Body body,
               MsgKind kind = MsgKind::kControl);
 
   HostId self() const { return self_; }
@@ -171,7 +189,7 @@ class Endpoint {
 
   struct ReplyMsg {
     std::uint64_t req_id;
-    std::vector<std::uint8_t> body;
+    base::BufferChain body;
   };
 
   // Duplicate-suppression record for one (origin, req_id).
@@ -179,18 +197,19 @@ class Endpoint {
     enum class State { kPending, kReplied, kForwarded } state =
         State::kPending;
     // kReplied: cached reply for replay. kForwarded: body + next hop.
-    std::vector<std::uint8_t> saved_body;
+    // Bulk data in a saved body is a shared view, not a copy.
+    Body saved_body;
     MsgKind saved_kind = MsgKind::kControl;
     HostId forwarded_to = 0;
   };
 
   void RxLoop();
-  void DispatchRequest(const Message& msg);
+  void DispatchRequest(Message msg);
   void SendRequestWire(WireType type, HostId dst, std::uint8_t op,
                        HostId origin, std::uint64_t req_id,
-                       const std::vector<std::uint8_t>& body, MsgKind kind);
+                       const Body& body, MsgKind kind);
   void SendReplyWire(HostId dst, std::uint64_t req_id,
-                     const std::vector<std::uint8_t>& body, MsgKind kind);
+                     const Body& body, MsgKind kind);
   DedupEntry* DedupFind(HostId origin, std::uint64_t req_id);
   DedupEntry& DedupInsert(HostId origin, std::uint64_t req_id);
 

@@ -1,0 +1,158 @@
+// Buffer/BufferChain semantics, the bulk-copy accounting used to prove the
+// zero-copy data path, and the strided bulk-convert entry point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/arch/type_registry.h"
+#include "mermaid/base/buffer.h"
+#include "mermaid/base/wire.h"
+
+namespace mermaid::base {
+namespace {
+
+std::vector<std::uint8_t> Iota(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), static_cast<std::uint8_t>(0));
+  return v;
+}
+
+TEST(Buffer, AdoptsVectorWithoutCopying) {
+  BulkCopyReset();
+  std::vector<std::uint8_t> v = Iota(1024);
+  const std::uint8_t* raw = v.data();
+  Buffer b(std::move(v));
+  EXPECT_EQ(b.size(), 1024u);
+  EXPECT_EQ(b.data(), raw);  // storage was adopted, not duplicated
+  EXPECT_EQ(BulkCopyCount(), 0u);
+}
+
+TEST(Buffer, SliceSharesStorageAndClamps) {
+  Buffer b(Iota(100));
+  Buffer mid = b.Slice(10, 20);
+  EXPECT_EQ(mid.size(), 20u);
+  EXPECT_EQ(mid.data(), b.data() + 10);
+  EXPECT_EQ(mid[0], 10);
+  // Clamped: length runs off the end, offset past the end is empty.
+  EXPECT_EQ(b.Slice(90, 50).size(), 10u);
+  EXPECT_TRUE(b.Slice(200).empty());
+  // A slice of a slice composes offsets.
+  EXPECT_EQ(mid.Slice(5, 5)[0], 15);
+}
+
+TEST(Buffer, CopyOfIsCountedAboveThreshold) {
+  BulkCopyReset();
+  std::vector<std::uint8_t> small(kBulkCopyThreshold - 1, 7);
+  std::vector<std::uint8_t> big(kBulkCopyThreshold, 7);
+  Buffer s = Buffer::CopyOf(small);
+  EXPECT_EQ(BulkCopyCount(), 0u);  // below threshold: not counted
+  Buffer b = Buffer::CopyOf(big);
+  EXPECT_EQ(BulkCopyCount(), 1u);
+  EXPECT_EQ(BulkCopyBytes(), kBulkCopyThreshold);
+  EXPECT_EQ(s.size(), small.size());
+  EXPECT_EQ(b.size(), big.size());
+}
+
+TEST(BufferChain, AppendSkipsEmptyAndIndexesAcrossChunks) {
+  BufferChain c;
+  c.Append(Buffer());  // empty chunks are dropped
+  c.Append(Buffer(Iota(3)));
+  c.Append(Buffer());
+  c.Append(Buffer(std::vector<std::uint8_t>{10, 11}));
+  EXPECT_EQ(c.chunk_count(), 2u);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c[0], 0);
+  EXPECT_EQ(c[2], 2);
+  EXPECT_EQ(c[3], 10);
+  EXPECT_EQ(c[4], 11);
+  EXPECT_EQ(c, (std::vector<std::uint8_t>{0, 1, 2, 10, 11}));
+}
+
+TEST(BufferChain, SliceIsZeroCopyAcrossChunkBoundaries) {
+  BulkCopyReset();
+  BufferChain c;
+  c.Append(Buffer(Iota(1000)));
+  c.Append(Buffer(Iota(1000)));
+  BufferChain mid = c.Slice(500, 1000);  // spans both chunks
+  EXPECT_EQ(mid.size(), 1000u);
+  EXPECT_EQ(mid[0], Iota(1000)[500]);
+  EXPECT_EQ(mid[499], Iota(1000)[999]);
+  EXPECT_EQ(mid[500], 0);
+  EXPECT_EQ(BulkCopyCount(), 0u);  // pure views
+}
+
+TEST(BufferChain, CopyToAndToVectorAreCounted) {
+  BufferChain c;
+  c.Append(Buffer(Iota(512)));
+  c.Append(Buffer(Iota(512)));
+  BulkCopyReset();
+  std::vector<std::uint8_t> out(1024);
+  EXPECT_EQ(c.CopyTo(out), 1024u);
+  EXPECT_EQ(BulkCopyCount(), 1u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[512], 0);
+  std::vector<std::uint8_t> v = c.ToVector();
+  EXPECT_EQ(BulkCopyCount(), 2u);
+  EXPECT_EQ(v, out);
+}
+
+TEST(BufferChain, FlattenSingleChunkIsFree) {
+  Buffer b(Iota(2048));
+  BufferChain c(b);
+  BulkCopyReset();
+  Buffer f = c.Flatten();
+  EXPECT_EQ(f.data(), b.data());  // same storage, no copy
+  EXPECT_EQ(BulkCopyCount(), 0u);
+
+  c.Append(Buffer(Iota(512)));
+  Buffer g = c.Flatten();
+  EXPECT_EQ(g.size(), 2560u);
+  EXPECT_EQ(BulkCopyCount(), 1u);
+}
+
+TEST(WireWriter, RawIsCountedAboveThreshold) {
+  BulkCopyReset();
+  WireWriter w;
+  std::vector<std::uint8_t> big = Iota(1024);
+  w.Raw(big);
+  EXPECT_EQ(BulkCopyCount(), 1u);
+  w.U32(7);
+  EXPECT_EQ(BulkCopyCount(), 1u);  // small writes are free
+}
+
+TEST(ConvertStrided, MatchesConvertBufferAtNaturalStride) {
+  arch::TypeRegistry reg;
+  arch::ConvertContext ctx;
+  ctx.src = &arch::Sun3Profile();      // big-endian
+  ctx.dst = &arch::FireflyProfile();   // little-endian
+  std::vector<std::uint8_t> a = Iota(64);
+  std::vector<std::uint8_t> b = a;
+  reg.ConvertBuffer(arch::TypeRegistry::kInt, a, 16, ctx);
+  reg.ConvertStrided(arch::TypeRegistry::kInt, b, 16, 4, ctx);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ConvertStrided, LeavesGapBytesUntouched) {
+  arch::TypeRegistry reg;
+  arch::ConvertContext ctx;
+  ctx.src = &arch::Sun3Profile();
+  ctx.dst = &arch::FireflyProfile();
+  // Slot layout: 2-byte shorts in 8-byte slots; gaps hold a sentinel.
+  std::vector<std::uint8_t> data(8 * 10, 0xEE);
+  for (int i = 0; i < 10; ++i) {
+    data[8 * i] = 0x12;
+    data[8 * i + 1] = 0x34;
+  }
+  reg.ConvertStrided(arch::TypeRegistry::kShort, data, 10, 8, ctx);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(data[8 * i], 0x34);      // swapped
+    EXPECT_EQ(data[8 * i + 1], 0x12);
+    for (int g = 2; g < 8; ++g) EXPECT_EQ(data[8 * i + g], 0xEE);
+  }
+}
+
+}  // namespace
+}  // namespace mermaid::base

@@ -1,0 +1,129 @@
+// Sender-side conversion cache: correctness across representation classes,
+// version-keyed invalidation, and the end-to-end bulk-copy budget of the
+// zero-copy data path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mermaid/base/buffer.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::dsm {
+namespace {
+
+using Reg = arch::TypeRegistry;
+
+constexpr int kDoubles = 256;  // 2 KB: one partial-page transfer
+
+SystemConfig CacheConfig(bool cache_on) {
+  SystemConfig cfg;
+  cfg.region_bytes = 256 * 1024;
+  cfg.convert_cache = cache_on;
+  return cfg;
+}
+
+// Runs the scenario on {Sun, Firefly, Firefly}: the Sun writes a block of
+// doubles, then each Firefly reads it in turn (strictly ordered). Returns
+// the values each reader observed.
+struct ScenarioResult {
+  std::vector<double> r1, r2, r1_after_write;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::uint64_t copies_first_read = 0;
+  std::uint64_t copies_second_read = 0;
+};
+
+ScenarioResult RunScenario(bool cache_on) {
+  sim::Engine eng;
+  System sys(eng, CacheConfig(cache_on),
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile()});
+  sys.Start();
+  ScenarioResult out;
+  sys.SpawnThread(0, "master", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(0, Reg::kDouble, kDoubles);
+    for (int i = 0; i < kDoubles; ++i) {
+      h.Write<double>(a + 8 * i, 1.5 * i);  // exact in IEEE and VAX D
+    }
+    sys.sync(0).SemInit(1, 0);
+
+    sys.SpawnThread(1, "reader1", [&, a](Host& hh) {
+      base::BulkCopyReset();
+      out.r1.resize(kDoubles);
+      hh.ReadBlock<double>(a, kDoubles, out.r1.data());
+      out.copies_first_read = base::BulkCopyCount();
+      sys.sync(1).V(1);
+    });
+    sys.sync(0).P(1);
+
+    sys.SpawnThread(2, "reader2", [&, a](Host& hh) {
+      base::BulkCopyReset();
+      out.r2.resize(kDoubles);
+      hh.ReadBlock<double>(a, kDoubles, out.r2.data());
+      out.copies_second_read = base::BulkCopyCount();
+      sys.sync(2).V(1);
+    });
+    sys.sync(0).P(1);
+
+    // Version bump: any cached image of this page is now stale.
+    h.Write<double>(a, -42.0);
+    sys.SpawnThread(1, "reader1b", [&, a](Host& hh) {
+      out.r1_after_write.resize(kDoubles);
+      hh.ReadBlock<double>(a, kDoubles, out.r1_after_write.data());
+      sys.sync(1).V(1);
+    });
+    sys.sync(0).P(1);
+  });
+  eng.Run();
+  out.cache_hits = sys.host(0).stats().Count("dsm.convert_cache_hits");
+  out.cache_misses = sys.host(0).stats().Count("dsm.convert_cache_misses");
+  return out;
+}
+
+TEST(ConvertCache, CrossRepValuesIdenticalCacheOnVsOff) {
+  ScenarioResult on = RunScenario(true);
+  ScenarioResult off = RunScenario(false);
+  ASSERT_EQ(on.r1.size(), static_cast<std::size_t>(kDoubles));
+  for (int i = 0; i < kDoubles; ++i) {
+    EXPECT_EQ(on.r1[i], 1.5 * i) << "reader1 value " << i;
+    EXPECT_EQ(on.r1[i], off.r1[i]) << "cache changed reader1 value " << i;
+    EXPECT_EQ(on.r2[i], off.r2[i]) << "cache changed reader2 value " << i;
+  }
+  EXPECT_EQ(on.r1_after_write[0], -42.0);
+  EXPECT_EQ(off.r1_after_write[0], -42.0);
+  for (int i = 1; i < kDoubles; ++i) {
+    EXPECT_EQ(on.r1_after_write[i], off.r1_after_write[i]);
+  }
+}
+
+TEST(ConvertCache, RepeatReadFaultHitsAndWriteInvalidates) {
+  ScenarioResult on = RunScenario(true);
+  // First Firefly read: miss (converts + populates). Second Firefly read of
+  // the unmodified page: hit. Read after the write: the version changed, so
+  // the stale image cannot be served — another miss.
+  EXPECT_GE(on.cache_hits, 1);
+  EXPECT_GE(on.cache_misses, 2);
+
+  ScenarioResult off = RunScenario(false);
+  EXPECT_EQ(off.cache_hits, 0);
+  EXPECT_EQ(off.cache_misses, 0);
+}
+
+TEST(ConvertCache, PagePayloadCopiedAtMostTwice) {
+  ScenarioResult on = RunScenario(true);
+  // Miss path: owner memory -> wire image (1), wire -> requester memory (2).
+  EXPECT_GE(on.copies_first_read, 1u);
+  EXPECT_LE(on.copies_first_read, 2u);
+  // Cache hit: the owner serves the shared cached image; only the
+  // requester-side install copy remains.
+  EXPECT_EQ(on.copies_second_read, 1u);
+
+  ScenarioResult off = RunScenario(false);
+  EXPECT_LE(off.copies_first_read, 2u);
+  EXPECT_LE(off.copies_second_read, 2u);
+}
+
+}  // namespace
+}  // namespace mermaid::dsm

@@ -172,7 +172,7 @@ TEST(ReqRep, BasicCallAndReply) {
   Endpoint b(eng, net, 1, &arch::FireflyProfile());
   b.SetHandler(1, [&](RequestContext ctx) {
     EXPECT_EQ(ctx.origin(), 0);
-    std::vector<std::uint8_t> reply = ctx.body();
+    std::vector<std::uint8_t> reply(ctx.body().begin(), ctx.body().end());
     reply.push_back(0xAA);
     ctx.Reply(std::move(reply));
   });
@@ -279,7 +279,7 @@ TEST_P(ReqRepLoss, RetransmissionSurvivesLoss) {
   int handled = 0;
   b.SetHandler(3, [&](RequestContext ctx) {
     ++handled;
-    std::vector<std::uint8_t> echo = ctx.body();
+    std::vector<std::uint8_t> echo(ctx.body().begin(), ctx.body().end());
     ctx.Reply(std::move(echo), MsgKind::kData);
   });
   a.Start();
@@ -326,7 +326,7 @@ TEST(ReqRep, DuplicationAndReorderingStayExactlyOnce) {
   int handled = 0;
   b.SetHandler(3, [&](RequestContext ctx) {
     ++handled;
-    std::vector<std::uint8_t> echo = ctx.body();
+    std::vector<std::uint8_t> echo(ctx.body().begin(), ctx.body().end());
     ctx.Reply(std::move(echo));
   });
   a.Start();
