@@ -20,6 +20,7 @@ double MeasureMs(Scenario sc, const arch::ArchProfile& requester,
                  const arch::ArchProfile& owner, bool write_fault) {
   sim::Engine eng;
   dsm::SystemConfig cfg;
+  benchutil::ApplyTraceEnv(cfg);
   cfg.region_bytes = 1u << 20;
   // The paper's testbed always included a Sun, so Table 4 is for 8 KB DSM
   // pages even in the Firefly-to-Firefly column.
@@ -73,6 +74,9 @@ double MeasureMs(Scenario sc, const arch::ArchProfile& requester,
     }
   });
   eng.Run();
+  // Overwritten per cell; the surviving artifact is the last cell's trace,
+  // which is all CI needs as a format sample.
+  benchutil::WriteTraceArtifacts(sys, "table4_end_to_end");
   return sys.host(0).stats().DistCopy("dsm.fault_delay_ms").min();
 }
 

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,10 +14,43 @@
 #include "mermaid/apps/matmul.h"
 #include "mermaid/apps/pcb.h"
 #include "mermaid/arch/arch.h"
+#include "mermaid/base/buffer.h"
 #include "mermaid/dsm/system.h"
 #include "mermaid/sim/engine.h"
+#include "mermaid/trace/export.h"
 
 namespace mermaid::benchutil {
+
+// Benches opt into protocol tracing via the environment (MERMAID_TRACE=1):
+// the default run stays overhead-free while CI can collect trace artifacts
+// from the same binaries.
+inline bool TraceEnvEnabled() {
+  const char* v = std::getenv("MERMAID_TRACE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline void ApplyTraceEnv(dsm::SystemConfig& cfg) {
+  if (TraceEnvEnabled()) cfg.trace = true;
+}
+
+// Writes TRACE_<name>.json (Chrome/Perfetto trace-event format) and
+// TRACE_<name>_pages.json (per-page protocol timeline) next to the binary.
+// No-op when the system's tracer is disabled.
+inline void WriteTraceArtifacts(dsm::System& sys, const std::string& name) {
+  if (!sys.tracer().enabled()) return;
+  const auto events = sys.tracer().Snapshot();
+  const std::string chrome = "TRACE_" + name + ".json";
+  const std::string pages = "TRACE_" + name + "_pages.json";
+  if (trace::WriteChromeTrace(events, chrome) &&
+      trace::WritePageTimeline(events, pages)) {
+    std::printf("wrote %s and %s (%zu events, %llu dropped)\n",
+                chrome.c_str(), pages.c_str(), events.size(),
+                static_cast<unsigned long long>(sys.tracer().dropped()));
+  } else {
+    std::fprintf(stderr, "cannot write trace artifacts for %s\n",
+                 name.c_str());
+  }
+}
 
 inline const arch::ArchProfile& Sun() { return arch::Sun3Profile(); }
 inline const arch::ArchProfile& Ffly() { return arch::FireflyProfile(); }
@@ -49,8 +83,11 @@ struct MmRun {
 inline MmRun RunMatMulOnce(const dsm::SystemConfig& sys_cfg,
                            const std::vector<const arch::ArchProfile*>& hosts,
                            const apps::MatMulConfig& mm_cfg) {
+  base::BulkCopyReset();  // report run-local copy counts, not process totals
   sim::Engine eng;
-  dsm::System sys(eng, sys_cfg, hosts);
+  dsm::SystemConfig cfg = sys_cfg;
+  ApplyTraceEnv(cfg);
+  dsm::System sys(eng, cfg, hosts);
   sys.Start();
   apps::MatMulResult result;
   apps::SetupMatMul(sys, mm_cfg, &result);
@@ -62,6 +99,7 @@ inline MmRun RunMatMulOnce(const dsm::SystemConfig& sys_cfg,
   run.pages_transferred = stats.Count("dsm.pages_in");
   run.bytes_in = stats.Count("dsm.bytes_in");
   run.conversions = stats.Count("dsm.conversions");
+  WriteTraceArtifacts(sys, "matmul");
   return run;
 }
 
@@ -73,13 +111,17 @@ struct PcbRun {
 inline PcbRun RunPcbOnce(const dsm::SystemConfig& sys_cfg,
                          const std::vector<const arch::ArchProfile*>& hosts,
                          apps::PcbConfig pcb_cfg) {
+  base::BulkCopyReset();  // report run-local copy counts, not process totals
   sim::Engine eng;
-  dsm::System sys(eng, sys_cfg, hosts);
+  dsm::SystemConfig cfg = sys_cfg;
+  ApplyTraceEnv(cfg);
+  dsm::System sys(eng, cfg, hosts);
   arch::TypeId stats_type = apps::RegisterPcbTypes(sys.registry());
   sys.Start();
   apps::PcbResult result;
   apps::SetupPcb(sys, stats_type, pcb_cfg, &result);
   eng.Run();
+  WriteTraceArtifacts(sys, "pcb");
   return PcbRun{ToSeconds(result.elapsed), result.done && result.correct};
 }
 

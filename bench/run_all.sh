@@ -1,6 +1,11 @@
 #!/usr/bin/env sh
 # Runs every benchmark binary in a build tree and collects the
-# BENCH_<name>.json results.
+# BENCH_<name>.json (and, with MERMAID_TRACE=1, TRACE_<name>*.json) results.
+#
+# Each bench runs in its own scratch directory; its JSON artifacts are moved
+# to the output directory only when the bench exits 0, so a failing bench can
+# never leave half-written or stale results behind, and the script's exit
+# status reflects any failure.
 #
 # Usage: bench/run_all.sh [build-dir] [output-dir]
 #   build-dir   defaults to ./build
@@ -16,20 +21,32 @@ BENCH_DIR=$(cd "$BUILD_DIR/bench" 2>/dev/null && pwd) || {
 }
 
 mkdir -p "$OUT_DIR"
-cd "$OUT_DIR"
+OUT_DIR=$(cd "$OUT_DIR" && pwd)
 
 status=0
 for bin in "$BENCH_DIR"/bench_*; do
-    [ -x "$bin" ] || continue
+    [ -f "$bin" ] && [ -x "$bin" ] || continue
     name=$(basename "$bin")
     echo "==> $name"
-    if ! "$bin" > "$name.log" 2>&1; then
+    workdir=$(mktemp -d "${TMPDIR:-/tmp}/mermaid-bench.XXXXXX")
+    if (cd "$workdir" && "$bin" > "$OUT_DIR/$name.log" 2>&1); then
+        for f in "$workdir"/BENCH_*.json "$workdir"/TRACE_*.json; do
+            [ -f "$f" ] && mv "$f" "$OUT_DIR/"
+        done
+    else
         echo "FAILED: $name (see $OUT_DIR/$name.log)" >&2
         status=1
     fi
+    rm -rf "$workdir"
 done
 
 echo
 echo "results in $OUT_DIR:"
-ls -1 BENCH_*.json 2>/dev/null || echo "  (no JSON emitted)"
+found=0
+for f in "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/TRACE_*.json; do
+    [ -f "$f" ] || continue
+    echo "$f"
+    found=1
+done
+[ "$found" = 1 ] || echo "  (no JSON emitted)"
 exit $status

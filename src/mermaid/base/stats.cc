@@ -1,5 +1,6 @@
 #include "mermaid/base/stats.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace mermaid::base {
@@ -27,6 +28,71 @@ void Distribution::Merge(const Distribution& other) {
   sum_ += other.sum_;
 }
 
+int Histogram::BucketOf(double v) {
+  if (v <= 0.0 || !std::isfinite(v)) return 0;
+  // Two buckets per octave: floor(2*log2(v)) shifted so 1.0 -> bucket 22.
+  const int idx = 22 + static_cast<int>(std::floor(2.0 * std::log2(v)));
+  if (idx < 1) return 1;
+  if (idx >= kBuckets) return kBuckets - 1;
+  return idx;
+}
+
+double Histogram::BucketLow(int b) {
+  if (b <= 0) return 0.0;
+  return std::exp2((b - 22) / 2.0);
+}
+
+double Histogram::BucketHigh(int b) {
+  if (b <= 0) return 0.0;
+  return std::exp2((b - 21) / 2.0);
+}
+
+void Histogram::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[static_cast<std::size_t>(BucketOf(v))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) > rank) {
+      if (b == 0) return min_ < 0.0 ? min_ : 0.0;
+      // Geometric midpoint of the bucket, clamped to observed extremes.
+      double est = std::sqrt(BucketLow(b) * BucketHigh(b));
+      if (est < min_) est = min_;
+      if (est > max_) est = max_;
+      return est;
+    }
+  }
+  return max_;
+}
+
 void StatsRegistry::Inc(const std::string& name, std::int64_t delta) {
   std::lock_guard<std::mutex> lk(mu_);
   counters_[name] += delta;
@@ -35,6 +101,11 @@ void StatsRegistry::Inc(const std::string& name, std::int64_t delta) {
 void StatsRegistry::Sample(const std::string& name, double value) {
   std::lock_guard<std::mutex> lk(mu_);
   dists_[name].Add(value);
+}
+
+void StatsRegistry::Hist(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hists_[name].Add(value);
 }
 
 std::int64_t StatsRegistry::Count(const std::string& name) const {
@@ -59,18 +130,67 @@ std::map<std::string, Distribution> StatsRegistry::Dists() const {
   return dists_;
 }
 
+Histogram StatsRegistry::HistCopy(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = hists_.find(name);
+  return it == hists_.end() ? Histogram{} : it->second;
+}
+
+std::map<std::string, Histogram> StatsRegistry::Hists() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hists_;
+}
+
 void StatsRegistry::Clear() {
   std::lock_guard<std::mutex> lk(mu_);
   counters_.clear();
   dists_.clear();
+  hists_.clear();
+  epoch_base_.clear();
+  ++epoch_;
+}
+
+std::uint64_t StatsRegistry::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+void StatsRegistry::BeginEpoch() {
+  std::lock_guard<std::mutex> lk(mu_);
+  epoch_base_ = counters_;
+  ++epoch_;
+}
+
+std::int64_t StatsRegistry::CountSinceEpoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  const std::int64_t total = it == counters_.end() ? 0 : it->second;
+  auto base = epoch_base_.find(name);
+  return total - (base == epoch_base_.end() ? 0 : base->second);
+}
+
+std::map<std::string, std::int64_t> StatsRegistry::CountersSinceEpoch()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, std::int64_t> out = counters_;
+  for (const auto& [name, base] : epoch_base_) {
+    auto it = out.find(name);
+    if (it != out.end()) {
+      it->second -= base;
+      if (it->second == 0) out.erase(it);
+    }
+  }
+  return out;
 }
 
 void StatsRegistry::Merge(const StatsRegistry& other) {
   auto counters = other.Counters();
   auto dists = other.Dists();
+  auto hists = other.Hists();
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [name, v] : counters) counters_[name] += v;
   for (const auto& [name, d] : dists) dists_[name].Merge(d);
+  for (const auto& [name, h] : hists) hists_[name].Merge(h);
 }
 
 std::string StatsRegistry::ToString() const {
@@ -80,6 +200,11 @@ std::string StatsRegistry::ToString() const {
   for (const auto& [name, d] : dists_) {
     os << name << ": count=" << d.count() << " mean=" << d.mean()
        << " min=" << d.min() << " max=" << d.max() << "\n";
+  }
+  for (const auto& [name, h] : hists_) {
+    os << name << ": count=" << h.count() << " mean=" << h.mean()
+       << " p50=" << h.Percentile(50) << " p90=" << h.Percentile(90)
+       << " p99=" << h.Percentile(99) << " max=" << h.max() << "\n";
   }
   return os.str();
 }

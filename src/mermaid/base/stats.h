@@ -6,6 +6,7 @@
 // thrashing (page-transfer explosions).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -32,6 +33,43 @@ class Distribution {
   double max_ = 0;
 };
 
+// Latency histogram with half-octave (x sqrt(2)) log-scaled buckets.
+// Bucket 0 holds values <= 0; bucket b (1..63) covers
+// [2^((b-22)/2), 2^((b-21)/2)), so 1.0 lands in bucket 22 and the range
+// spans roughly 7e-4 .. 2e6 in whatever unit the caller samples (ms for
+// the protocol latencies, a raw count for fan-outs). Percentiles are
+// estimated by the bucket's geometric midpoint, clamped to observed
+// min/max — half-octave resolution keeps the estimate within ~20%.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Add(double v);
+  void Merge(const Histogram& other);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // p in [0, 100]; returns 0 when empty.
+  double Percentile(double p) const;
+  const std::array<std::int64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  static int BucketOf(double v);
+  static double BucketLow(int b);
+  static double BucketHigh(int b);
+
+ private:
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
 // Named counters and distributions. Mutations are internally locked so
 // concurrent processes under the real-time runtime can share a registry;
 // under the virtual-time engine the lock is never contended.
@@ -43,25 +81,42 @@ class StatsRegistry {
 
   void Inc(const std::string& name, std::int64_t delta = 1);
   void Sample(const std::string& name, double value);
+  void Hist(const std::string& name, double value);
 
   std::int64_t Count(const std::string& name) const;
   // Returns a snapshot (the live distribution can change concurrently).
   Distribution DistCopy(const std::string& name) const;
+  Histogram HistCopy(const std::string& name) const;
 
   // Snapshots of the full maps, for reporting.
   std::map<std::string, std::int64_t> Counters() const;
   std::map<std::string, Distribution> Dists() const;
+  std::map<std::string, Histogram> Hists() const;
 
+  // Drops all counters, samples, and histograms and starts a new epoch.
+  // Repeated runs in one process must call this (via System::ResetStats)
+  // between runs, or the second run reports cumulative numbers.
   void Clear();
-  // Adds every counter and sample of `other` into this registry.
+  std::uint64_t epoch() const;
+
+  // Non-destructive epoch: snapshots current counter totals as a baseline
+  // so CountSinceEpoch reports run-local deltas without losing history.
+  void BeginEpoch();
+  std::int64_t CountSinceEpoch(const std::string& name) const;
+  std::map<std::string, std::int64_t> CountersSinceEpoch() const;
+
+  // Adds every counter, sample, and histogram of `other` into this one.
   void Merge(const StatsRegistry& other);
 
   std::string ToString() const;
 
  private:
   mutable std::mutex mu_;
+  std::uint64_t epoch_ = 0;
   std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::int64_t> epoch_base_;
   std::map<std::string, Distribution> dists_;
+  std::map<std::string, Histogram> hists_;
 };
 
 }  // namespace mermaid::base

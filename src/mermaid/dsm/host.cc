@@ -241,6 +241,7 @@ void Host::FaultGroup(PageNum p, Access needed) {
     FaultOne(q, needed);
   }
   stats_.Sample("dsm.fault_delay_ms", ToMillis(rt_.Now() - start));
+  stats_.Hist("dsm.fault_service_ms", ToMillis(rt_.Now() - start));
 }
 
 void Host::FaultOne(PageNum p, Access needed) {
@@ -267,6 +268,9 @@ void Host::FaultOne(PageNum p, Access needed) {
 
     const bool is_write = needed == Access::kWrite;
     stats_.Inc(is_write ? "dsm.write_faults" : "dsm.read_faults");
+    const std::uint64_t fault_ev =
+        TraceEv(trace::EventKind::kFaultStart, p, 0, 0, is_write ? 1 : 0);
+    TraceBind(trace::FaultKey(self_, p), fault_ev);
     const FaultOutcome outcome = ptable_.ManagedHere(p)
                                      ? FaultViaLocalManager(p, is_write)
                                      : FaultViaRemoteManager(p, is_write);
@@ -292,6 +296,8 @@ void Host::FaultOne(PageNum p, Access needed) {
         rt_.Delay(FaultBackoff(cfg_, retries));
         break;
       case FaultOutcome::kDone:
+        TraceEv(trace::EventKind::kFaultEnd, p, 0, fault_ev,
+                is_write ? 1 : 0);
         retries = 0;  // loop re-checks access (it may have been invalidated)
         break;
     }
@@ -496,9 +502,16 @@ bool Host::CompleteTransfer(PageNum p, bool is_write,
     stats_.Inc("dsm.upgrades");
   }
   rt_.Delay(profile_->page_install_cost);
+  const std::uint64_t install_ev =
+      TraceEv(trace::EventKind::kInstall, p, reply.op_id,
+              TraceParent(trace::OpKey(p, reply.op_id)), is_write ? 1 : 0,
+              reply.has_data ? 1 : 0);
+  TraceBind(trace::OpKey(p, reply.op_id), install_ev);
 
   if (is_write) {
-    if (!InvalidateCopies(p, reply.to_invalidate)) return false;
+    if (!InvalidateCopies(p, reply.to_invalidate, reply.op_id, install_ev)) {
+      return false;
+    }
     std::lock_guard<std::mutex> lk(state_mu_);
     LocalPageEntry& e = ptable_.Local(p);
     e.access = Access::kWrite;
@@ -518,12 +531,15 @@ bool Host::CompleteTransfer(PageNum p, bool is_write,
 }
 
 bool Host::InvalidateCopies(PageNum p,
-                            const std::vector<net::HostId>& hosts) {
+                            const std::vector<net::HostId>& hosts,
+                            std::uint64_t op_id, std::uint64_t parent_ev) {
   std::vector<net::HostId> targets;
   for (net::HostId h : hosts) {
     if (h != self_) targets.push_back(h);
   }
   if (targets.empty()) return true;
+  stats_.Hist("dsm.invalidate_fanout",
+              static_cast<double>(targets.size()));
   base::WireWriter w;
   w.U32(p);
   const auto body = std::move(w).Take();
@@ -539,6 +555,10 @@ bool Host::InvalidateCopies(PageNum p,
     }
     stats_.Inc("dsm.invalidations_sent",
                static_cast<std::int64_t>(targets.size()));
+    const std::uint64_t inv_ev =
+        TraceEv(trace::EventKind::kInvalidateSend, p, op_id, parent_ev,
+                static_cast<std::int64_t>(targets.size()), round);
+    TraceBind(trace::InvKey(p), inv_ev);
     auto acks = endpoint_.MultiCallWithStatus(targets, kOpInvalidate, body,
                                               net::MsgKind::kControl,
                                               DsmCallOpts());
@@ -596,6 +616,11 @@ ManagerGrant Host::BuildGrantLocked(PageNum p, net::HostId requester,
   m.busy_is_write = is_write;
   m.busy_new_version = g.new_version;
   m.busy_since = rt_.Now();
+  const std::uint64_t grant_ev =
+      TraceEv(trace::EventKind::kManagerGrant, p, g.op_id,
+              TraceParent(trace::FaultKey(requester, p)), is_write ? 1 : 0,
+              g.owner);
+  TraceBind(trace::OpKey(p, g.op_id), grant_ev);
   return g;
 }
 
@@ -643,6 +668,11 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
     return;
   }
   // Forward to the owner (R -> M -> O of Table 4).
+  const std::uint64_t fwd_ev =
+      TraceEv(trace::EventKind::kManagerForward, p, grant.op_id,
+              TraceParent(trace::OpKey(p, grant.op_id)), grant.owner,
+              t.requester);
+  TraceBind(trace::OpKey(p, grant.op_id), fwd_ev);
   base::WireWriter w;
   w.U8(kToOwner);
   w.U32(p);
@@ -676,6 +706,8 @@ void Host::ManagerCommit(PageNum p, std::uint64_t op_id,
     }
     m.busy = false;
   }
+  TraceEv(trace::EventKind::kManagerCommit, p, op_id,
+          TraceParent(trace::OpKey(p, op_id)), is_write ? 1 : 0, requester);
   ManagerDrain(p);
 }
 
@@ -699,6 +731,8 @@ void Host::ManagerRevoke(PageNum p, std::uint64_t op_id) {
     m.busy = false;  // owner/copyset/version deliberately unchanged
     stats_.Inc("dsm.grants_revoked");
   }
+  TraceEv(trace::EventKind::kManagerRevoke, p, op_id,
+          TraceParent(trace::OpKey(p, op_id)));
   ManagerDrain(p);
 }
 
@@ -778,6 +812,11 @@ net::Body Host::EncodeServeReply(
       referee_->OnDowngrade(self_, p);
     }
   }
+  const std::uint64_t serve_ev =
+      TraceEv(trace::EventKind::kOwnerServe, p, op_id,
+              TraceParent(trace::OpKey(p, op_id)), extent,
+              cache_hit ? 1 : 0);
+  TraceBind(trace::OpKey(p, op_id), serve_ev);
 
   // Phase 2 (unlocked): copy and convert the page image. Safe outside
   // state_mu_: the manager entry stays busy until the requester confirms,
@@ -904,6 +943,8 @@ void Host::HandleInvalidate(net::RequestContext ctx) {
     return;
   }
   rt_.Delay(profile_->server_op_cost);
+  TraceEv(trace::EventKind::kInvalidateRecv, p, 0,
+          TraceParent(trace::InvKey(p)), ctx.origin());
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     LocalPageEntry& e = ptable_.Local(p);
@@ -1050,7 +1091,10 @@ void Host::ConvertIncoming(PageNum p, std::span<std::uint8_t> data,
   stats_.Inc("dsm.conversions");
   stats_.Inc("dsm.converted_elements", static_cast<std::int64_t>(elems));
   stats_.Sample("dsm.convert_ms", ToMillis(delay));
-  (void)p;
+  stats_.Hist("dsm.convert_time_ms", ToMillis(delay));
+  TraceEv(trace::EventKind::kConvert, p, 0, 0,
+          static_cast<std::int64_t>(elems),
+          static_cast<std::int64_t>(delay));
 }
 
 void Host::DropConvertCacheLocked(PageNum p) {

@@ -162,6 +162,13 @@ class Host {
   net::Endpoint& endpoint() { return endpoint_; }
   sim::Runtime& runtime() { return rt_; }
 
+  // Attaches the system-wide protocol tracer (and propagates it to this
+  // host's endpoint / fragmentation layers).
+  void SetTracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    endpoint_.SetTracer(tracer);
+  }
+
   // Test hooks.
   LocalPageEntry LocalEntrySnapshot(PageNum p);
 
@@ -212,7 +219,10 @@ class Host {
   bool CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply);
   // Reliable write invalidation: re-multicasts to unacked targets until all
   // ack (bounded rounds; aborts loudly when exhausted). False on shutdown.
-  bool InvalidateCopies(PageNum p, const std::vector<net::HostId>& hosts);
+  // `op_id`/`parent_ev` only feed the trace (the install event that caused
+  // this invalidation round).
+  bool InvalidateCopies(PageNum p, const std::vector<net::HostId>& hosts,
+                        std::uint64_t op_id, std::uint64_t parent_ev);
 
   // --- manager role -------------------------------------------------------
   ManagerGrant BuildGrantLocked(PageNum p, net::HostId requester,
@@ -268,6 +278,22 @@ class Host {
   static FetchReply DecodeFetchReply(const base::BufferChain& body);
   net::Endpoint::CallOpts DsmCallOpts() const;
 
+  // Trace hook: records one protocol event on this host at the current sim
+  // time; returns the event id (0 when tracing is off).
+  std::uint64_t TraceEv(trace::EventKind kind, PageNum p, std::uint64_t op,
+                        std::uint64_t parent = 0, std::int64_t a0 = 0,
+                        std::int64_t a1 = 0) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return 0;
+    return tracer_->Record(kind, self_, rt_.Now(), p, op, parent, a0, a1);
+  }
+  std::uint64_t TraceParent(const trace::CausalKey& key) const {
+    if (tracer_ == nullptr || !tracer_->enabled()) return 0;
+    return tracer_->Parent(key);
+  }
+  void TraceBind(const trace::CausalKey& key, std::uint64_t ev) {
+    if (tracer_ != nullptr && ev != 0) tracer_->Bind(key, ev);
+  }
+
   sim::Runtime& rt_;
   net::Network& net_;
   const SystemConfig& cfg_;
@@ -277,6 +303,7 @@ class Host {
   std::uint32_t page_bytes_;
   CoherenceReferee* referee_;
   net::Endpoint endpoint_;
+  trace::Tracer* tracer_ = nullptr;
 
   // Guards everything below; never held across a blocking operation.
   std::mutex state_mu_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "mermaid/base/buffer.h"
 #include "mermaid/base/check.h"
 #include "mermaid/base/wire.h"
 
@@ -29,15 +30,20 @@ System::System(sim::Runtime& rt, SystemConfig cfg,
                std::vector<const arch::ArchProfile*> host_profiles)
     : rt_(rt),
       cfg_(cfg),
+      tracer_(std::make_unique<trace::Tracer>(cfg.trace_capacity)),
       page_bytes_(ResolvePageBytes(cfg, host_profiles)) {
   MERMAID_CHECK(!host_profiles.empty());
   MERMAID_CHECK(cfg_.region_bytes % page_bytes_ == 0);
+  tracer_->Enable(cfg_.trace);
+  rt_.SetTracer(tracer_.get());
   network_ = std::make_unique<net::Network>(rt, cfg_.net);
+  network_->SetTracer(tracer_.get());
   const auto num_hosts = static_cast<std::uint16_t>(host_profiles.size());
   for (std::uint16_t i = 0; i < num_hosts; ++i) {
     hosts_.push_back(std::make_unique<Host>(
         rt, *network_, cfg_, registry_, i, host_profiles[i], num_hosts,
         page_bytes_, &referee_));
+    hosts_.back()->SetTracer(tracer_.get());
   }
   allocator_ = std::make_unique<Allocator>(&registry_, cfg_.region_bytes,
                                            page_bytes_);
@@ -48,6 +54,7 @@ System::System(sim::Runtime& rt, SystemConfig cfg,
   for (std::uint16_t i = 0; i < num_hosts; ++i) {
     sync_clients_.emplace_back(&hosts_[i]->endpoint(), /*server_host=*/0,
                                i == 0 ? sync_server_.get() : nullptr);
+    sync_clients_.back().SetTracer(tracer_.get());
     central_clients_.emplace_back(&hosts_[i]->endpoint(), /*server_host=*/0,
                                   host_profiles[0],
                                   i == 0 ? central_server_.get() : nullptr);
@@ -172,9 +179,28 @@ base::StatsRegistry& System::GatherStats() {
   for (auto& h : hosts_) {
     merged_stats_.Merge(h->stats());
     merged_stats_.Merge(h->endpoint().stats());
+    // The reassembler keeps a private registry; without this merge its
+    // frag.* / net.reassembly_expired counters never reached system totals.
+    merged_stats_.Merge(h->endpoint().frag_stats());
   }
   merged_stats_.Merge(network_->stats());
   return merged_stats_;
+}
+
+void System::ResetStats() {
+  for (auto& h : hosts_) {
+    h->stats().Clear();
+    h->endpoint().stats().Clear();
+    h->endpoint().frag_stats().Clear();
+  }
+  network_->stats().Clear();
+  central_server_->stats().Clear();
+  merged_stats_.Clear();
+  tracer_->Clear();
+  // The bulk-copy budget counters are process-global (they audit every
+  // Buffer copy, not just this system's); reset them too or a second run's
+  // copy accounting starts inflated.
+  base::BulkCopyReset();
 }
 
 System::QuiescenceReport System::CheckQuiescent() {
@@ -242,6 +268,45 @@ std::string System::ReportStats() {
                 static_cast<long long>(cc_misses),
                 static_cast<long long>(cc_evictions));
   out += line;
+  std::int64_t frag_delivered = 0, frag_expired = 0;
+  for (auto& h : hosts_) {
+    auto& fs = h->endpoint().frag_stats();
+    frag_delivered += fs.Count("frag.messages_delivered");
+    frag_expired += fs.Count("net.reassembly_expired");
+  }
+  std::snprintf(line, sizeof(line),
+                "frag: %lld messages delivered, %lld partials expired\n",
+                static_cast<long long>(frag_delivered),
+                static_cast<long long>(frag_expired));
+  out += line;
+  // Latency histograms, merged across hosts (per-host endpoint + DSM
+  // registries). Quantiles come from the log-scaled buckets.
+  static constexpr const char* kHistNames[] = {
+      "dsm.fault_service_ms", "reqrep.rtt_ms", "dsm.convert_time_ms",
+      "dsm.invalidate_fanout"};
+  for (const char* name : kHistNames) {
+    base::Histogram merged;
+    for (auto& h : hosts_) {
+      merged.Merge(h->stats().HistCopy(name));
+      merged.Merge(h->endpoint().stats().HistCopy(name));
+    }
+    if (merged.count() == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "hist %-22s n=%lld mean=%.2f p50=%.2f p90=%.2f "
+                  "p99=%.2f max=%.2f\n",
+                  name, static_cast<long long>(merged.count()), merged.mean(),
+                  merged.Percentile(50), merged.Percentile(90),
+                  merged.Percentile(99), merged.max());
+    out += line;
+  }
+  if (tracer_->enabled()) {
+    std::snprintf(line, sizeof(line),
+                  "trace: %lld events recorded, %lld evicted (ring %zu)\n",
+                  static_cast<long long>(tracer_->total_recorded()),
+                  static_cast<long long>(tracer_->dropped()),
+                  tracer_->capacity());
+    out += line;
+  }
   return out;
 }
 

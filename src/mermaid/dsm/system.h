@@ -32,6 +32,7 @@
 #include "mermaid/net/network.h"
 #include "mermaid/sim/runtime.h"
 #include "mermaid/sync/sync.h"
+#include "mermaid/trace/trace.h"
 
 namespace mermaid::dsm {
 
@@ -74,8 +75,18 @@ class System {
   CoherenceReferee& referee() { return referee_; }
   const SystemConfig& config() const { return cfg_; }
 
-  // Merged statistics across hosts, endpoints, and the network.
+  // Merged statistics across hosts, endpoints (including their reassembly
+  // registries), and the network.
   base::StatsRegistry& GatherStats();
+
+  // Drops every per-component registry and the process-global bulk-copy
+  // counters, so a second run in the same process reports run-local numbers
+  // instead of cumulative ones. Call between back-to-back runs.
+  void ResetStats();
+
+  // The system-wide protocol tracer (enabled iff config().trace). Always
+  // present so callers can Snapshot() unconditionally; empty when disabled.
+  trace::Tracer& tracer() { return *tracer_; }
 
   // Protocol quiescence snapshot: once all application threads are done and
   // confirms have drained, no manager entry should remain busy and no
@@ -102,6 +113,7 @@ class System {
 
   sim::Runtime& rt_;
   SystemConfig cfg_;
+  std::unique_ptr<trace::Tracer> tracer_;
   std::uint32_t page_bytes_;
   arch::TypeRegistry registry_;
   CoherenceReferee referee_;

@@ -75,6 +75,13 @@ struct SystemConfig {
   std::size_t convert_cache_capacity = 64;  // cached images per host (FIFO)
   // Check every typed access against the coherence referee (tests).
   bool referee_check_access = false;
+
+  // Structured protocol tracing (trace::Tracer). Off by default: with trace
+  // false every hook reduces to a flag test, modeled times are identical,
+  // and no memory is spent beyond the (empty) ring. The capacity knob
+  // bounds the ring buffer; oldest events are evicted first.
+  bool trace = false;
+  std::size_t trace_capacity = 1 << 16;
 };
 
 // Protocol opcodes (one Endpoint per host, shared with the sync module).

@@ -30,6 +30,11 @@ void Fragmenter::Send(Message msg) {
   }
 
   const std::uint64_t msg_id = next_msg_id_++;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Record(trace::EventKind::kMsgSend, self_, rt_.Now(),
+                    trace::kNoPage, msg_id, 0,
+                    static_cast<std::int64_t>(count), msg.dst);
+  }
   // Wire serialization of earlier fragments delays later ones.
   double cum_wire_ns = 0;
   for (std::size_t i = 0; i < count; ++i) {
@@ -85,10 +90,16 @@ std::optional<Message> Reassembler::OnPacket(Packet pkt) {
   frag.Append(std::move(pkt.payload));
 
   const SimTime now = rt_.Now();
-  DropStale(now);
+  std::lock_guard<std::mutex> lk(mu_);
+  DropStaleLocked(now);
 
   if (count == 1) {
     stats_.Inc("frag.messages_delivered");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Record(trace::EventKind::kMsgDelivered, trace_self_, now,
+                      trace::kNoPage, msg_id, 0,
+                      static_cast<std::int64_t>(frag.size()));
+    }
     Message msg;
     msg.src = pkt.src;
     msg.dst = pkt.dst;
@@ -126,13 +137,37 @@ std::optional<Message> Reassembler::OnPacket(Packet pkt) {
   for (auto& f : part.frags) msg.payload.Append(std::move(f));
   partial_.erase({src, msg_id});
   stats_.Inc("frag.messages_delivered");
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Record(trace::EventKind::kMsgDelivered, trace_self_, now,
+                    trace::kNoPage, msg_id, 0,
+                    static_cast<std::int64_t>(msg.payload.size()));
+  }
   return msg;
 }
 
-void Reassembler::DropStale(SimTime now) {
+void Reassembler::SweepStale() {
+  const SimTime now = rt_.Now();
+  std::lock_guard<std::mutex> lk(mu_);
+  DropStaleLocked(now);
+}
+
+std::size_t Reassembler::partial_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return partial_.size();
+}
+
+void Reassembler::DropStaleLocked(SimTime now) {
   for (auto it = partial_.begin(); it != partial_.end();) {
     if (now - it->second.first_seen > stale_after_) {
+      // Two names for one event: the legacy counter plus the net.* alias
+      // that System-level stats reports (the endpoint registry merge).
       stats_.Inc("frag.stale_partials_dropped");
+      stats_.Inc("net.reassembly_expired");
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Record(trace::EventKind::kReassemblyExpired, trace_self_,
+                        now, trace::kNoPage, it->first.second, 0,
+                        it->second.received);
+      }
       it = partial_.erase(it);
     } else {
       ++it;

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "mermaid/base/stats.h"
 #include "mermaid/net/network.h"
 #include "mermaid/sim/runtime.h"
+#include "mermaid/trace/trace.h"
 
 namespace mermaid::net {
 
@@ -42,10 +44,13 @@ class Fragmenter {
   // the user-level fragmentation the paper charges the sender.
   void Send(Message msg);
 
+  void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   sim::Runtime& rt_;
   Network& net_;
   HostId self_;
+  trace::Tracer* tracer_ = nullptr;
   // Atomic: under the real-time runtime several processes of one host
   // (client + rx daemon) may send concurrently.
   std::atomic<std::uint64_t> next_msg_id_;
@@ -53,9 +58,12 @@ class Fragmenter {
 
 // Per-host receiving side. Pull-driven: the endpoint's receive loop feeds
 // packets in; a completed message comes back. Partial messages older than
-// `stale_after` are dropped whenever OnPacket runs (datagram semantics: a
-// message with a lost fragment is simply a lost message; the request layer
-// retransmits).
+// `stale_after` are dropped whenever OnPacket runs AND by a periodic
+// SweepStale (the endpoint runs a sweeper daemon): relying on OnPacket
+// alone leaks partials on a host that stops receiving packets — e.g. the
+// tail fragments were dropped by a FaultPlan and the sender gave up, or the
+// host sits behind a partition (datagram semantics: a message with a lost
+// fragment is simply a lost message; the request layer retransmits).
 class Reassembler {
  public:
   explicit Reassembler(sim::Runtime& rt,
@@ -65,7 +73,19 @@ class Reassembler {
   // reassembled message's buffer chain without copying.
   std::optional<Message> OnPacket(Packet pkt);
 
+  // Drops every partial older than `stale_after`. Safe to call from a
+  // process other than the receive loop (internally locked).
+  void SweepStale();
+
+  std::size_t partial_count() const;
+  SimDuration stale_after() const { return stale_after_; }
+
   base::StatsRegistry& stats() { return stats_; }
+
+  void SetTracer(trace::Tracer* tracer, HostId self) {
+    tracer_ = tracer;
+    trace_self_ = self;
+  }
 
  private:
   struct Partial {
@@ -77,13 +97,18 @@ class Reassembler {
     std::vector<std::uint8_t> seen;
   };
 
-  void DropStale(SimTime now);
+  void DropStaleLocked(SimTime now);
 
   sim::Runtime& rt_;
   SimDuration stale_after_;
+  // Guards partial_: the receive loop and the stale-sweeper daemon are
+  // different processes (really concurrent under the real-time runtime).
+  mutable std::mutex mu_;
   // Keyed by (src, msg_id): fragment ids are per-sender.
   std::map<std::pair<HostId, std::uint64_t>, Partial> partial_;
   base::StatsRegistry stats_;
+  trace::Tracer* tracer_ = nullptr;
+  HostId trace_self_ = 0xFFFF;
 };
 
 // Wire header layout (serialized by Fragmenter, parsed by Reassembler):

@@ -163,7 +163,9 @@ void Network::Send(Packet pkt, SimDuration extra_delay) {
       link.wire_ns_per_byte * static_cast<double>(pkt.wire_size()) +
       static_cast<double>(extra_delay);
   bool duplicate = false;
+  bool dropped = false;
   SimDuration dup_extra = 0;
+  SimTime now = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (cfg_.jitter > 0) {
@@ -171,32 +173,42 @@ void Network::Send(Packet pkt, SimDuration extra_delay) {
     }
     stats_.Inc("net.packets_sent");
     stats_.Inc("net.bytes_sent", static_cast<std::int64_t>(pkt.wire_size()));
-    const SimTime now = rt_.Now();
+    now = rt_.Now();
     if (FaultDropLocked(pkt, now, now + static_cast<SimDuration>(latency))) {
       stats_.Inc("net.packets_dropped");
-      return;
-    }
-    if (cfg_.loss_probability > 0 && rng_.NextBool(cfg_.loss_probability)) {
+      dropped = true;
+    } else if (cfg_.loss_probability > 0 &&
+               rng_.NextBool(cfg_.loss_probability)) {
       stats_.Inc("net.packets_dropped");
-      return;
+      dropped = true;
     }
-    if (plan_.reorder_probability > 0 &&
-        rng_.NextBool(plan_.reorder_probability)) {
-      // Delay this packet past its natural slot so later sends overtake it.
-      latency += static_cast<double>(
-          rng_.NextBelow(static_cast<std::uint64_t>(
-              std::max<SimDuration>(1, plan_.reorder_delay_max))));
-      stats_.Inc("net.reorder_injected");
-    }
-    if (plan_.duplicate_probability > 0 &&
-        rng_.NextBool(plan_.duplicate_probability)) {
-      duplicate = true;
-      dup_extra = static_cast<SimDuration>(
-          rng_.NextBelow(static_cast<std::uint64_t>(
-              std::max<SimDuration>(1, plan_.reorder_delay_max))));
-      stats_.Inc("net.dup_injected");
+    if (!dropped) {
+      if (plan_.reorder_probability > 0 &&
+          rng_.NextBool(plan_.reorder_probability)) {
+        // Delay this packet past its natural slot so later sends overtake
+        // it.
+        latency += static_cast<double>(
+            rng_.NextBelow(static_cast<std::uint64_t>(
+                std::max<SimDuration>(1, plan_.reorder_delay_max))));
+        stats_.Inc("net.reorder_injected");
+      }
+      if (plan_.duplicate_probability > 0 &&
+          rng_.NextBool(plan_.duplicate_probability)) {
+        duplicate = true;
+        dup_extra = static_cast<SimDuration>(
+            rng_.NextBelow(static_cast<std::uint64_t>(
+                std::max<SimDuration>(1, plan_.reorder_delay_max))));
+        stats_.Inc("net.dup_injected");
+      }
     }
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Record(dropped ? trace::EventKind::kPacketDrop
+                            : trace::EventKind::kPacketSend,
+                    pkt.src, now, trace::kNoPage, 0, 0,
+                    static_cast<std::int64_t>(pkt.wire_size()), pkt.dst);
+  }
+  if (dropped) return;
   if (duplicate) {
     Packet copy = pkt;
     dst_it->second.rx.Send(std::move(copy),

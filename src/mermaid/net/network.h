@@ -31,6 +31,7 @@
 #include "mermaid/base/rng.h"
 #include "mermaid/base/stats.h"
 #include "mermaid/sim/runtime.h"
+#include "mermaid/trace/trace.h"
 
 namespace mermaid::net {
 
@@ -143,6 +144,8 @@ class Network {
 
   base::StatsRegistry& stats() { return stats_; }
 
+  void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct HostEntry {
     const arch::ArchProfile* profile = nullptr;
@@ -168,6 +171,7 @@ class Network {
   std::set<HostId> paused_;   // imperative PauseHost
   std::set<HostId> crashed_;  // imperative CrashHost
   base::StatsRegistry stats_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mermaid::net

@@ -63,6 +63,24 @@ void Endpoint::Start() {
   started_ = true;
   rt_.Spawn("reqrep-rx-" + std::to_string(self_), [this] { RxLoop(); },
             /*daemon=*/true);
+  // Stale-reassembly sweeper. OnPacket purges expired partials only when a
+  // packet arrives; a host that stops receiving (partitioned, or the sender
+  // gave up after its tail fragments were dropped) would otherwise hold its
+  // partially reassembled messages — and their page-sized buffers — forever.
+  rt_.Spawn(
+      "frag-sweep-" + std::to_string(self_),
+      [this] {
+        sim::Chan<int> never(rt_);
+        const SimDuration period =
+            std::max<SimDuration>(1, reassembler_.stale_after() / 2);
+        for (;;) {
+          bool timed_out = false;
+          never.RecvUntil(rt_.Now() + period, &timed_out);
+          if (!timed_out) return;  // shutdown
+          reassembler_.SweepStale();
+        }
+      },
+      /*daemon=*/true);
 }
 
 namespace {
@@ -281,8 +299,9 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
   std::size_t remaining = dsts.size();
   // Attempt k's wait is min(timeout * factor^(k-1), cap) with +/- jitter so
   // concurrent losers of the same page don't retransmit in lockstep.
+  const SimTime call_start = rt_.Now();
   double wait_ns = static_cast<double>(timeout);
-  SimTime deadline = rt_.Now() + timeout;
+  SimTime deadline = call_start + timeout;
   bool shutdown = false;
   while (remaining > 0) {
     bool timed_out = false;
@@ -293,6 +312,9 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
           s.done = true;
           s.reply = std::move(msg->body);
           --remaining;
+          // Time from first send to this slot's reply — retransmitted
+          // attempts fold into one sample, matching what the caller waited.
+          stats_.Hist("reqrep.rtt_ms", ToMillis(rt_.Now() - call_start));
           break;
         }
       }
@@ -311,6 +333,10 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
       ++s.attempts;
       any_left = true;
       stats_.Inc("reqrep.retransmits");
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Record(trace::EventKind::kRetransmit, self_, rt_.Now(),
+                        trace::kNoPage, s.req_id, 0, s.attempts, dsts[i]);
+      }
       SendRequestWire(WireType::kRequest, dsts[i], op, self_, s.req_id, body,
                       kind);
     }
@@ -352,6 +378,13 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
     out.status = CallStatus::kTimedOut;
     stats_.Inc("reqrep.call_failures");
     stats_.Inc("reqrep.call_timeouts");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      for (const auto& s : slots) {
+        if (s.done) continue;
+        tracer_->Record(trace::EventKind::kCallTimeout, self_, rt_.Now(),
+                        trace::kNoPage, s.req_id, 0, s.attempts);
+      }
+    }
   } else {
     out.status = CallStatus::kOk;
   }

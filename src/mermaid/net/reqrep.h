@@ -182,6 +182,20 @@ class Endpoint {
   sim::Runtime& runtime() { return rt_; }
   base::StatsRegistry& stats() { return stats_; }
 
+  // The reassembler keeps its own registry (frag.* / net.* counters);
+  // exposed so System::GatherStats can fold it into the per-run totals.
+  base::StatsRegistry& frag_stats() { return reassembler_.stats(); }
+  // Live partial-reassembly count, for leak regression tests.
+  std::size_t reassembly_partials() const {
+    return reassembler_.partial_count();
+  }
+
+  void SetTracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    fragmenter_.SetTracer(tracer);
+    reassembler_.SetTracer(tracer, self_);
+  }
+
  private:
   friend class RequestContext;
 
@@ -235,6 +249,7 @@ class Endpoint {
   std::map<std::pair<HostId, std::uint64_t>, DedupEntry> dedup_;
   std::deque<std::pair<HostId, std::uint64_t>> dedup_order_;
   base::StatsRegistry stats_;
+  trace::Tracer* tracer_ = nullptr;
   bool started_ = false;
 };
 

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "mermaid/base/check.h"
+#include "mermaid/trace/trace.h"
 
 namespace mermaid::sim {
 
@@ -136,6 +137,11 @@ void Engine::Delay(SimDuration d) {
 void Engine::Spawn(std::string name, std::function<void()> fn, bool daemon) {
   std::unique_lock<std::mutex> lk(mu_);
   MERMAID_CHECK_MSG(!run_done_, "Spawn after Run completed");
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Record(trace::EventKind::kProcSpawn, trace::kNoHost, now_,
+                    trace::kNoPage, static_cast<std::uint64_t>(procs_.size()),
+                    0, daemon ? 1 : 0);
+  }
   auto proc = std::make_unique<Proc>();
   Proc* p = proc.get();
   p->name = std::move(name);

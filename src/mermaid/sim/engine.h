@@ -49,6 +49,7 @@ class Engine final : public Runtime {
              bool daemon = false) override;
   std::shared_ptr<ChanCore> MakeChan(
       std::function<void(void*)> deleter) override;
+  void SetTracer(trace::Tracer* tracer) override { tracer_ = tracer; }
 
   // Number of scheduler handoffs so far; exposed for determinism tests.
   std::uint64_t switch_count() const { return switch_count_; }
@@ -83,6 +84,7 @@ class Engine final : public Runtime {
   bool shutting_down_ = false;
   bool run_done_ = false;
   bool run_called_ = false;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mermaid::sim

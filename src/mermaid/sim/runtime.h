@@ -18,6 +18,10 @@
 
 #include "mermaid/base/time.h"
 
+namespace mermaid::trace {
+class Tracer;
+}  // namespace mermaid::trace
+
 namespace mermaid::sim {
 
 // Type-erased channel core. Items are heap-allocated by the typed wrapper;
@@ -59,6 +63,11 @@ class Runtime {
   // Creates a channel core; `deleter` destroys unclaimed items.
   virtual std::shared_ptr<ChanCore> MakeChan(
       std::function<void(void*)> deleter) = 0;
+
+  // Attaches a protocol tracer so the runtime can record scheduling events
+  // (process spawns). Optional: the default binding ignores it. The tracer
+  // must outlive every Spawn call made after attaching it.
+  virtual void SetTracer(trace::Tracer* /*tracer*/) {}
 };
 
 // Typed channel. Cheap to copy; all copies share the same queue.

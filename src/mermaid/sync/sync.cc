@@ -166,6 +166,13 @@ void SyncServer::LocalBarrier(SyncId id, std::int64_t parties) {
 Client::Client(net::Endpoint* ep, net::HostId server_host, SyncServer* local)
     : ep_(ep), server_host_(server_host), local_(local) {}
 
+void Client::Trace(std::uint8_t subop, SyncId id) {
+  if (tracer_ == nullptr || !tracer_->enabled() || ep_ == nullptr) return;
+  tracer_->Record(trace::EventKind::kSyncOp, ep_->self(),
+                  ep_->runtime().Now(), trace::kNoPage, id, 0, subop,
+                  server_host_);
+}
+
 void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg) {
   MERMAID_CHECK(ep_ != nullptr);
   net::Endpoint::CallOpts opts;
@@ -181,30 +188,37 @@ void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg) {
 }
 
 void Client::SemInit(SyncId id, std::int64_t value) {
+  Trace(SyncServer::kSemInit, id);
   if (local_ != nullptr) return local_->LocalSemInit(id, value);
   Issue(SyncServer::kSemInit, id, value);
 }
 void Client::P(SyncId id) {
+  Trace(SyncServer::kSemP, id);
   if (local_ != nullptr) return local_->LocalP(id);
   Issue(SyncServer::kSemP, id, 0);
 }
 void Client::V(SyncId id) {
+  Trace(SyncServer::kSemV, id);
   if (local_ != nullptr) return local_->LocalV(id);
   Issue(SyncServer::kSemV, id, 0);
 }
 void Client::EventSet(SyncId id) {
+  Trace(SyncServer::kEventSet, id);
   if (local_ != nullptr) return local_->LocalEventSet(id);
   Issue(SyncServer::kEventSet, id, 0);
 }
 void Client::EventClear(SyncId id) {
+  Trace(SyncServer::kEventClear, id);
   if (local_ != nullptr) return local_->LocalEventClear(id);
   Issue(SyncServer::kEventClear, id, 0);
 }
 void Client::EventWait(SyncId id) {
+  Trace(SyncServer::kEventWait, id);
   if (local_ != nullptr) return local_->LocalEventWait(id);
   Issue(SyncServer::kEventWait, id, 0);
 }
 void Client::Barrier(SyncId id, std::int64_t parties) {
+  Trace(SyncServer::kBarrier, id);
   if (local_ != nullptr) return local_->LocalBarrier(id, parties);
   Issue(SyncServer::kBarrier, id, parties);
 }

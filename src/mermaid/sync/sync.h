@@ -23,6 +23,7 @@
 
 #include "mermaid/net/reqrep.h"
 #include "mermaid/sim/runtime.h"
+#include "mermaid/trace/trace.h"
 
 namespace mermaid::sync {
 
@@ -109,12 +110,17 @@ class Client {
   // Blocks until `parties` threads (across all hosts) have arrived.
   void Barrier(SyncId id, std::int64_t parties);
 
+  void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void Issue(std::uint8_t subop, SyncId id, std::int64_t arg);
+  // Records a kSyncOp event (a0 = subop) when tracing is enabled.
+  void Trace(std::uint8_t subop, SyncId id);
 
   net::Endpoint* ep_ = nullptr;
   net::HostId server_host_ = 0;
   SyncServer* local_ = nullptr;  // non-null when this host runs the server
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mermaid::sync

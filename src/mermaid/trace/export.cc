@@ -1,0 +1,132 @@
+#include "mermaid/trace/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+namespace mermaid::trace {
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+double TsMicros(SimTime at) { return static_cast<double>(at) / 1000.0; }
+
+void AppendEventArgs(std::string& out, const Event& ev) {
+  AppendF(out,
+          "\"args\":{\"id\":%" PRIu64 ",\"parent\":%" PRIu64 ",\"page\":%s",
+          ev.id, ev.parent,
+          ev.page == kNoPage ? "null" : std::to_string(ev.page).c_str());
+  AppendF(out, ",\"op\":%" PRIu64 ",\"a0\":%lld,\"a1\":%lld}", ev.op,
+          static_cast<long long>(ev.a0), static_cast<long long>(ev.a1));
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Event>& events) {
+  // Pair FaultEnd events back to their FaultStart (the end's parent is the
+  // start's id) so faults render as duration slices.
+  std::unordered_map<std::uint64_t, const Event*> by_id;
+  by_id.reserve(events.size());
+  for (const Event& ev : events) by_id.emplace(ev.id, &ev);
+
+  std::string out;
+  out.reserve(events.size() * 160 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& ev : events) {
+    if (ev.kind == EventKind::kFaultEnd) {
+      auto it = by_id.find(ev.parent);
+      if (it != by_id.end() &&
+          it->second->kind == EventKind::kFaultStart) {
+        const Event& start = *it->second;
+        if (!first) out += ',';
+        first = false;
+        AppendF(out,
+                "{\"name\":\"Fault p%u\",\"cat\":\"dsm\",\"ph\":\"X\","
+                "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u,",
+                start.page, TsMicros(start.at),
+                TsMicros(ev.at) - TsMicros(start.at), start.host, start.host);
+        AppendEventArgs(out, ev);
+        out += '}';
+        continue;  // the paired slice replaces the instant for FaultEnd
+      }
+    }
+    if (!first) out += ',';
+    first = false;
+    AppendF(out,
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+            "\"ts\":%.3f,\"pid\":%u,\"tid\":%u,",
+            KindName(ev.kind),
+            ev.page == kNoPage ? "net" : "dsm", TsMicros(ev.at), ev.host,
+            ev.host);
+    AppendEventArgs(out, ev);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::map<std::uint32_t, std::vector<Event>> PageTimeline(
+    const std::vector<Event>& events) {
+  std::map<std::uint32_t, std::vector<Event>> pages;
+  for (const Event& ev : events) {
+    if (ev.page == kNoPage) continue;
+    pages[ev.page].push_back(ev);
+  }
+  return pages;
+}
+
+std::string PageTimelineJson(const std::vector<Event>& events) {
+  std::string out = "{\"pages\":{";
+  bool first_page = true;
+  for (const auto& [page, evs] : PageTimeline(events)) {
+    if (!first_page) out += ',';
+    first_page = false;
+    AppendF(out, "\"%u\":[", page);
+    bool first_ev = true;
+    for (const Event& ev : evs) {
+      if (!first_ev) out += ',';
+      first_ev = false;
+      AppendF(out,
+              "{\"t_ms\":%.6f,\"host\":%u,\"event\":\"%s\",\"op\":%" PRIu64
+              ",\"id\":%" PRIu64 ",\"parent\":%" PRIu64 "}",
+              static_cast<double>(ev.at) / 1e6, ev.host, KindName(ev.kind),
+              ev.op, ev.id, ev.parent);
+    }
+    out += ']';
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+bool WriteFile(const std::string& content, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const std::vector<Event>& events,
+                      const std::string& path) {
+  return WriteFile(ChromeTraceJson(events), path);
+}
+
+bool WritePageTimeline(const std::vector<Event>& events,
+                       const std::string& path) {
+  return WriteFile(PageTimelineJson(events), path);
+}
+
+}  // namespace mermaid::trace

@@ -1,0 +1,39 @@
+// Exporters for traced event streams.
+//
+// WriteChromeTrace emits the Chrome/Perfetto trace-event JSON format
+// (chrome://tracing, https://ui.perfetto.dev): one instant event per traced
+// protocol step, plus a duration ("X") slice for every FaultStart/FaultEnd
+// pair so fault service time is visible as a bar. Timestamps are simulation
+// microseconds; pid/tid are the host id, so each host gets its own track.
+//
+// PageTimeline groups the same events by page into a per-page protocol-state
+// timeline (who faulted, who granted, who served, who got invalidated, in
+// sim-time order) — the page-centric view the Chrome timeline cannot give.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mermaid/trace/trace.h"
+
+namespace mermaid::trace {
+
+// Chrome trace JSON for the event stream; returns it as a string.
+std::string ChromeTraceJson(const std::vector<Event>& events);
+
+// Per-page timeline JSON: {"pages": {"<page>": [{t_ms, host, event, ...}]}}.
+// Events with no page (packet-level, sync, spawns) are omitted.
+std::string PageTimelineJson(const std::vector<Event>& events);
+
+// In-memory form of the per-page timeline, for tests and tools.
+std::map<std::uint32_t, std::vector<Event>> PageTimeline(
+    const std::vector<Event>& events);
+
+// Write helpers; return false (and leave a partial file) on I/O error.
+bool WriteChromeTrace(const std::vector<Event>& events,
+                      const std::string& path);
+bool WritePageTimeline(const std::vector<Event>& events,
+                       const std::string& path);
+
+}  // namespace mermaid::trace

@@ -1,0 +1,121 @@
+// Fragment-reassembly leak regression. Partial reassemblies whose tail
+// fragments were lost used to be purged only from inside OnPacket — a host
+// that stops receiving packets (sender gave up, partition) kept them
+// forever. The endpoint's sweeper daemon now expires them on a sim-time TTL;
+// these tests pin the bounded-table property under sustained 30% loss and
+// the post-idle drain to zero.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/net/fragment.h"
+#include "mermaid/net/network.h"
+#include "mermaid/net/reqrep.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::net {
+namespace {
+
+TEST(FragSweepStale, ExpiresAbandonedPartialWithoutFurtherPackets) {
+  sim::Engine eng;
+  Network net(eng, {});
+  auto rx1 = net.Attach(1, &arch::Sun3Profile());
+  net.Attach(0, &arch::Sun3Profile());
+
+  Reassembler re(eng, Milliseconds(100));
+  bool fed = false;
+  eng.Spawn(
+      "receiver",
+      [&] {
+        // Feed only the first fragment, then drop the rest — the tail
+        // fragments are "lost", so OnPacket never runs again for this
+        // message.
+        while (auto pkt = rx1.Recv()) {
+          if (!fed) {
+            fed = true;
+            EXPECT_FALSE(re.OnPacket(*pkt).has_value());
+          }
+        }
+      },
+      /*daemon=*/true);
+
+  std::size_t live = 0, after_sweep = 0;
+  eng.Spawn("main", [&] {
+    Fragmenter frag(eng, net, 0);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.kind = MsgKind::kData;
+    m.payload = std::vector<std::uint8_t>(4096, 0xAB);  // several fragments
+    frag.Send(std::move(m));
+    eng.Delay(Milliseconds(50));  // everything arrived (and was dropped)
+    live = re.partial_count();
+    eng.Delay(Milliseconds(200));  // well past the 100 ms TTL
+    re.SweepStale();
+    after_sweep = re.partial_count();
+  });
+  eng.Run();
+
+  EXPECT_TRUE(fed);
+  EXPECT_EQ(live, 1u) << "partial must survive while fresh";
+  EXPECT_EQ(after_sweep, 0u) << "sweep alone must expire it";
+  EXPECT_EQ(re.stats().Count("net.reassembly_expired"), 1);
+  EXPECT_EQ(re.stats().Count("frag.stale_partials_dropped"), 1);
+}
+
+TEST(FragChaos, ReassemblyTableStaysBoundedUnder30PercentLoss) {
+  sim::Engine eng;
+  Network::Config ncfg;
+  ncfg.loss_probability = 0.30;
+  ncfg.seed = 20260805;
+  Network net(eng, ncfg);
+
+  Endpoint::Config ecfg;
+  ecfg.call_timeout = Milliseconds(100);
+  ecfg.max_attempts = 2;  // give up quickly: orphaned partials galore
+  Endpoint client(eng, net, 0, &arch::Sun3Profile(), ecfg);
+  Endpoint server(eng, net, 1, &arch::Sun3Profile(), ecfg);
+  constexpr std::uint8_t kOp = 42;
+  std::int64_t served = 0;
+  server.SetHandler(kOp, [&](RequestContext ctx) {
+    ++served;
+    ctx.Reply({});
+  });
+  client.Start();
+  server.Start();
+
+  std::size_t max_partials = 0;
+  std::int64_t calls = 0;
+  std::size_t server_after_idle = 0, client_after_idle = 0;
+  eng.Spawn("chaos-client", [&] {
+    const std::vector<std::uint8_t> payload(8192, 0x5A);  // ~6 fragments
+    while (eng.Now() < Seconds(1000)) {
+      (void)client.CallWithStatus(1, kOp, payload, MsgKind::kData);
+      ++calls;
+      max_partials = std::max(max_partials, server.reassembly_partials());
+    }
+    // After the traffic stops, the sweeper alone must drain the table —
+    // exactly the case OnPacket-only purging missed.
+    eng.Delay(Seconds(10));
+    server_after_idle = server.reassembly_partials();
+    client_after_idle = client.reassembly_partials();
+  });
+  eng.Run();
+
+  ASSERT_GT(calls, 1000) << "chaos workload must actually run";
+  EXPECT_GT(served, 0);
+  // The leak this regression pins: without the TTL sweep the table grows
+  // with every partially-arrived (re)transmission — thousands of entries
+  // over 1000 simulated seconds. With it, only ~TTL's worth can be live.
+  EXPECT_GT(max_partials, 0u) << "loss must actually orphan partials";
+  EXPECT_LT(max_partials, 256u) << "reassembly table grew without bound";
+  EXPECT_GT(server.frag_stats().Count("net.reassembly_expired"), 0);
+  EXPECT_EQ(server_after_idle, 0u);
+  EXPECT_EQ(client_after_idle, 0u);
+}
+
+}  // namespace
+}  // namespace mermaid::net

@@ -1,0 +1,192 @@
+// Histogram buckets/percentiles, registry epoch semantics, and the
+// cross-run accounting regression: counters (including the process-global
+// bulk-copy audit) used to accumulate across repeated System runs in one
+// process, so the second run reported cumulative numbers.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/base/buffer.h"
+#include "mermaid/base/stats.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid {
+namespace {
+
+TEST(Histogram, EmptyAndSingleValue) {
+  base::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+
+  h.Add(1.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1.0);
+  // Estimate is clamped to observed min/max, so a single value is exact.
+  EXPECT_EQ(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(50), 1.0);
+  EXPECT_EQ(h.Percentile(100), 1.0);
+}
+
+TEST(Histogram, BucketsBracketTheirValues) {
+  EXPECT_EQ(base::Histogram::BucketOf(0.0), 0);
+  EXPECT_EQ(base::Histogram::BucketOf(-3.5), 0);
+  EXPECT_EQ(base::Histogram::BucketOf(1.0), 22);
+  EXPECT_DOUBLE_EQ(base::Histogram::BucketLow(22), 1.0);
+  for (double v : {0.005, 0.7, 1.0, 3.0, 42.0, 5000.0}) {
+    const int b = base::Histogram::BucketOf(v);
+    ASSERT_GE(b, 1);
+    ASSERT_LT(b, base::Histogram::kBuckets);
+    EXPECT_GE(v, base::Histogram::BucketLow(b)) << v;
+    EXPECT_LT(v, base::Histogram::BucketHigh(b)) << v;
+  }
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndHalfOctaveAccurate) {
+  base::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100);
+  const double p50 = h.Percentile(50);
+  const double p90 = h.Percentile(90);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Half-octave buckets keep the estimate within ~sqrt(2) of the truth.
+  EXPECT_GT(p50, 50 / 1.5);
+  EXPECT_LT(p50, 50 * 1.5);
+  EXPECT_GT(p90, 90 / 1.5);
+  EXPECT_LT(p90, 90 * 1.5);
+}
+
+TEST(Histogram, MergeCombinesExactCountSumMinMax) {
+  base::Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.Add(2.0);
+  for (int i = 0; i < 5; ++i) b.Add(8.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 15);
+  EXPECT_DOUBLE_EQ(a.sum(), 10 * 2.0 + 5 * 8.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  EXPECT_EQ(a.buckets()[base::Histogram::BucketOf(2.0)], 10);
+  EXPECT_EQ(a.buckets()[base::Histogram::BucketOf(8.0)], 5);
+}
+
+TEST(StatsRegistry, EpochBaselineReportsRunLocalDeltas) {
+  base::StatsRegistry r;
+  r.Inc("a", 5);
+  r.BeginEpoch();
+  r.Inc("a", 3);
+  r.Inc("b", 2);
+  EXPECT_EQ(r.Count("a"), 8) << "totals keep history";
+  EXPECT_EQ(r.CountSinceEpoch("a"), 3) << "epoch view is run-local";
+  EXPECT_EQ(r.CountSinceEpoch("b"), 2);
+  const auto since = r.CountersSinceEpoch();
+  EXPECT_EQ(since.size(), 2u);
+  EXPECT_EQ(since.at("a"), 3);
+  EXPECT_EQ(since.at("b"), 2);
+
+  const std::uint64_t before = r.epoch();
+  r.Clear();
+  EXPECT_EQ(r.epoch(), before + 1);
+  EXPECT_EQ(r.Count("a"), 0);
+  EXPECT_TRUE(r.Counters().empty());
+}
+
+struct RunResult {
+  std::map<std::string, std::int64_t> counters;
+  std::int64_t bulk_copies = 0;
+  std::string report;
+};
+
+// One deterministic heterogeneous run: host 1 (Firefly) writes two pages,
+// host 0 (Sun) reads them back (with conversion). Identical every time the
+// process runs it — any difference between two runs is leaked global state.
+RunResult RunOnce() {
+  base::BulkCopyReset();  // run-local copy accounting
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  cfg.page_bytes_override = 8192;
+  std::vector<const arch::ArchProfile*> hosts{&arch::Sun3Profile(),
+                                              &arch::FireflyProfile()};
+  dsm::System sys(eng, cfg, hosts);
+  sys.Start();
+  const dsm::GlobalAddr page_b = 8192;
+  sys.SpawnThread(1, "writer", [&](dsm::Host& h) {
+    dsm::GlobalAddr a = sys.Alloc(h.id(), arch::TypeRegistry::kInt, 4096);
+    std::vector<std::int32_t> fill(2048, 7);
+    h.WriteBlock<std::int32_t>(a, fill.data(), fill.size());
+    h.WriteBlock<std::int32_t>(a + page_b, fill.data(), fill.size());
+    sys.sync(1).V(1);
+  });
+  sys.SpawnThread(0, "reader", [&](dsm::Host& h) {
+    sys.sync(0).SemInit(1, 0);
+    sys.sync(0).P(1);
+    h.Touch(0, dsm::Access::kRead);
+    h.Touch(page_b, dsm::Access::kRead);
+  });
+  eng.Run();
+  RunResult r;
+  r.counters = sys.GatherStats().Counters();
+  r.bulk_copies = base::BulkCopyCount();
+  r.report = sys.ReportStats();
+  return r;
+}
+
+TEST(StatsEpoch, SecondSystemRunReportsRunLocalNumbers) {
+  const RunResult r1 = RunOnce();
+  const RunResult r2 = RunOnce();
+  ASSERT_FALSE(r1.counters.empty());
+  EXPECT_GT(r1.counters.at("dsm.read_faults"), 0);
+  // The regression: before reset/epoch semantics, run 2's counters (and the
+  // process-global bulk-copy audit) included run 1's numbers.
+  EXPECT_EQ(r1.counters, r2.counters);
+  EXPECT_GT(r1.bulk_copies, 0);
+  EXPECT_EQ(r1.bulk_copies, r2.bulk_copies);
+}
+
+TEST(StatsEpoch, FaultLatencyHistogramsSurfaceInReport) {
+  const RunResult r = RunOnce();
+  EXPECT_NE(r.report.find("hist dsm.fault_service_ms"), std::string::npos)
+      << r.report;
+  EXPECT_NE(r.report.find("hist reqrep.rtt_ms"), std::string::npos);
+  EXPECT_NE(r.report.find("hist dsm.convert_time_ms"), std::string::npos);
+}
+
+TEST(StatsEpoch, ResetStatsClearsEverythingIncludingBulkCopyAudit) {
+  base::BulkCopyReset();
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  cfg.page_bytes_override = 8192;
+  std::vector<const arch::ArchProfile*> hosts{&arch::Sun3Profile(),
+                                              &arch::Sun3Profile()};
+  dsm::System sys(eng, cfg, hosts);
+  sys.Start();
+  sys.SpawnThread(1, "writer", [&](dsm::Host& h) {
+    dsm::GlobalAddr a = sys.Alloc(h.id(), arch::TypeRegistry::kInt, 2048);
+    std::vector<std::int32_t> fill(2048, 1);
+    h.WriteBlock<std::int32_t>(a, fill.data(), fill.size());
+  });
+  sys.SpawnThread(0, "reader", [&](dsm::Host& h) {
+    sys.sync(0).SemInit(1, 0);  // exercise the sync path too
+    h.Touch(0, dsm::Access::kRead);
+  });
+  eng.Run();
+  ASSERT_FALSE(sys.GatherStats().Counters().empty());
+
+  sys.ResetStats();
+  EXPECT_TRUE(sys.GatherStats().Counters().empty());
+  EXPECT_EQ(base::BulkCopyCount(), 0);
+  EXPECT_EQ(sys.tracer().total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace mermaid
