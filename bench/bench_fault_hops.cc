@@ -1,0 +1,212 @@
+// Remote-fault hop and round-trip reduction from the protocol fast paths.
+//
+// Scenario A (probable-owner hints, 3x Sun): a reader repeatedly faults on
+// a page whose manager and owner are two different remote hosts. Without
+// hints every fault walks requester -> manager -> owner (3 hops); with
+// hints every repeat fault goes straight to the hinted owner (2 hops).
+// Expected: >= 30% cut in mean hops per fault once the hint is warm.
+//
+// Scenario B (batched group fetch, Sun + Firefly, smallest-page policy):
+// one Sun VM fault covers eight 1 KB DSM pages. Without group fetch the
+// fault issues eight sequential per-page calls (8 RTTs); with it, one
+// batched call (1 RTT). Expected: >= 5x round-trip reduction.
+//
+// The bench exits non-zero if either threshold is missed, so run_all.sh
+// and CI treat a fast-path regression as a failure, not a silent number.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+namespace mermaid {
+namespace {
+
+using benchutil::Ffly;
+using benchutil::Sun;
+
+// Sum of all per-opcode transmit counters ("reqrep.tx_bytes.*" or
+// "reqrep.tx_msgs.*") across every host: total protocol wire traffic.
+std::int64_t SumTxCounters(dsm::System& sys, const std::string& prefix) {
+  std::int64_t total = 0;
+  for (const auto& [key, value] : sys.GatherStats().Counters()) {
+    if (key.rfind(prefix, 0) == 0) total += value;
+  }
+  return total;
+}
+
+struct HintRun {
+  double mean_hops = 0;
+  double p50 = 0;
+  double p99 = 0;
+  std::int64_t faults = 0;
+  std::int64_t wire_bytes = 0;
+  std::int64_t wire_msgs = 0;
+};
+
+// Page 1 is managed by host 1; host 2 owns it (writes each round), host 0
+// read-faults each round after the write invalidates its copy.
+HintRun RunHintScenario(bool hints_on, int rounds) {
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  cfg.probable_owner = hints_on;
+  benchutil::ApplyTraceEnv(cfg);
+  dsm::System sys(eng, cfg, {&Sun(), &Sun(), &Sun()});
+  sys.Start();
+  const dsm::GlobalAddr a = sys.page_bytes();  // page 1, managed by host 1
+  sys.SpawnThread(2, "writer", [&, rounds](dsm::Host& h) {
+    sys.Alloc(2, arch::TypeRegistry::kInt, 3 * sys.page_bytes() / 4);
+    for (int r = 0; r < rounds; ++r) {
+      h.Write<std::int32_t>(a, r);  // (re)takes ownership, invalidates reader
+      sys.sync(2).EventSet(2 * r + 1);
+      sys.sync(2).EventWait(2 * r + 2);
+    }
+    // Keep the engine alive until the reader's last confirm lands.
+    sys.sync(2).EventWait(9001);
+    sys.sync(2).EventSet(9002);
+  });
+  sys.SpawnThread(0, "reader", [&, rounds](dsm::Host& h) {
+    for (int r = 0; r < rounds; ++r) {
+      sys.sync(0).EventWait(2 * r + 1);
+      if (h.Read<std::int32_t>(a) != r) std::abort();
+      sys.sync(0).EventSet(2 * r + 2);
+    }
+    sys.sync(0).EventSet(9001);
+    sys.sync(0).EventWait(9002);
+  });
+  eng.Run();
+  HintRun run;
+  const auto hops = sys.host(0).stats().HistCopy("dsm.vm_fault_hops");
+  run.mean_hops = hops.mean();
+  run.p50 = hops.Percentile(50);
+  run.p99 = hops.Percentile(99);
+  run.faults = static_cast<std::int64_t>(hops.count());
+  run.wire_bytes = SumTxCounters(sys, "reqrep.tx_bytes.");
+  run.wire_msgs = SumTxCounters(sys, "reqrep.tx_msgs.");
+  return run;
+}
+
+struct GroupRun {
+  double rtts_per_fault = 0;
+  std::int64_t vm_faults = 0;
+  std::int64_t wire_bytes = 0;
+  std::int64_t wire_msgs = 0;
+};
+
+// The Firefly owner fills 8 KB; the Sun reader takes one VM fault spanning
+// eight smallest-policy DSM pages and the bench counts how many protocol
+// round trips that single fault needed.
+GroupRun RunGroupScenario(bool group_on) {
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  cfg.group_fetch = group_on;
+  cfg.page_policy = dsm::PageSizePolicy::kSmallest;
+  benchutil::ApplyTraceEnv(cfg);
+  dsm::System sys(eng, cfg, {&Sun(), &Ffly()});
+  sys.Start();
+  constexpr int kInts = 2048;  // 8 KB: one Sun VM fault, eight DSM pages
+  sys.SpawnThread(1, "ffly-writer", [&](dsm::Host& h) {
+    dsm::GlobalAddr a = sys.Alloc(1, arch::TypeRegistry::kInt, kInts);
+    for (int i = 0; i < kInts; ++i) {
+      h.Write<std::int32_t>(a + 4 * i, 3 * i + 1);
+    }
+    sys.sync(1).EventSet(1);
+    sys.sync(1).EventWait(2);
+    sys.sync(1).EventSet(3);
+  });
+  sys.SpawnThread(0, "sun-reader", [&](dsm::Host& h) {
+    sys.sync(0).EventWait(1);
+    for (int i = 0; i < kInts; ++i) {
+      if (h.Read<std::int32_t>(4 * i) != 3 * i + 1) std::abort();
+    }
+    sys.sync(0).EventSet(2);
+    sys.sync(0).EventWait(3);
+  });
+  eng.Run();
+  GroupRun run;
+  const auto rtts = sys.host(0).stats().HistCopy("dsm.vm_fault_rtts");
+  run.rtts_per_fault = rtts.mean();
+  run.vm_faults = sys.host(0).stats().Count("dsm.vm_faults");
+  run.wire_bytes = SumTxCounters(sys, "reqrep.tx_bytes.");
+  run.wire_msgs = SumTxCounters(sys, "reqrep.tx_msgs.");
+  return run;
+}
+
+}  // namespace
+}  // namespace mermaid
+
+int main() {
+  using namespace mermaid;
+  benchutil::JsonReport report("fault_hops");
+  constexpr int kRounds = 32;
+
+  benchutil::PrintHeader("Fast path A: probable-owner hints (3x Sun)");
+  HintRun off = RunHintScenario(false, kRounds);
+  HintRun on = RunHintScenario(true, kRounds);
+  const double hop_cut_pct =
+      off.mean_hops > 0 ? 100.0 * (1.0 - on.mean_hops / off.mean_hops) : 0;
+  std::printf("%-22s %12s %12s\n", "", "hints off", "hints on");
+  std::printf("%-22s %12.3f %12.3f\n", "mean hops/fault", off.mean_hops,
+              on.mean_hops);
+  std::printf("%-22s %12.1f %12.1f\n", "fault hops p50", off.p50, on.p50);
+  std::printf("%-22s %12.1f %12.1f\n", "fault hops p99", off.p99, on.p99);
+  std::printf("%-22s %12lld %12lld\n", "wire bytes",
+              static_cast<long long>(off.wire_bytes),
+              static_cast<long long>(on.wire_bytes));
+  std::printf("%-22s %12lld %12lld\n", "wire messages",
+              static_cast<long long>(off.wire_msgs),
+              static_cast<long long>(on.wire_msgs));
+  std::printf("mean-hop reduction: %.1f%% (target >= 30%%)\n", hop_cut_pct);
+  report.Add("hint.rounds", kRounds);
+  report.Add("hint.faults", on.faults);
+  report.Add("hint.mean_hops_off", off.mean_hops);
+  report.Add("hint.mean_hops_on", on.mean_hops);
+  report.Add("hint.hops_p50_on", on.p50);
+  report.Add("hint.hops_p99_on", on.p99);
+  report.Add("hint.hop_reduction_pct", hop_cut_pct);
+  report.Add("hint.wire_bytes_off", off.wire_bytes);
+  report.Add("hint.wire_bytes_on", on.wire_bytes);
+  report.Add("hint.wire_msgs_off", off.wire_msgs);
+  report.Add("hint.wire_msgs_on", on.wire_msgs);
+
+  benchutil::PrintHeader(
+      "Fast path B: batched group fetch (Sun + Firefly, smallest pages)");
+  GroupRun goff = RunGroupScenario(false);
+  GroupRun gon = RunGroupScenario(true);
+  const double rtt_reduction =
+      gon.rtts_per_fault > 0 ? goff.rtts_per_fault / gon.rtts_per_fault : 0;
+  std::printf("%-22s %12s %12s\n", "", "group off", "group on");
+  std::printf("%-22s %12.1f %12.1f\n", "RTTs per VM fault",
+              goff.rtts_per_fault, gon.rtts_per_fault);
+  std::printf("%-22s %12lld %12lld\n", "wire bytes",
+              static_cast<long long>(goff.wire_bytes),
+              static_cast<long long>(gon.wire_bytes));
+  std::printf("%-22s %12lld %12lld\n", "wire messages",
+              static_cast<long long>(goff.wire_msgs),
+              static_cast<long long>(gon.wire_msgs));
+  std::printf("round-trip reduction: %.1fx (target >= 5x)\n", rtt_reduction);
+  report.Add("group.vm_faults", gon.vm_faults);
+  report.Add("group.rtts_per_fault_off", goff.rtts_per_fault);
+  report.Add("group.rtts_per_fault_on", gon.rtts_per_fault);
+  report.Add("group.rtt_reduction_x", rtt_reduction);
+  report.Add("group.wire_bytes_off", goff.wire_bytes);
+  report.Add("group.wire_bytes_on", gon.wire_bytes);
+  report.Add("group.wire_msgs_off", goff.wire_msgs);
+  report.Add("group.wire_msgs_on", gon.wire_msgs);
+
+  report.Write();
+
+  bool ok = true;
+  if (hop_cut_pct < 30.0) {
+    std::fprintf(stderr, "FAIL: hint hop reduction %.1f%% < 30%%\n",
+                 hop_cut_pct);
+    ok = false;
+  }
+  if (rtt_reduction < 5.0) {
+    std::fprintf(stderr, "FAIL: group RTT reduction %.1fx < 5x\n",
+                 rtt_reduction);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

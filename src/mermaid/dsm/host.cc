@@ -68,6 +68,8 @@ void Host::Start() {
   endpoint_.SetHandler(kOpReadReq, [this](net::RequestContext ctx) {
     if (!ctx.body().empty() && ctx.body()[0] == kToOwner) {
       HandleOwnerFetch(std::move(ctx), /*is_write=*/false);
+    } else if (!ctx.body().empty() && ctx.body()[0] == kToHintedOwner) {
+      HandleHintedFetch(std::move(ctx));
     } else {
       HandleTransferReq(std::move(ctx), /*is_write=*/false);
     }
@@ -93,6 +95,21 @@ void Host::Start() {
   });
   endpoint_.SetHandler(kOpGrantExtend, [this](net::RequestContext ctx) {
     HandleGrantExtend(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpGroupFetch, [this](net::RequestContext ctx) {
+    HandleGroupFetch(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpGroupConfirm, [this](net::RequestContext ctx) {
+    HandleGroupConfirm(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpInvalidateBatch, [this](net::RequestContext ctx) {
+    HandleInvalidateBatch(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpHintConfirm, [this](net::RequestContext ctx) {
+    HandleHintConfirm(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpHintCovered, [this](net::RequestContext ctx) {
+    HandleHintCovered(std::move(ctx));
   });
   endpoint_.Start();
 
@@ -237,14 +254,30 @@ void Host::FaultGroup(PageNum p, Access needed) {
     count = per_vm;
   }
   const PageNum total = ptable_.num_pages();
-  for (PageNum q = first; q < first + count && q < total; ++q) {
-    FaultOne(q, needed);
+  const PageNum last = std::min<PageNum>(first + count, total);
+  FaultTelemetry telem;
+  if (cfg_.group_fetch && needed == Access::kRead && last - first > 1) {
+    if (!FaultGroupFetch(first, last, &telem)) return;  // shutdown
+  } else if (cfg_.coalesced_invalidation && needed == Access::kWrite &&
+             last - first > 1) {
+    std::vector<DeferredWrite> deferred;
+    for (PageNum q = first; q < last; ++q) {
+      FaultOne(q, needed, &telem, &deferred);
+    }
+    if (!FlushDeferredWrites(std::move(deferred), &telem)) return;
+  } else {
+    for (PageNum q = first; q < last; ++q) {
+      FaultOne(q, needed, &telem, nullptr);
+    }
   }
   stats_.Sample("dsm.fault_delay_ms", ToMillis(rt_.Now() - start));
   stats_.Hist("dsm.fault_service_ms", ToMillis(rt_.Now() - start));
+  stats_.Hist("dsm.vm_fault_hops", static_cast<double>(telem.hops));
+  stats_.Hist("dsm.vm_fault_rtts", static_cast<double>(telem.rtts));
 }
 
-void Host::FaultOne(PageNum p, Access needed) {
+void Host::FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
+                    std::vector<DeferredWrite>* deferred) {
   int retries = 0;
   for (;;) {
     bool start_fetch = false;
@@ -271,9 +304,10 @@ void Host::FaultOne(PageNum p, Access needed) {
     const std::uint64_t fault_ev =
         TraceEv(trace::EventKind::kFaultStart, p, 0, 0, is_write ? 1 : 0);
     TraceBind(trace::FaultKey(self_, p), fault_ev);
-    const FaultOutcome outcome = ptable_.ManagedHere(p)
-                                     ? FaultViaLocalManager(p, is_write)
-                                     : FaultViaRemoteManager(p, is_write);
+    const FaultOutcome outcome =
+        ptable_.ManagedHere(p)
+            ? FaultViaLocalManager(p, is_write, telem, deferred)
+            : FaultViaRemoteManager(p, is_write, telem, deferred);
 
     std::vector<sim::Chan<bool>> waiters;
     {
@@ -298,13 +332,19 @@ void Host::FaultOne(PageNum p, Access needed) {
       case FaultOutcome::kDone:
         TraceEv(trace::EventKind::kFaultEnd, p, 0, fault_ev,
                 is_write ? 1 : 0);
+        // A deferred (coalesced-invalidation) write grant leaves the page
+        // read-only until FlushDeferredWrites finalizes it; re-checking
+        // access here would refault forever.
+        if (deferred != nullptr && is_write) return;
         retries = 0;  // loop re-checks access (it may have been invalidated)
         break;
     }
   }
 }
 
-Host::FaultOutcome Host::FaultViaLocalManager(PageNum p, bool is_write) {
+Host::FaultOutcome Host::FaultViaLocalManager(
+    PageNum p, bool is_write, FaultTelemetry* telem,
+    std::vector<DeferredWrite>* deferred) {
   ManagerGrant grant;
   bool granted_inline = false;
   sim::Chan<ManagerGrant> grant_chan;
@@ -373,14 +413,33 @@ Host::FaultOutcome Host::FaultViaLocalManager(PageNum p, bool is_write) {
       return FaultOutcome::kRetry;
     }
     reply = DecodeFetchReply(resp.body);
+    if (telem != nullptr) telem->rtts += 1;
   }
 
-  if (!CompleteTransfer(p, is_write, reply)) return FaultOutcome::kShutdown;
+  // Hop count: an upgrade/self-serve is message-free; a remote-owner fetch
+  // is request + reply (the R -> O pattern; the manager leg was local).
+  const std::int64_t hops = grant.owner == self_ ? 0 : 2;
+  stats_.Hist("dsm.fault_hops", static_cast<double>(hops));
+  if (telem != nullptr) telem->hops += hops;
+
+  if (!CompleteTransfer(p, is_write, reply, deferred)) {
+    return FaultOutcome::kShutdown;
+  }
+  if (deferred != nullptr && is_write) {
+    // Parked: the entry stays busy (shielding the page) until
+    // FlushDeferredWrites finalizes and commits it.
+    return FaultOutcome::kDone;
+  }
   ManagerCommit(p, grant.op_id, self_, is_write);
   return FaultOutcome::kDone;
 }
 
-Host::FaultOutcome Host::FaultViaRemoteManager(PageNum p, bool is_write) {
+Host::FaultOutcome Host::FaultViaRemoteManager(
+    PageNum p, bool is_write, FaultTelemetry* telem,
+    std::vector<DeferredWrite>* deferred) {
+  if (cfg_.probable_owner && !is_write) {
+    if (auto out = FaultViaHint(p, telem)) return *out;
+  }
   base::WireWriter w;
   w.U8(kToManager);
   w.U32(p);
@@ -401,6 +460,7 @@ Host::FaultOutcome Host::FaultViaRemoteManager(PageNum p, bool is_write) {
     return FaultOutcome::kRetry;
   }
   FetchReply reply = DecodeFetchReply(resp.body);
+  if (telem != nullptr) telem->rtts += 1;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (fenced_.count({p, reply.op_id}) > 0) {
@@ -410,11 +470,25 @@ Host::FaultOutcome Host::FaultViaRemoteManager(PageNum p, bool is_write) {
       return FaultOutcome::kRetry;
     }
     inflight_ops_.insert({p, reply.op_id});
+    if (cfg_.probable_owner) {
+      ptable_.SetHint(p, is_write ? self_ : reply.owner);
+    }
   }
-  if (!CompleteTransfer(p, is_write, reply)) {
+  // Hop count: served by the manager itself (or an upgrade) is request +
+  // reply; a forward to the owner adds the third leg (R -> M -> O -> R).
+  const std::int64_t hops =
+      (reply.owner == mgr || reply.owner == self_) ? 2 : 3;
+  stats_.Hist("dsm.fault_hops", static_cast<double>(hops));
+  if (telem != nullptr) telem->hops += hops;
+  if (!CompleteTransfer(p, is_write, reply, deferred)) {
     std::lock_guard<std::mutex> lk(state_mu_);
     inflight_ops_.erase({p, reply.op_id});
     return FaultOutcome::kShutdown;
+  }
+  if (deferred != nullptr && is_write) {
+    // Parked: confirm only after FlushDeferredWrites finalizes. The op stays
+    // in inflight_ops_ so a confirm-probe answers "still working".
+    return FaultOutcome::kDone;
   }
   RecordCompleted(p, reply.op_id, mgr, is_write);
 
@@ -427,8 +501,321 @@ Host::FaultOutcome Host::FaultViaRemoteManager(PageNum p, bool is_write) {
   return FaultOutcome::kDone;
 }
 
-bool Host::CompleteTransfer(PageNum p, bool is_write,
-                            const FetchReply& reply) {
+std::optional<Host::FaultOutcome> Host::FaultViaHint(PageNum p,
+                                                     FaultTelemetry* telem) {
+  net::HostId hinted;
+  bool has_copy;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    hinted = ptable_.HintOf(p);
+    if (hinted == PageTable::kNoHint || hinted == self_) return std::nullopt;
+    has_copy = ptable_.Local(p).access != Access::kNone;
+    // Open the poison window: an invalidation arriving while the hinted
+    // fetch is in flight flips this flag and the reply is discarded.
+    hint_poison_[p] = false;
+  }
+  stats_.Inc("dsm.hint_fetches");
+  const std::uint64_t hint_ev =
+      TraceEv(trace::EventKind::kHintFetch, p, 0,
+              TraceParent(trace::FaultKey(self_, p)), hinted);
+  TraceBind(trace::HintKey(self_, p), hint_ev);
+  base::WireWriter w;
+  w.U8(kToHintedOwner);
+  w.U32(p);
+  w.U8(has_copy ? 1 : 0);
+  auto resp = endpoint_.CallWithStatus(hinted, kOpReadReq, std::move(w).Take(),
+                                       net::MsgKind::kControl, DsmCallOpts());
+  bool poisoned = false;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (auto it = hint_poison_.find(p); it != hint_poison_.end()) {
+      poisoned = it->second;
+      hint_poison_.erase(it);
+    }
+  }
+  if (resp.status == net::CallStatus::kShutdown) {
+    return FaultOutcome::kShutdown;
+  }
+  if (telem != nullptr) telem->rtts += 1;
+  if (resp.status == net::CallStatus::kTimedOut) {
+    // The hinted host is unreachable: forget the hint and take the normal
+    // manager path this round.
+    stats_.Inc("dsm.hint_timeouts");
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (ptable_.HintOf(p) == hinted) ptable_.SetHint(p, PageTable::kNoHint);
+    return std::nullopt;
+  }
+  FetchReply reply = DecodeFetchReply(resp.body);
+  const net::HostId mgr = ptable_.ManagerOf(p);
+  if (reply.op_id == 0) {
+    // Hint hit: the hinted owner served directly (2 hops, no manager leg).
+    if (poisoned) {
+      // An invalidation crossed the serve in flight; the image may predate
+      // the writer's commit. Discard and refault.
+      stats_.Inc("dsm.hint_poisoned");
+      return FaultOutcome::kRetry;
+    }
+    stats_.Inc("dsm.hint_hits");
+    if (!CompleteTransfer(p, /*is_write=*/false, reply, nullptr)) {
+      return FaultOutcome::kShutdown;
+    }
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      ptable_.SetHint(p, reply.owner);
+    }
+    // Tell the manager we hold a copy so future writers invalidate us; the
+    // owner keeps us in hinted_pending_ until the manager confirms coverage.
+    base::WireWriter cw;
+    cw.U32(p);
+    cw.U64(reply.data_version);
+    endpoint_.Notify(mgr, kOpHintConfirm, std::move(cw).Take());
+    stats_.Hist("dsm.fault_hops", 2.0);
+    if (telem != nullptr) telem->hops += 2;
+    return FaultOutcome::kDone;
+  }
+  // Stale hint: the hinted host re-forwarded through the manager and a real
+  // grant came back. Handle it exactly like a manager-path reply.
+  stats_.Inc("dsm.hint_stale_replies");
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (fenced_.count({p, reply.op_id}) > 0) {
+      stats_.Inc("dsm.fenced_replies");
+      return FaultOutcome::kRetry;
+    }
+    inflight_ops_.insert({p, reply.op_id});
+    ptable_.SetHint(p, reply.owner);
+  }
+  if (!CompleteTransfer(p, /*is_write=*/false, reply, nullptr)) {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    inflight_ops_.erase({p, reply.op_id});
+    return FaultOutcome::kShutdown;
+  }
+  RecordCompleted(p, reply.op_id, mgr, /*is_write=*/false);
+  base::WireWriter cw;
+  cw.U32(p);
+  cw.U64(reply.op_id);
+  cw.U16(self_);
+  cw.U8(0);
+  endpoint_.Notify(mgr, kOpConfirm, std::move(cw).Take());
+  // Requester -> hinted -> manager [-> owner] -> requester.
+  const std::int64_t hops =
+      (reply.owner == mgr || reply.owner == self_) ? 3 : 4;
+  stats_.Hist("dsm.fault_hops", static_cast<double>(hops));
+  if (telem != nullptr) telem->hops += hops;
+  return FaultOutcome::kDone;
+}
+
+bool Host::FaultGroupFetch(PageNum first, PageNum last,
+                           FaultTelemetry* telem) {
+  // Claim pass: take the local fault-coalescing slot for every page this
+  // batch will fetch. Pages another thread is already fetching, and
+  // locally-managed pages whose entry is busy, are left to the per-page
+  // fallback at the end.
+  std::vector<PageNum> claimed;
+  std::map<net::HostId, std::vector<GroupReqEntry>> calls;
+  struct LocalGrant {
+    PageNum page = 0;
+    ManagerGrant grant;
+    std::uint64_t data_version = 0;
+  };
+  std::vector<LocalGrant> local_grants;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (PageNum p = first; p < last; ++p) {
+      if (ptable_.Local(p).access >= Access::kRead) continue;
+      if (fault_inflight_[p]) continue;
+      if (ptable_.ManagedHere(p)) {
+        if (ptable_.Manager(p).busy) continue;
+        fault_inflight_[p] = true;
+        claimed.push_back(p);
+        const std::uint64_t fev =
+            TraceEv(trace::EventKind::kFaultStart, p, 0, 0, 0);
+        TraceBind(trace::FaultKey(self_, p), fev);
+        stats_.Inc("dsm.read_faults");
+        const bool has_copy = ptable_.Local(p).access != Access::kNone;
+        ManagerGrant g = BuildGrantLocked(p, self_, /*is_write=*/false,
+                                          has_copy);
+        if (g.owner == self_) {
+          local_grants.push_back({p, g, ptable_.Local(p).version});
+        } else {
+          GroupReqEntry e;
+          e.role = kToOwner;
+          e.page = p;
+          e.op_id = g.op_id;
+          e.new_version = g.new_version;
+          e.data_needed = !g.requester_has_copy;
+          e.type = g.type;
+          e.alloc_bytes = g.alloc_bytes;
+          calls[g.owner].push_back(e);
+        }
+      } else {
+        fault_inflight_[p] = true;
+        claimed.push_back(p);
+        const std::uint64_t fev =
+            TraceEv(trace::EventKind::kFaultStart, p, 0, 0, 0);
+        TraceBind(trace::FaultKey(self_, p), fev);
+        stats_.Inc("dsm.read_faults");
+        GroupReqEntry e;
+        e.role = kToManager;
+        e.page = p;
+        e.has_copy = ptable_.Local(p).access != Access::kNone;
+        calls[ptable_.ManagerOf(p)].push_back(e);
+      }
+    }
+  }
+  const auto release_claims = [&] {
+    std::vector<sim::Chan<bool>> waiters;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      for (PageNum p : claimed) {
+        fault_inflight_[p] = false;
+        auto& ws = fault_waiters_[p];
+        waiters.insert(waiters.end(), ws.begin(), ws.end());
+        ws.clear();
+      }
+    }
+    for (auto& w : waiters) w.Send(true);
+  };
+
+  // Pre-granted pages this host already owns (re-animation of a retained
+  // copy): message-free, like the local-manager upgrade path.
+  for (const LocalGrant& lg : local_grants) {
+    FetchReply r;
+    r.op_id = lg.grant.op_id;
+    r.data_version = lg.data_version;
+    r.new_version = lg.grant.new_version;
+    r.owner = self_;
+    r.type = lg.grant.type;
+    r.alloc_bytes = lg.grant.alloc_bytes;
+    r.has_data = false;
+    r.data_rep = arch::RepClassByte(*profile_);
+    if (!CompleteTransfer(lg.page, /*is_write=*/false, r, nullptr)) {
+      release_claims();
+      return false;
+    }
+    ManagerCommit(lg.page, lg.grant.op_id, self_, /*is_write=*/false);
+  }
+
+  // Call rounds: one kOpGroupFetch per destination; redirects (a remote
+  // manager naming a third-party owner) regroup by owner for the next
+  // round. Depth is bounded — owners never redirect — so two rounds is the
+  // worst case; the loop guard is belt and braces.
+  std::map<net::HostId, std::vector<std::pair<PageNum, std::uint64_t>>>
+      confirms;
+  const auto reject_grants = [&](const std::vector<GroupReqEntry>& entries) {
+    for (const GroupReqEntry& e : entries) {
+      if (e.role != kToOwner) continue;
+      if (ptable_.ManagedHere(e.page)) {
+        ManagerRevoke(e.page, e.op_id);
+      } else {
+        base::WireWriter w;
+        w.U32(e.page);
+        w.U64(e.op_id);
+        endpoint_.Notify(ptable_.ManagerOf(e.page), kOpGrantReject,
+                         std::move(w).Take());
+      }
+    }
+  };
+  auto current = std::move(calls);
+  for (int depth = 0; depth < 3 && !current.empty(); ++depth) {
+    std::map<net::HostId, std::vector<GroupReqEntry>> next;
+    for (auto& [dst, entries] : current) {
+      stats_.Inc("dsm.group_fetches");
+      TraceEv(trace::EventKind::kGroupFetch, entries.front().page, 0,
+              TraceParent(trace::FaultKey(self_, entries.front().page)),
+              static_cast<std::int64_t>(entries.size()), dst);
+      auto resp = endpoint_.CallWithStatus(dst, kOpGroupFetch,
+                                           EncodeGroupRequest(entries),
+                                           net::MsgKind::kControl,
+                                           DsmCallOpts());
+      if (resp.status == net::CallStatus::kShutdown) {
+        release_claims();
+        return false;
+      }
+      if (telem != nullptr) telem->rtts += 1;
+      if (resp.status == net::CallStatus::kTimedOut) {
+        // Free any pre-granted entries so their pages do not stay busy at
+        // the managers; every page of this call falls back to FaultOne.
+        stats_.Inc("dsm.group_fetch_timeouts");
+        reject_grants(entries);
+        continue;
+      }
+      auto es = DecodeGroupReply(resp.body);
+      // Whole-batch hop count: one request leg (plus the manager-to-owner
+      // forward when any grant came from a third host) and one reply leg.
+      bool forwarded = false;
+      for (const GroupReplyEntry& e : es) {
+        if (e.status == 1 && e.fr.owner != dst && e.fr.owner != self_) {
+          forwarded = true;
+        }
+      }
+      const std::int64_t hops = forwarded ? 3 : 2;
+      stats_.Hist("dsm.fault_hops", static_cast<double>(hops));
+      if (telem != nullptr) telem->hops += hops;
+      for (GroupReplyEntry& e : es) {
+        if (e.status == 0) {
+          stats_.Inc("dsm.group_fetch_busy");  // falls back to FaultOne
+          continue;
+        }
+        if (e.status == 2) {
+          next[e.redirect_owner].push_back(e.redirect);
+          continue;
+        }
+        const bool local_mgr = ptable_.ManagedHere(e.page);
+        if (!local_mgr) {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          if (fenced_.count({e.page, e.fr.op_id}) > 0) {
+            stats_.Inc("dsm.fenced_replies");
+            continue;
+          }
+          inflight_ops_.insert({e.page, e.fr.op_id});
+          if (cfg_.probable_owner) ptable_.SetHint(e.page, e.fr.owner);
+        }
+        if (!CompleteTransfer(e.page, /*is_write=*/false, e.fr, nullptr)) {
+          release_claims();
+          return false;
+        }
+        if (local_mgr) {
+          ManagerCommit(e.page, e.fr.op_id, self_, /*is_write=*/false);
+        } else {
+          const net::HostId mgr = ptable_.ManagerOf(e.page);
+          RecordCompleted(e.page, e.fr.op_id, mgr, /*is_write=*/false);
+          confirms[mgr].push_back({e.page, e.fr.op_id});
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  // Unconsumed redirects past the depth guard (cannot happen with a
+  // well-formed peer): free their grants so the pages do not wedge.
+  for (const auto& [dst, entries] : current) reject_grants(entries);
+
+  // One batched confirm per remote manager covers every page it granted.
+  for (const auto& [mgr, ops] : confirms) {
+    base::WireWriter w;
+    w.U16(static_cast<std::uint16_t>(ops.size()));
+    for (const auto& [page, op_id] : ops) {
+      w.U32(page);
+      w.U64(op_id);
+      w.U8(0);  // read
+    }
+    endpoint_.Notify(mgr, kOpGroupConfirm, std::move(w).Take());
+  }
+  for (PageNum p : claimed) {
+    TraceEv(trace::EventKind::kFaultEnd, p, 0,
+            TraceParent(trace::FaultKey(self_, p)), 0);
+  }
+  release_claims();
+  // Per-page fallback sweeps up everything the batch could not serve (busy
+  // entries, timeouts, fenced grants, pages other threads were fetching).
+  for (PageNum p = first; p < last; ++p) {
+    FaultOne(p, Access::kRead, telem, nullptr);
+  }
+  return true;
+}
+
+bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
+                            std::vector<DeferredWrite>* deferred) {
   const GlobalAddr page_base = static_cast<GlobalAddr>(p) * page_bytes_;
   if (reply.has_data) {
     const std::size_t data_size = reply.data.size();
@@ -509,25 +896,60 @@ bool Host::CompleteTransfer(PageNum p, bool is_write,
   TraceBind(trace::OpKey(p, reply.op_id), install_ev);
 
   if (is_write) {
-    if (!InvalidateCopies(p, reply.to_invalidate, reply.op_id, install_ev)) {
+    if (deferred != nullptr) {
+      // Coalesced invalidation: park the grant. The page was installed
+      // read-only above; FlushDeferredWrites runs the batched invalidation
+      // and finalizes every page of the VM fault together.
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        MERMAID_CHECK(ptable_.Local(p).access != Access::kNone);
+      }
+      deferred->push_back({p, reply});
+      stats_.Inc("dsm.deferred_writes");
+      return true;
+    }
+    std::vector<net::HostId> to_invalidate = reply.to_invalidate;
+    {
+      // Readers this host served via the hint fast path may be missing from
+      // the manager's copyset (their covering confirm raced this upgrade);
+      // they hold copies and must be invalidated too.
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (auto it = hinted_pending_.find(p); it != hinted_pending_.end()) {
+        for (net::HostId h : it->second) {
+          if (std::find(to_invalidate.begin(), to_invalidate.end(), h) ==
+              to_invalidate.end()) {
+            to_invalidate.push_back(h);
+          }
+        }
+      }
+    }
+    if (!InvalidateCopies(p, to_invalidate, reply.op_id, install_ev)) {
       return false;
     }
-    std::lock_guard<std::mutex> lk(state_mu_);
-    LocalPageEntry& e = ptable_.Local(p);
-    e.access = Access::kWrite;
-    e.owned = true;
-    e.version = reply.new_version;
-    e.type = reply.type;
-    e.alloc_bytes = std::max(e.alloc_bytes, reply.alloc_bytes);
-    e.retained = false;
-    // The version just bumped: any converted images of the old version can
-    // never be served again.
-    DropConvertCacheLocked(p);
-    if (referee_ != nullptr) {
-      referee_->OnWriteGrant(self_, p, reply.new_version);
-    }
+    FinalizeWrite(p, reply);
   }
   return true;
+}
+
+void Host::FinalizeWrite(PageNum p, const FetchReply& reply) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  LocalPageEntry& e = ptable_.Local(p);
+  e.access = Access::kWrite;
+  e.owned = true;
+  e.version = reply.new_version;
+  e.type = reply.type;
+  e.alloc_bytes = std::max(e.alloc_bytes, reply.alloc_bytes);
+  e.retained = false;
+  // The version just bumped: any converted images of the old version can
+  // never be served again.
+  DropConvertCacheLocked(p);
+  // Every hint-served reader was just invalidated with the rest of the
+  // copyset; the finalize also closes the hint-serve refusal window.
+  hinted_pending_.erase(p);
+  write_pending_.erase(p);
+  if (referee_ != nullptr) {
+    referee_->OnWriteGrant(self_, p, reply.new_version);
+  }
 }
 
 bool Host::InvalidateCopies(PageNum p,
@@ -561,6 +983,102 @@ bool Host::InvalidateCopies(PageNum p,
     TraceBind(trace::InvKey(p), inv_ev);
     auto acks = endpoint_.MultiCallWithStatus(targets, kOpInvalidate, body,
                                               net::MsgKind::kControl,
+                                              DsmCallOpts());
+    if (acks.status == net::CallStatus::kShutdown) return false;
+    if (acks.status == net::CallStatus::kOk) return true;
+    std::vector<net::HostId> unacked;
+    for (std::size_t i : acks.timed_out) unacked.push_back(targets[i]);
+    targets = std::move(unacked);
+  }
+  return true;
+}
+
+bool Host::FlushDeferredWrites(std::vector<DeferredWrite> deferred,
+                               FaultTelemetry* telem) {
+  (void)telem;  // invalidation rounds count in neither hops nor rtts, so the
+                // coalesced and per-page paths stay comparable
+  if (deferred.empty()) return true;
+  std::vector<PageNum> pages;
+  std::set<net::HostId> union_targets;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (const DeferredWrite& d : deferred) {
+      pages.push_back(d.page);
+      // Refuse hint serves until the finalize: the target union below is
+      // fixed now, so no new reader may acquire a copy past it.
+      write_pending_.insert(d.page);
+      for (net::HostId h : d.reply.to_invalidate) {
+        if (h != self_) union_targets.insert(h);
+      }
+      if (auto it = hinted_pending_.find(d.page);
+          it != hinted_pending_.end()) {
+        for (net::HostId h : it->second) {
+          if (h != self_) union_targets.insert(h);
+        }
+      }
+    }
+  }
+  // One batched invalidation round per copyset host, single aggregated ack
+  // each. The union is safe: every page in it is being write-acquired, so
+  // over-invalidating a host that only held some of the pages is the normal
+  // write-invalidate outcome for those pages and a no-op for the rest.
+  if (!InvalidateBatchCall(
+          pages, {union_targets.begin(), union_targets.end()})) {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (PageNum p : pages) write_pending_.erase(p);
+    return false;  // shutdown
+  }
+  // Every copy is gone: finalize and confirm each page. The confirms were
+  // deferred with the invalidations, so every manager entry is still busy
+  // and no competing transfer has touched these pages in between.
+  std::map<net::HostId, std::vector<const DeferredWrite*>> remote_confirms;
+  for (const DeferredWrite& d : deferred) {
+    FinalizeWrite(d.page, d.reply);
+    if (ptable_.ManagedHere(d.page)) {
+      ManagerCommit(d.page, d.reply.op_id, self_, /*is_write=*/true);
+    } else {
+      const net::HostId mgr = ptable_.ManagerOf(d.page);
+      RecordCompleted(d.page, d.reply.op_id, mgr, /*is_write=*/true);
+      remote_confirms[mgr].push_back(&d);
+    }
+  }
+  for (const auto& [mgr, ds] : remote_confirms) {
+    base::WireWriter w;
+    w.U16(static_cast<std::uint16_t>(ds.size()));
+    for (const DeferredWrite* d : ds) {
+      w.U32(d->page);
+      w.U64(d->reply.op_id);
+      w.U8(1);  // is_write
+    }
+    endpoint_.Notify(mgr, kOpGroupConfirm, std::move(w).Take());
+  }
+  return true;
+}
+
+bool Host::InvalidateBatchCall(const std::vector<PageNum>& pages,
+                               std::vector<net::HostId> targets) {
+  if (pages.empty() || targets.empty()) return true;
+  stats_.Hist("dsm.invalidate_fanout", static_cast<double>(targets.size()));
+  base::WireWriter w;
+  w.U16(static_cast<std::uint16_t>(pages.size()));
+  for (PageNum p : pages) w.U32(p);
+  const auto body = std::move(w).Take();
+  for (int round = 0; !targets.empty(); ++round) {
+    MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
+                      "batched invalidation exhausted retries");
+    if (round > 0) {
+      stats_.Inc("dsm.invalidation_retries");
+      rt_.Delay(FaultBackoff(cfg_, round));
+    }
+    stats_.Inc("dsm.batch_invalidations_sent",
+               static_cast<std::int64_t>(targets.size()));
+    const std::uint64_t inv_ev =
+        TraceEv(trace::EventKind::kInvalidateBatch, pages.front(), 0, 0,
+                static_cast<std::int64_t>(targets.size()),
+                static_cast<std::int64_t>(pages.size()));
+    for (PageNum p : pages) TraceBind(trace::InvKey(p), inv_ev);
+    auto acks = endpoint_.MultiCallWithStatus(targets, kOpInvalidateBatch,
+                                              body, net::MsgKind::kControl,
                                               DsmCallOpts());
     if (acks.status == net::CallStatus::kShutdown) return false;
     if (acks.status == net::CallStatus::kOk) return true;
@@ -785,14 +1303,37 @@ net::Body Host::EncodeServeReply(
       extent = cfg_.partial_page_transfer ? std::min(alloc_bytes, page_bytes_)
                                           : page_bytes_;
       if (want_convert) {
-        auto it = convert_cache_.find(ConvertCacheKey{p, version, req_rep});
+        const ConvertCacheKey key{p, version, req_rep};
+        auto it = convert_cache_.find(key);
         if (it != convert_cache_.end() && it->second.size() == extent) {
           image = it->second;
           cache_hit = true;
+          // LRU promotion: a hit moves the key to the back of the eviction
+          // order, so hot pages survive capacity pressure from one-shot
+          // conversions.
+          auto pos = std::find(convert_cache_order_.begin(),
+                               convert_cache_order_.end(), key);
+          if (pos != convert_cache_order_.end()) {
+            convert_cache_order_.erase(pos);
+            convert_cache_order_.push_back(key);
+          }
         }
       }
     }
     if (is_write) {
+      // Cover hint-served readers the manager may not know about yet: the
+      // new writer must invalidate their copies too. The pending set itself
+      // survives (only a covering confirm or our own write finalize clears
+      // it) in case this grant is revoked and the write never happens.
+      if (auto it = hinted_pending_.find(p); it != hinted_pending_.end()) {
+        for (net::HostId h : it->second) {
+          if (h != requester &&
+              std::find(r.to_invalidate.begin(), r.to_invalidate.end(), h) ==
+                  r.to_invalidate.end()) {
+            r.to_invalidate.push_back(h);
+          }
+        }
+      }
       // Relinquish: the new owner takes over. Keep the bytes servable in
       // case the manager revokes this grant and names us the source again.
       invalidated = e.access != Access::kNone;
@@ -935,6 +1476,305 @@ void Host::HandleOwnerFetch(net::RequestContext ctx, bool is_write) {
             data_needed ? net::MsgKind::kData : net::MsgKind::kControl);
 }
 
+void Host::HandleHintedFetch(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  r.U8();  // role
+  const PageNum p = r.U32();
+  const bool has_copy = r.U8() != 0;
+  if (!r.ok() || p >= ptable_.num_pages()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost);
+  bool servable = false;
+  std::uint64_t version = 0;
+  arch::TypeId type = 0;
+  std::uint32_t alloc_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    LocalPageEntry& e = ptable_.Local(p);
+    // Serve only from a stable owned copy: not while this host is itself
+    // faulting the page, and not inside a coalesced write's finalize window
+    // (the batched invalidation's target union is already fixed).
+    if (e.owned && e.access != Access::kNone && !fault_inflight_[p] &&
+        write_pending_.count(p) == 0) {
+      servable = true;
+      version = e.version;
+      type = e.type;
+      alloc_bytes = e.alloc_bytes;
+      // Track the reader until the manager confirms it joined the copyset:
+      // any write serve in between carries it as an invalidation target.
+      hinted_pending_[p].insert(ctx.origin());
+    }
+  }
+  if (servable) {
+    stats_.Inc("dsm.hint_serves");
+    const std::uint64_t ev =
+        TraceEv(trace::EventKind::kHintServe, p, 0,
+                TraceParent(trace::HintKey(ctx.origin(), p)), alloc_bytes);
+    TraceBind(trace::HintKey(ctx.origin(), p), ev);
+    // op_id 0 marks a hint-served (manager-less) reply; version doubles as
+    // data and "new" version since nothing changes.
+    auto reply = EncodeServeReply(p, ctx.origin(), /*is_write=*/false,
+                                  /*data_needed=*/!has_copy, /*op_id=*/0,
+                                  version, version, type, alloc_bytes, {});
+    ctx.Reply(std::move(reply), net::MsgKind::kData);
+    return;
+  }
+  // Stale hint: pass the request down the ownership chain — into our own
+  // manager queue when we manage the page, else forwarded to the manager as
+  // a normal transfer request. Either way the requester pays exactly one
+  // extra hop and the reply carries a real (non-zero) op id.
+  stats_.Inc("dsm.hint_stale");
+  const std::uint64_t stale_ev =
+      TraceEv(trace::EventKind::kHintStale, p, 0,
+              TraceParent(trace::HintKey(ctx.origin(), p)),
+              ptable_.ManagerOf(p));
+  // Bind under the requester's fault key so the manager's grant chains
+  // through the stale-forward event.
+  TraceBind(trace::FaultKey(ctx.origin(), p), stale_ev);
+  if (ptable_.ManagedHere(p)) {
+    PendingTransfer t;
+    t.is_write = false;
+    t.has_copy = has_copy;
+    t.requester = ctx.origin();
+    t.remote = std::move(ctx);
+    bool issue_now = false;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      ManagerEntry& m = ptable_.Manager(p);
+      if (m.busy) {
+        m.pending.push_back(std::move(t));
+      } else {
+        issue_now = true;
+      }
+    }
+    if (issue_now) ManagerIssue(p, std::move(t));
+    return;
+  }
+  base::WireWriter w;
+  w.U8(kToManager);
+  w.U32(p);
+  w.U8(has_copy ? 1 : 0);
+  ctx.Forward(ptable_.ManagerOf(p), std::move(w).Take());
+}
+
+void Host::HandleHintConfirm(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const std::uint64_t version = r.U64();
+  if (!r.ok() || !ptable_.ManagedHere(p)) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  bool covered = false;
+  net::HostId owner = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry& m = ptable_.Manager(p);
+    // Only a quiescent entry at the served version can absorb the reader: a
+    // busy entry means a transfer (possibly a write) is in flight, and a
+    // version mismatch means the serve predates a committed write. Either
+    // way the owner keeps the reader in hinted_pending_ and every write
+    // serve covers it until this confirm eventually lands.
+    if (!m.busy && m.version == version) {
+      m.copyset.insert(ctx.origin());
+      covered = true;
+      owner = m.owner;
+    }
+  }
+  if (!covered) {
+    stats_.Inc("dsm.hint_confirms_dropped");
+    return;
+  }
+  stats_.Inc("dsm.hint_confirms");
+  if (owner == self_) {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (auto it = hinted_pending_.find(p); it != hinted_pending_.end()) {
+      it->second.erase(ctx.origin());
+      if (it->second.empty()) hinted_pending_.erase(it);
+    }
+    return;
+  }
+  base::WireWriter w;
+  w.U32(p);
+  w.U16(ctx.origin());
+  endpoint_.Notify(owner, kOpHintCovered, std::move(w).Take());
+}
+
+void Host::HandleHintCovered(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const net::HostId reader = r.U16();
+  if (!r.ok()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  std::lock_guard<std::mutex> lk(state_mu_);
+  if (auto it = hinted_pending_.find(p); it != hinted_pending_.end()) {
+    it->second.erase(reader);
+    if (it->second.empty()) hinted_pending_.erase(it);
+  }
+}
+
+void Host::HandleGroupFetch(net::RequestContext ctx) {
+  bool ok = true;
+  auto entries = DecodeGroupRequest(ctx.body(), &ok);
+  if (!ok || entries.empty()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  // One server operation covers the whole batch — the point of the fast
+  // path (versus one per page on the per-page path).
+  rt_.Delay(profile_->server_op_cost);
+  struct Prep {
+    ManagerGrant g;
+    std::uint64_t data_version = 0;
+    bool granted = false;
+    bool busy = false;
+  };
+  std::vector<Prep> preps(entries.size());
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const GroupReqEntry& req = entries[i];
+      Prep& pr = preps[i];
+      if (req.page >= ptable_.num_pages()) {
+        pr.busy = true;
+        continue;
+      }
+      if (req.role == kToOwner) {
+        // Pre-granted fetch against our local copy.
+        pr.data_version = ptable_.Local(req.page).version;
+        continue;
+      }
+      if (!ptable_.ManagedHere(req.page) || ptable_.Manager(req.page).busy) {
+        pr.busy = true;
+        continue;
+      }
+      pr.g = BuildGrantLocked(req.page, ctx.origin(), /*is_write=*/false,
+                              req.has_copy);
+      pr.data_version = ptable_.Manager(req.page).version;
+      pr.granted = true;
+    }
+  }
+  std::vector<GroupReplyEntry> res(entries.size());
+  std::vector<net::Body> bodies;
+  bool all_redirect = true;
+  bool any_redirect = false;
+  net::HostId redirect_owner = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const GroupReqEntry& req = entries[i];
+    Prep& pr = preps[i];
+    GroupReplyEntry& e = res[i];
+    e.page = req.page;
+    if (pr.busy) {
+      e.status = 0;  // requester falls back to the per-page path
+      all_redirect = false;
+      continue;
+    }
+    if (req.role == kToOwner) {
+      e.status = 1;
+      bodies.push_back(EncodeServeReply(
+          req.page, ctx.origin(), /*is_write=*/false, req.data_needed,
+          req.op_id, pr.data_version, req.new_version, req.type,
+          req.alloc_bytes, {}));
+      all_redirect = false;
+      continue;
+    }
+    if (pr.g.owner == ctx.origin()) {
+      // Requester already owns the page (retained copy): no data leg.
+      FetchReply fr;
+      fr.op_id = pr.g.op_id;
+      fr.data_version = pr.data_version;
+      fr.new_version = pr.g.new_version;
+      fr.owner = pr.g.owner;
+      fr.type = pr.g.type;
+      fr.alloc_bytes = pr.g.alloc_bytes;
+      fr.has_data = false;
+      fr.data_rep = arch::RepClassByte(net_.ProfileOf(pr.g.owner));
+      e.status = 1;
+      bodies.push_back(EncodeFetchReply(fr));
+      all_redirect = false;
+    } else if (pr.g.owner == self_) {
+      // Manager host owns the page: serve directly (R -> M/O).
+      e.status = 1;
+      bodies.push_back(EncodeServeReply(
+          req.page, ctx.origin(), /*is_write=*/false,
+          !pr.g.requester_has_copy, pr.g.op_id, pr.data_version,
+          pr.g.new_version, pr.g.type, pr.g.alloc_bytes, {}));
+      all_redirect = false;
+    } else {
+      // Third-party owner: hand the grant parameters back so the requester
+      // batches a direct owner fetch — unless EVERY entry redirects to the
+      // same owner, in which case the whole group is forwarded below.
+      e.status = 2;
+      e.redirect_owner = pr.g.owner;
+      e.redirect.role = kToOwner;
+      e.redirect.page = req.page;
+      e.redirect.op_id = pr.g.op_id;
+      e.redirect.new_version = pr.g.new_version;
+      e.redirect.data_needed = !pr.g.requester_has_copy;
+      e.redirect.type = pr.g.type;
+      e.redirect.alloc_bytes = pr.g.alloc_bytes;
+      if (!any_redirect) {
+        redirect_owner = pr.g.owner;
+        any_redirect = true;
+      } else if (redirect_owner != pr.g.owner) {
+        all_redirect = false;
+      }
+    }
+  }
+  if (all_redirect && any_redirect) {
+    // Every page is owned by one remote host: forward the whole group and
+    // let the owner reply straight to the requester (1 RTT end to end).
+    std::vector<GroupReqEntry> fwd;
+    fwd.reserve(res.size());
+    for (const GroupReplyEntry& e : res) fwd.push_back(e.redirect);
+    stats_.Inc("dsm.group_forwards");
+    TraceEv(trace::EventKind::kGroupFetch, fwd.front().page, 0,
+            TraceParent(trace::OpKey(fwd.front().page, fwd.front().op_id)),
+            static_cast<std::int64_t>(fwd.size()), redirect_owner);
+    ctx.Forward(redirect_owner, EncodeGroupRequest(fwd));
+    return;
+  }
+  std::int64_t served = 0;
+  for (const GroupReplyEntry& e : res) {
+    if (e.status == 1) ++served;
+  }
+  auto reply = EncodeGroupReply(std::move(res), std::move(bodies));
+  stats_.Inc("dsm.group_serves");
+  TraceEv(trace::EventKind::kGroupServe, entries.front().page, 0,
+          TraceParent(trace::FaultKey(ctx.origin(), entries.front().page)),
+          served, static_cast<std::int64_t>(reply.size()));
+  ctx.Reply(std::move(reply), net::MsgKind::kData);
+}
+
+void Host::HandleGroupConfirm(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const std::uint16_t n = r.U16();
+  struct Confirm {
+    PageNum page = 0;
+    std::uint64_t op_id = 0;
+    bool is_write = false;
+  };
+  std::vector<Confirm> cs(n);
+  for (Confirm& c : cs) {
+    c.page = r.U32();
+    c.op_id = r.U64();
+    c.is_write = r.U8() != 0;
+  }
+  if (!r.ok()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  for (const Confirm& c : cs) {
+    if (c.page < ptable_.num_pages() && ptable_.ManagedHere(c.page)) {
+      ManagerCommit(c.page, c.op_id, ctx.origin(), c.is_write);
+    }
+  }
+}
+
 void Host::HandleInvalidate(net::RequestContext ctx) {
   base::WireReader r(ctx.body());
   const PageNum p = r.U32();
@@ -947,17 +1787,59 @@ void Host::HandleInvalidate(net::RequestContext ctx) {
           TraceParent(trace::InvKey(p)), ctx.origin());
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    LocalPageEntry& e = ptable_.Local(p);
-    if (e.access != Access::kNone) {
-      e.access = Access::kNone;
-      e.owned = false;
-      stats_.Inc("dsm.invalidations_received");
-      if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
+    ApplyInvalidateLocked(p, ctx.origin());
+  }
+  ctx.Reply({});
+}
+
+bool Host::ApplyInvalidateLocked(PageNum p, net::HostId writer) {
+  LocalPageEntry& e = ptable_.Local(p);
+  bool dropped = false;
+  if (e.access != Access::kNone) {
+    e.access = Access::kNone;
+    e.owned = false;
+    dropped = true;
+    stats_.Inc("dsm.invalidations_received");
+    if (referee_ != nullptr) referee_->OnInvalidate(self_, p);
+  }
+  // Another writer is committing: any retained image is now stale, and so
+  // is every cached converted image of this page.
+  e.retained = false;
+  DropConvertCacheLocked(p);
+  if (cfg_.probable_owner) {
+    // The invalidating writer is about to own this page: remember it, and
+    // poison any hinted fetch whose reply is crossing this invalidation.
+    ptable_.SetHint(p, writer);
+    if (auto it = hint_poison_.find(p); it != hint_poison_.end()) {
+      it->second = true;
     }
-    // Another writer is committing: any retained image is now stale, and so
-    // is every cached converted image of this page.
-    e.retained = false;
-    DropConvertCacheLocked(p);
+  }
+  return dropped;
+}
+
+void Host::HandleInvalidateBatch(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const std::uint16_t n = r.U16();
+  std::vector<PageNum> pages(n);
+  for (auto& p : pages) p = r.U32();
+  if (!r.ok() || pages.empty()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  // One server operation covers the whole batch — the point of coalescing.
+  rt_.Delay(profile_->server_op_cost);
+  const PageNum total = ptable_.num_pages();
+  for (PageNum p : pages) {
+    if (p >= total) continue;
+    TraceEv(trace::EventKind::kInvalidateRecv, p, 0,
+            TraceParent(trace::InvKey(p)), ctx.origin());
+  }
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (PageNum p : pages) {
+      if (p >= total) continue;
+      ApplyInvalidateLocked(p, ctx.origin());
+    }
   }
   ctx.Reply({});
 }
@@ -1175,6 +2057,140 @@ Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) {
     }
     MERMAID_CHECK_MSG(!flattened && meta.size() < body.size(),
                       "malformed fetch reply");
+    meta = body.Flatten();
+    flattened = true;
+  }
+}
+
+net::Body Host::EncodeGroupRequest(const std::vector<GroupReqEntry>& es) {
+  base::WireWriter w;
+  w.U16(static_cast<std::uint16_t>(es.size()));
+  for (const GroupReqEntry& e : es) {
+    w.U8(e.role);
+    w.U32(e.page);
+    if (e.role == kToManager) {
+      w.U8(e.has_copy ? 1 : 0);
+    } else {
+      w.U64(e.op_id);
+      w.U64(e.new_version);
+      w.U8(e.data_needed ? 1 : 0);
+      w.U16(e.type);
+      w.U32(e.alloc_bytes);
+    }
+  }
+  return std::move(w).Take();
+}
+
+std::vector<Host::GroupReqEntry> Host::DecodeGroupRequest(
+    std::span<const std::uint8_t> body, bool* ok) {
+  base::WireReader r(body);
+  const std::uint16_t n = r.U16();
+  std::vector<GroupReqEntry> es;
+  es.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    GroupReqEntry e;
+    e.role = r.U8();
+    e.page = r.U32();
+    if (e.role == kToManager) {
+      e.has_copy = r.U8() != 0;
+    } else if (e.role == kToOwner) {
+      e.op_id = r.U64();
+      e.new_version = r.U64();
+      e.data_needed = r.U8() != 0;
+      e.type = r.U16();
+      e.alloc_bytes = r.U32();
+    } else {
+      *ok = false;
+      return {};
+    }
+    es.push_back(e);
+  }
+  *ok = r.ok();
+  return es;
+}
+
+net::Body Host::EncodeGroupReply(std::vector<GroupReplyEntry> es,
+                                 std::vector<net::Body> grant_bodies) {
+  // Head: per-entry metadata with, for grants, the length of the embedded
+  // FetchReply head and of its data slice. The data slices are concatenated
+  // behind the head as a shared chain — like EncodeFetchReply, nothing is
+  // copied between the owner's serve and the wire.
+  base::WireWriter w;
+  base::BufferChain data;
+  std::size_t gi = 0;
+  w.U16(static_cast<std::uint16_t>(es.size()));
+  for (GroupReplyEntry& e : es) {
+    w.U32(e.page);
+    w.U8(e.status);
+    if (e.status == 1) {
+      net::Body& b = grant_bodies[gi++];
+      w.U32(static_cast<std::uint32_t>(b.head.size()));
+      w.U64(b.data.size());
+      w.Raw(b.head);
+      data.Append(std::move(b.data));
+    } else if (e.status == 2) {
+      w.U16(e.redirect_owner);
+      w.U64(e.redirect.op_id);
+      w.U64(e.redirect.new_version);
+      w.U8(e.redirect.data_needed ? 1 : 0);
+      w.U16(e.redirect.type);
+      w.U32(e.redirect.alloc_bytes);
+    }
+  }
+  return net::Body(std::move(w).Take(), std::move(data));
+}
+
+std::vector<Host::GroupReplyEntry> Host::DecodeGroupReply(
+    const base::BufferChain& body) {
+  // Same chunk(0)-first pattern as DecodeFetchReply: metadata sits in the
+  // first chunk by construction; flatten only if a degenerate MTU split it.
+  // Data offsets computed against the flattened bytes are equally valid on
+  // the original chain (same logical byte string), so slices stay shared.
+  base::Buffer meta =
+      body.chunk_count() > 0 ? body.chunk(0) : base::Buffer();
+  bool flattened = false;
+  for (;;) {
+    base::WireReader r(meta.span());
+    const std::uint16_t n = r.U16();
+    std::vector<GroupReplyEntry> es(n);
+    std::vector<std::uint64_t> data_lens(n, 0);
+    bool ok = true;
+    for (std::uint16_t i = 0; i < n && ok; ++i) {
+      GroupReplyEntry& e = es[i];
+      e.page = r.U32();
+      e.status = r.U8();
+      if (e.status == 1) {
+        const std::uint32_t head_len = r.U32();
+        data_lens[i] = r.U64();
+        auto head = r.Raw(head_len);
+        if (!r.ok()) break;
+        e.fr = DecodeFetchReply(base::BufferChain(
+            std::vector<std::uint8_t>(head.begin(), head.end())));
+      } else if (e.status == 2) {
+        e.redirect_owner = r.U16();
+        e.redirect.role = kToOwner;
+        e.redirect.page = e.page;
+        e.redirect.op_id = r.U64();
+        e.redirect.new_version = r.U64();
+        e.redirect.data_needed = r.U8() != 0;
+        e.redirect.type = r.U16();
+        e.redirect.alloc_bytes = r.U32();
+      } else if (e.status != 0) {
+        ok = false;
+      }
+    }
+    if (ok && r.ok()) {
+      std::size_t off = meta.size() - r.remaining();
+      for (std::uint16_t i = 0; i < n; ++i) {
+        if (es[i].status == 1 && es[i].fr.has_data) {
+          es[i].fr.data = body.Slice(off, data_lens[i]);
+          off += data_lens[i];
+        }
+      }
+      return es;
+    }
+    MERMAID_CHECK_MSG(!flattened && meta.size() < body.size(),
+                      "malformed group fetch reply");
     meta = body.Flatten();
     flattened = true;
   }

@@ -30,6 +30,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -205,18 +206,62 @@ class Host {
   // and refaults, kShutdown unwinds the thread.
   enum class FaultOutcome { kDone, kRetry, kShutdown };
 
+  // Per-VM-fault telemetry: protocol messages on the critical path and
+  // blocking request round trips, summed over the fault's DSM pages. Feeds
+  // the dsm.vm_fault_hops / dsm.vm_fault_rtts histograms that quantify the
+  // fast paths' savings.
+  struct FaultTelemetry {
+    std::int64_t hops = 0;
+    std::int64_t rtts = 0;
+  };
+
+  // One write-group page whose invalidation and finalization were deferred
+  // (coalesced invalidation): the page is installed read-only and parked
+  // here; after every page of the VM fault holds its grant, one batched
+  // invalidation round runs and each page is finalized and confirmed.
+  struct DeferredWrite {
+    PageNum page = 0;
+    FetchReply reply;
+  };
+
   // --- fault path ---------------------------------------------------------
   void EnsureAccess(PageNum p, Access needed);
   // One VM-level fault: acquires every DSM page of the enclosing VM page
   // that lacks `needed` access.
   void FaultGroup(PageNum p, Access needed);
-  // One DSM-page protocol round.
-  void FaultOne(PageNum p, Access needed);
-  FaultOutcome FaultViaLocalManager(PageNum p, bool is_write);
-  FaultOutcome FaultViaRemoteManager(PageNum p, bool is_write);
+  // One DSM-page protocol round. With `deferred` non-null (coalesced
+  // invalidation), a granted write parks in `deferred` instead of
+  // invalidating and finalizing.
+  void FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
+                std::vector<DeferredWrite>* deferred);
+  FaultOutcome FaultViaLocalManager(PageNum p, bool is_write,
+                                    FaultTelemetry* telem,
+                                    std::vector<DeferredWrite>* deferred);
+  FaultOutcome FaultViaRemoteManager(PageNum p, bool is_write,
+                                     FaultTelemetry* telem,
+                                     std::vector<DeferredWrite>* deferred);
+  // Probable-owner fast path: one direct fetch round against the hinted
+  // owner. Returns the outcome, or nullopt when the normal manager path
+  // should run (no hint, hint timed out, or the serve was fenced).
+  std::optional<FaultOutcome> FaultViaHint(PageNum p, FaultTelemetry* telem);
+  // Batched group fetch for a read VM fault spanning [first, last): one
+  // kOpGroupFetch call per remote manager / distinct owner; pages the batch
+  // cannot serve (busy entries, losses) fall back to FaultOne. False on
+  // shutdown.
+  bool FaultGroupFetch(PageNum first, PageNum last, FaultTelemetry* telem);
+  // Coalesced-invalidation tail: unions the deferred pages' copyset targets,
+  // runs one batched invalidation round per target, then finalizes and
+  // confirms every page. False on shutdown.
+  bool FlushDeferredWrites(std::vector<DeferredWrite> deferred,
+                           FaultTelemetry* telem);
   // Install + invalidate + (write-)grant; shared tail of both fault
-  // variants. False means the runtime shut down mid-transfer.
-  bool CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply);
+  // variants. With `deferred` non-null a write parks instead of finalizing.
+  // False means the runtime shut down mid-transfer.
+  bool CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
+                        std::vector<DeferredWrite>* deferred);
+  // The locked write-finalize step (write access, version bump, referee
+  // write grant). Caller must have completed the page's invalidations.
+  void FinalizeWrite(PageNum p, const FetchReply& reply);
   // Reliable write invalidation: re-multicasts to unacked targets until all
   // ack (bounded rounds; aborts loudly when exhausted). False on shutdown.
   // `op_id`/`parent_ev` only feed the trace (the install event that caused
@@ -259,6 +304,45 @@ class Host {
   void HandleConfirmProbe(net::RequestContext ctx);
   void HandleGrantReject(net::RequestContext ctx);
   void HandleGrantExtend(net::RequestContext ctx);
+  // Fast-path handlers (only reachable when the matching knob is on at the
+  // sender; each is safe to receive regardless).
+  void HandleHintedFetch(net::RequestContext ctx);
+  void HandleHintConfirm(net::RequestContext ctx);
+  void HandleHintCovered(net::RequestContext ctx);
+  void HandleGroupFetch(net::RequestContext ctx);
+  void HandleGroupConfirm(net::RequestContext ctx);
+  void HandleInvalidateBatch(net::RequestContext ctx);
+
+  // --- group-fetch wire helpers -------------------------------------------
+  // One entry of a kOpGroupFetch request (role is per entry: the same call
+  // can carry manager-role misses and owner-role pre-granted fetches).
+  struct GroupReqEntry {
+    std::uint8_t role = kToManager;
+    PageNum page = 0;
+    bool has_copy = false;       // kToManager
+    std::uint64_t op_id = 0;     // kToOwner grant parameters
+    std::uint64_t new_version = 0;
+    bool data_needed = true;
+    arch::TypeId type = 0;
+    std::uint32_t alloc_bytes = 0;
+  };
+  // One entry of a kOpGroupFetch reply.
+  struct GroupReplyEntry {
+    PageNum page = 0;
+    std::uint8_t status = 0;  // 0 = busy (fall back), 1 = grant, 2 = redirect
+    FetchReply fr;            // status 1
+    GroupReqEntry redirect;   // status 2 (owner-role request parameters)
+    net::HostId redirect_owner = 0;
+  };
+  static net::Body EncodeGroupRequest(const std::vector<GroupReqEntry>& es);
+  static std::vector<GroupReqEntry> DecodeGroupRequest(
+      std::span<const std::uint8_t> body, bool* ok);
+  // Serialized grant entries carry an encoded FetchReply head plus a slice
+  // of the shared payload chain; nothing is copied on either side.
+  static net::Body EncodeGroupReply(std::vector<GroupReplyEntry> es,
+                                    std::vector<net::Body> grant_bodies);
+  static std::vector<GroupReplyEntry> DecodeGroupReply(
+      const base::BufferChain& body);
 
   // --- helpers -------------------------------------------------------------
   // Charges the receiver-side modeled conversion delay and stats for an
@@ -272,6 +356,16 @@ class Host {
   // Drops every conversion-cache entry for page p (counted as evictions).
   // Caller holds state_mu_.
   void DropConvertCacheLocked(PageNum p);
+  // Applies one incoming invalidation (single or batched) from `writer` to
+  // page p: drops the copy, retained image, cached conversions; learns the
+  // writer as the probable owner; poisons any in-flight hinted fetch.
+  // Caller holds state_mu_. Returns true when a valid copy was dropped
+  // (referee notification included).
+  bool ApplyInvalidateLocked(PageNum p, net::HostId writer);
+  // Reliable batched invalidation: one kOpInvalidateBatch round per target
+  // until every target acks all pages. False on shutdown.
+  bool InvalidateBatchCall(const std::vector<PageNum>& pages,
+                           std::vector<net::HostId> targets);
   void RecordCompleted(PageNum p, std::uint64_t op_id, net::HostId manager,
                        bool is_write);
   static net::Body EncodeFetchReply(const FetchReply& r);
@@ -331,9 +425,10 @@ class Host {
   std::deque<std::pair<PageNum, std::uint64_t>> fenced_order_;
   std::uint64_t op_counter_ = 0;
   // Owner-side conversion cache: converted outgoing page images keyed by
-  // (page, version, representation class), FIFO-bounded. Version keying
-  // makes stale hits impossible; entries are also dropped eagerly on
-  // invalidation and local write commit. Guarded by state_mu_.
+  // (page, version, representation class), LRU-bounded (a hit promotes the
+  // key to the back of the eviction order). Version keying makes stale hits
+  // impossible; entries are also dropped eagerly on invalidation and local
+  // write commit. Guarded by state_mu_.
   struct ConvertCacheKey {
     PageNum page = 0;
     std::uint64_t version = 0;
@@ -342,6 +437,21 @@ class Host {
   };
   std::map<ConvertCacheKey, base::Buffer> convert_cache_;
   std::deque<ConvertCacheKey> convert_cache_order_;
+  // Probable-owner bookkeeping (guarded by state_mu_):
+  //  - hinted_pending_: readers this host served via the hint fast path whose
+  //    copyset membership the manager may not know yet. Every write serve /
+  //    upgrade appends them to its invalidation targets; an entry is removed
+  //    only by the manager's kOpHintCovered notify or by this host's own
+  //    write finalize (which invalidates all of them anyway).
+  //  - hint_poison_: pages with a hinted fetch in flight; an invalidation
+  //    arriving inside the window flips the flag and the (possibly stale)
+  //    hinted reply is discarded instead of installed.
+  //  - write_pending_: pages of a coalesced write group between the batch
+  //    invalidation and their finalize; hint serves refuse them so no new
+  //    reader can slip past the already-computed target union.
+  std::map<PageNum, std::set<net::HostId>> hinted_pending_;
+  std::map<PageNum, bool> hint_poison_;
+  std::set<PageNum> write_pending_;
   // Earliest-free times of this host's CPUs (application Compute calls).
   std::vector<SimTime> cpu_busy_until_;
 

@@ -6,7 +6,10 @@ namespace mermaid::dsm {
 
 PageTable::PageTable(PageNum num_pages, net::HostId self,
                      std::uint16_t num_hosts)
-    : self_(self), num_hosts_(num_hosts), local_(num_pages) {
+    : self_(self),
+      num_hosts_(num_hosts),
+      local_(num_pages),
+      hints_(num_pages, kNoHint) {
   MERMAID_CHECK(num_hosts > 0);
   // Pages managed here: ceil over the strided assignment.
   const PageNum mine =

@@ -93,6 +93,18 @@ class PageTable {
   bool ManagedHere(PageNum p) const;
   ManagerEntry& Manager(PageNum p);
 
+  // Probable-owner hint: the last host observed to own page p (learned from
+  // fetch replies and invalidation traffic; see SystemConfig::probable_owner).
+  // kNoHint when nothing has been learned. Hints are advisory — a stale one
+  // costs one extra forwarding hop, never correctness.
+  static constexpr net::HostId kNoHint = 0xFFFF;
+  net::HostId HintOf(PageNum p) const {
+    return p < hints_.size() ? hints_[p] : kNoHint;
+  }
+  void SetHint(PageNum p, net::HostId owner) {
+    if (p < hints_.size()) hints_[p] = owner;
+  }
+
   // Iterates the pages managed by this host (janitor scans).
   template <typename Fn>
   void ForEachManaged(Fn&& fn) {
@@ -109,6 +121,7 @@ class PageTable {
   std::uint16_t num_hosts_;
   std::vector<LocalPageEntry> local_;
   std::vector<ManagerEntry> managed_;  // dense, indexed by p / num_hosts
+  std::vector<net::HostId> hints_;     // probable owner per page (kNoHint)
 };
 
 }  // namespace mermaid::dsm

@@ -44,6 +44,9 @@ System::System(sim::Runtime& rt, SystemConfig cfg,
         rt, *network_, cfg_, registry_, i, host_profiles[i], num_hosts,
         page_bytes_, &referee_));
     hosts_.back()->SetTracer(tracer_.get());
+    // Per-message-class wire accounting (reqrep.tx_msgs.<class> /
+    // reqrep.tx_bytes.<class>) named with the DSM opcode table.
+    hosts_.back()->endpoint().SetOpNamer(&OpName);
   }
   allocator_ = std::make_unique<Allocator>(&registry_, cfg_.region_bytes,
                                            page_bytes_);
@@ -279,11 +282,28 @@ std::string System::ReportStats() {
                 static_cast<long long>(frag_delivered),
                 static_cast<long long>(frag_expired));
   out += line;
+  // Per-message-class wire traffic (request/notify/reply payload bytes,
+  // counted at the sending endpoint). Classes with no traffic are omitted.
+  for (std::uint8_t op = kOpAlloc; op <= kOpHintCovered; ++op) {
+    const std::string cls = OpName(op);
+    std::int64_t msgs = 0, bytes = 0;
+    for (auto& h : hosts_) {
+      auto& es = h->endpoint().stats();
+      msgs += es.Count("reqrep.tx_msgs." + cls);
+      bytes += es.Count("reqrep.tx_bytes." + cls);
+    }
+    if (msgs == 0) continue;
+    std::snprintf(line, sizeof(line), "wire %-16s %8lld msgs %12lld bytes\n",
+                  cls.c_str(), static_cast<long long>(msgs),
+                  static_cast<long long>(bytes));
+    out += line;
+  }
   // Latency histograms, merged across hosts (per-host endpoint + DSM
   // registries). Quantiles come from the log-scaled buckets.
   static constexpr const char* kHistNames[] = {
       "dsm.fault_service_ms", "reqrep.rtt_ms", "dsm.convert_time_ms",
-      "dsm.invalidate_fanout"};
+      "dsm.invalidate_fanout", "dsm.fault_hops", "dsm.vm_fault_hops",
+      "dsm.vm_fault_rtts"};
   for (const char* name : kHistNames) {
     base::Histogram merged;
     for (auto& h : hosts_) {

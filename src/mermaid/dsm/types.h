@@ -72,9 +72,29 @@ struct SystemConfig {
   // modeled conversion delay. Invalidation is by construction: a write
   // bumps the version, so stale images can never be served.
   bool convert_cache = true;
-  std::size_t convert_cache_capacity = 64;  // cached images per host (FIFO)
+  std::size_t convert_cache_capacity = 64;  // cached images per host (LRU)
   // Check every typed access against the coherence referee (tests).
   bool referee_check_access = false;
+
+  // --- protocol fast paths (all default OFF so the paper-faithful message
+  // pattern — and Table 2/3/4 calibration — is bit-identical unless opted
+  // in; see DESIGN.md "Protocol fast paths") ------------------------------
+  //
+  // Probable-owner hints: requesters cache the last known owner per page
+  // (learned from fetch replies and invalidation traffic) and send read
+  // fetches directly to it, turning the common 3-hop fault into 2 hops. A
+  // stale hint is forwarded through the manager exactly once; in-flight
+  // hinted replies that cross an invalidation are fenced and discarded.
+  bool probable_owner = false;
+  // Batched group fetch: under the smallest-page-size algorithm a VM fault
+  // spanning N DSM pages issues one group-fetch request per remote manager
+  // (and per distinct owner) instead of N per-page round trips; replies
+  // carry a multi-page BufferChain. Read faults only.
+  bool group_fetch = false;
+  // Coalesced invalidation: a write VM fault spanning N DSM pages defers
+  // each page's invalidation and sends one batched invalidation message per
+  // copyset host (single aggregated ack) before any page becomes writable.
+  bool coalesced_invalidation = false;
 
   // Structured protocol tracing (trace::Tracer). Off by default: with trace
   // false every hook reduces to a flag test, modeled times are identical,
@@ -99,10 +119,43 @@ inline constexpr std::uint8_t kOpConfirmProbe = 7;  // manager -> requester
 inline constexpr std::uint8_t kOpGrantReject = 8;   // requester -> manager
 inline constexpr std::uint8_t kOpGrantExtend = 9;   // requester -> manager
 inline constexpr std::uint8_t kOpSync = 10;       // sync client -> sync server
+// Fast-path opcodes (only ever sent when the matching SystemConfig knob is
+// on, so the paper-faithful wire traffic never contains them).
+inline constexpr std::uint8_t kOpGroupFetch = 11;   // requester -> manager/owner
+inline constexpr std::uint8_t kOpGroupConfirm = 12; // requester -> manager (notify)
+inline constexpr std::uint8_t kOpInvalidateBatch = 13;  // writer -> copyset member
+inline constexpr std::uint8_t kOpHintConfirm = 14;  // requester -> manager (notify)
+inline constexpr std::uint8_t kOpHintCovered = 15;  // manager -> owner (notify)
 
-// Role byte inside kOpReadReq/kOpWriteReq bodies: the same opcode serves the
-// requester->manager leg and the forwarded manager->owner leg.
+// Role byte inside kOpReadReq/kOpWriteReq/kOpGroupFetch bodies: the same
+// opcode serves the requester->manager leg, the forwarded manager->owner
+// leg, and (for reads with probable-owner hints on) the direct
+// requester->hinted-owner leg.
 inline constexpr std::uint8_t kToManager = 0;
 inline constexpr std::uint8_t kToOwner = 1;
+inline constexpr std::uint8_t kToHintedOwner = 2;
+
+// Human-readable message-class name for an opcode (per-class wire counters
+// in the endpoint and ReportStats).
+inline const char* OpName(std::uint8_t op) {
+  switch (op) {
+    case kOpAlloc: return "alloc";
+    case kOpTypeSet: return "type_set";
+    case kOpReadReq: return "read_req";
+    case kOpWriteReq: return "write_req";
+    case kOpInvalidate: return "invalidate";
+    case kOpConfirm: return "confirm";
+    case kOpConfirmProbe: return "confirm_probe";
+    case kOpGrantReject: return "grant_reject";
+    case kOpGrantExtend: return "grant_extend";
+    case kOpSync: return "sync";
+    case kOpGroupFetch: return "group_fetch";
+    case kOpGroupConfirm: return "group_confirm";
+    case kOpInvalidateBatch: return "invalidate_batch";
+    case kOpHintConfirm: return "hint_confirm";
+    case kOpHintCovered: return "hint_covered";
+    default: return "other";
+  }
+}
 
 }  // namespace mermaid::dsm

@@ -23,7 +23,7 @@ void RequestContext::Reply(Body body, MsgKind kind) const {
     }
     ep_->stats_.Inc("reqrep.replies_sent");
   }
-  ep_->SendReplyWire(origin_, req_id_, body, kind);
+  ep_->SendReplyWire(origin_, op_, req_id_, body, kind);
 }
 
 void RequestContext::Forward(HostId next, Body body) const {
@@ -178,7 +178,8 @@ void Endpoint::DispatchRequest(Message msg) {
         case DedupEntry::State::kPending:
           break;  // still being handled; the reply will come
         case DedupEntry::State::kReplied:
-          SendReplyWire(origin, req_id, replay.saved_body, replay.saved_kind);
+          SendReplyWire(origin, op, req_id, replay.saved_body,
+                        replay.saved_kind);
           break;
         case DedupEntry::State::kForwarded:
           // Re-forward; the downstream dedup table replays its reply.
@@ -221,11 +222,13 @@ void Endpoint::SendRequestWire(WireType type, HostId dst, std::uint8_t op,
   m.kind = kind;
   m.payload = std::move(w).Take();
   m.payload.Append(body.data);  // bulk data: shared views, no copy
+  CountTxClass(op, m.payload.size());
   fragmenter_.Send(std::move(m));
 }
 
-void Endpoint::SendReplyWire(HostId dst, std::uint64_t req_id,
-                             const Body& body, MsgKind kind) {
+void Endpoint::SendReplyWire(HostId dst, std::uint8_t op,
+                             std::uint64_t req_id, const Body& body,
+                             MsgKind kind) {
   base::WireWriter w;
   w.U8(static_cast<std::uint8_t>(WireType::kReply));
   w.U64(req_id);
@@ -236,7 +239,16 @@ void Endpoint::SendReplyWire(HostId dst, std::uint64_t req_id,
   m.kind = kind;
   m.payload = std::move(w).Take();
   m.payload.Append(body.data);
+  CountTxClass(op, m.payload.size());
   fragmenter_.Send(std::move(m));
+}
+
+void Endpoint::CountTxClass(std::uint8_t op, std::size_t wire_bytes) {
+  const std::string cls =
+      op_namer_ != nullptr ? op_namer_(op) : "op" + std::to_string(op);
+  stats_.Inc("reqrep.tx_msgs." + cls);
+  stats_.Inc("reqrep.tx_bytes." + cls,
+             static_cast<std::int64_t>(wire_bytes));
 }
 
 Endpoint::DedupEntry* Endpoint::DedupFind(HostId origin,

@@ -196,6 +196,12 @@ class Endpoint {
     reassembler_.SetTracer(tracer, self_);
   }
 
+  // Installs a message-class namer (opcode -> short name). When set, every
+  // transmitted request/notify/reply is counted per class as
+  // reqrep.tx_msgs.<name> / reqrep.tx_bytes.<name>, so protocols can prove
+  // hop and wire-byte reductions per message kind. Call before Start.
+  void SetOpNamer(const char* (*namer)(std::uint8_t)) { op_namer_ = namer; }
+
  private:
   friend class RequestContext;
 
@@ -222,8 +228,12 @@ class Endpoint {
   void SendRequestWire(WireType type, HostId dst, std::uint8_t op,
                        HostId origin, std::uint64_t req_id,
                        const Body& body, MsgKind kind);
-  void SendReplyWire(HostId dst, std::uint64_t req_id,
+  void SendReplyWire(HostId dst, std::uint8_t op, std::uint64_t req_id,
                      const Body& body, MsgKind kind);
+  // Per-message-class transmit accounting (no-op name fallback "op<N>"
+  // when no namer is installed). `wire_bytes` is the full payload size
+  // including the request/reply framing.
+  void CountTxClass(std::uint8_t op, std::size_t wire_bytes);
   DedupEntry* DedupFind(HostId origin, std::uint64_t req_id);
   DedupEntry& DedupInsert(HostId origin, std::uint64_t req_id);
 
@@ -250,6 +260,7 @@ class Endpoint {
   std::deque<std::pair<HostId, std::uint64_t>> dedup_order_;
   base::StatsRegistry stats_;
   trace::Tracer* tracer_ = nullptr;
+  const char* (*op_namer_)(std::uint8_t) = nullptr;
   bool started_ = false;
 };
 

@@ -292,6 +292,99 @@ TEST_P(ConvertRoundTrip, AllBasicTypes) {
   }
 }
 
+
+// --- ConvertStrided edge cases -------------------------------------------
+//
+// The strided entry point is the page-layout bulk path: elements sit in
+// fixed-size slots with padding between them. These pin down the contract:
+// gap bytes are never touched, stride == element size degenerates to
+// ConvertBuffer, count == 0 is a no-op, the span bound covers the tail
+// element without its trailing gap, and stride < element size is rejected.
+
+TEST(ConvertStrided, GapBytesBetweenElementsAreUntouched) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  constexpr int kN = 16;
+  constexpr std::size_t kStride = 12;  // 4-byte int + 8 bytes of padding
+  std::vector<std::uint8_t> page(kN * kStride, 0xAB);
+  for (int i = 0; i < kN; ++i) {
+    StoreScalar<std::int32_t>(sun, page.data() + i * kStride, 77 - i);
+  }
+  reg.ConvertStrided(Reg::kInt, page, kN, kStride, Ctx(sun, ffly));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(LoadScalar<std::int32_t>(ffly, page.data() + i * kStride),
+              77 - i);
+    for (std::size_t g = 4; g < kStride; ++g) {
+      ASSERT_EQ(page[i * kStride + g], 0xAB)
+          << "gap byte clobbered at element " << i << " offset " << g;
+    }
+  }
+}
+
+TEST(ConvertStrided, ZeroGapStrideMatchesConvertBuffer) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  constexpr int kN = 64;
+  std::vector<std::uint8_t> strided(kN * 8);
+  for (int i = 0; i < kN; ++i) {
+    StoreScalar<double>(sun, strided.data() + i * 8, 0.25 * i - 3.0);
+  }
+  std::vector<std::uint8_t> dense = strided;
+  reg.ConvertStrided(Reg::kDouble, strided, kN, 8, Ctx(sun, ffly));
+  reg.ConvertBuffer(Reg::kDouble, dense, kN, Ctx(sun, ffly));
+  EXPECT_EQ(strided, dense);
+}
+
+TEST(ConvertStrided, ZeroCountIsANoOpEvenOnAnEmptySpan) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  std::vector<std::uint8_t> empty;
+  reg.ConvertStrided(Reg::kInt, empty, 0, 16, Ctx(sun, ffly));
+
+  std::vector<std::uint8_t> page(32, 0xCD);
+  reg.ConvertStrided(Reg::kDouble, page, 0, 16, Ctx(sun, ffly));
+  EXPECT_EQ(page, std::vector<std::uint8_t>(32, 0xCD));
+}
+
+TEST(ConvertStrided, SpanBoundCoversTailElementWithoutItsGap) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  constexpr int kN = 5;
+  constexpr std::size_t kStride = 16;
+  // Exact fit: the last element needs only its 4 bytes, not a full slot.
+  std::vector<std::uint8_t> page((kN - 1) * kStride + 4);
+  for (int i = 0; i < kN; ++i) {
+    StoreScalar<std::int32_t>(sun, page.data() + i * kStride, i + 1);
+  }
+  reg.ConvertStrided(Reg::kInt, page, kN, kStride, Ctx(sun, ffly));
+  EXPECT_EQ(LoadScalar<std::int32_t>(ffly, page.data() + (kN - 1) * kStride),
+            kN);
+
+  // One byte short of the tail element must be rejected.
+  ASSERT_DEATH(
+      {
+        std::vector<std::uint8_t> tight((kN - 1) * kStride + 3);
+        reg.ConvertStrided(Reg::kInt, tight, kN, kStride, Ctx(sun, ffly));
+      },
+      "data.size");
+}
+
+TEST(ConvertStrided, StrideSmallerThanElementSizeIsRejected) {
+  Reg reg;
+  const ArchProfile& sun = Sun3Profile();
+  const ArchProfile& ffly = FireflyProfile();
+  ASSERT_DEATH(
+      {
+        std::vector<std::uint8_t> page(64);
+        reg.ConvertStrided(Reg::kDouble, page, 4, 4, Ctx(sun, ffly));
+      },
+      "stride >= info.size");
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConvertRoundTrip,
                          ::testing::Values(11, 22, 33, 44));
 

@@ -125,5 +125,58 @@ TEST(ConvertCache, PagePayloadCopiedAtMostTwice) {
   EXPECT_LE(off.copies_second_read, 2u);
 }
 
+// Eviction order is LRU, not FIFO: a cache hit promotes the entry, so the
+// oldest-inserted image survives capacity pressure as long as it keeps
+// getting hits. Three pages through a capacity-2 cache: A and B fill it,
+// a hit on A promotes it, C evicts B (the least recently used), and a
+// final reader still hits A. Under FIFO the insertion of C would have
+// evicted A instead and the final read would miss.
+TEST(ConvertCache, LruPromotionKeepsHotEntryUnderCapacityPressure) {
+  sim::Engine eng;
+  SystemConfig cfg;
+  cfg.region_bytes = 256 * 1024;
+  cfg.convert_cache = true;
+  cfg.convert_cache_capacity = 2;
+  System sys(eng, cfg,
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile(), &arch::FireflyProfile()});
+  sys.Start();
+  const int per_page = static_cast<int>(sys.page_bytes() / 8);
+  sys.SpawnThread(0, "sun-owner", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(0, Reg::kDouble, 3 * per_page);
+    const GlobalAddr b = a + sys.page_bytes(), c = a + 2 * sys.page_bytes();
+    for (int i = 0; i < per_page; ++i) {
+      h.Write<double>(a + 8 * i, 0.5 * i);
+      h.Write<double>(b + 8 * i, 1.5 * i);
+      h.Write<double>(c + 8 * i, 2.5 * i);
+    }
+    sys.sync(0).SemInit(1, 0);
+
+    sys.SpawnThread(1, "reader1", [&, a, b](Host& hh) {
+      EXPECT_EQ(hh.Read<double>(a), 0.0);      // miss: caches A
+      EXPECT_EQ(hh.Read<double>(b + 8), 1.5);  // miss: caches B
+      sys.sync(1).V(1);
+    });
+    sys.sync(0).P(1);
+
+    sys.SpawnThread(2, "reader2", [&, a, c](Host& hh) {
+      EXPECT_EQ(hh.Read<double>(a + 8), 0.5);  // hit: promotes A over B
+      EXPECT_EQ(hh.Read<double>(c + 8), 2.5);  // miss: evicts B (LRU)
+      sys.sync(2).V(1);
+    });
+    sys.sync(0).P(1);
+
+    sys.SpawnThread(3, "reader3", [&, a](Host& hh) {
+      EXPECT_EQ(hh.Read<double>(a + 16), 1.0);  // still a hit under LRU
+      sys.sync(3).V(1);
+    });
+    sys.sync(0).P(1);
+  });
+  eng.Run();
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.convert_cache_misses"), 3);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.convert_cache_hits"), 2);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.convert_cache_evictions"), 1);
+}
+
 }  // namespace
 }  // namespace mermaid::dsm

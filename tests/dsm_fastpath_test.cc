@@ -1,0 +1,369 @@
+// Correctness tests for the opt-in protocol fast paths: probable-owner
+// hints, batched group fetch, and coalesced invalidation. Every test runs
+// with the coherence referee checking typed accesses, so a fast path that
+// served stale data or skipped an invalidation fails loudly, not silently.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "mermaid/arch/arch.h"
+#include "mermaid/dsm/system.h"
+#include "mermaid/sim/engine.h"
+
+namespace mermaid::dsm {
+namespace {
+
+using Reg = arch::TypeRegistry;
+
+const arch::ArchProfile& Sun() { return arch::Sun3Profile(); }
+const arch::ArchProfile& Ffly() { return arch::FireflyProfile(); }
+
+SystemConfig FastPathConfig() {
+  SystemConfig cfg;
+  cfg.region_bytes = 1u << 20;
+  cfg.referee_check_access = true;
+  cfg.probable_owner = true;
+  cfg.group_fetch = true;
+  cfg.coalesced_invalidation = true;
+  return cfg;
+}
+
+void ExpectQuiescent(System& sys) {
+  const auto q = sys.CheckQuiescent();
+  EXPECT_EQ(q.busy_entries, 0u);
+  EXPECT_EQ(q.pending_transfers, 0u);
+}
+
+// Confirms are fire-and-forget notifies; one still in flight when the last
+// app thread exits is dropped at engine shutdown and leaves a manager entry
+// busy. Each test ends with this two-leg sync ring after its final fault so
+// the engine outlives every notify. The host that faulted last calls
+// Drain(...), one peer calls DrainPeer(...).
+constexpr std::uint32_t kDrainA = 97, kDrainB = 98;
+void Drain(System& sys, std::uint16_t h) {
+  sys.sync(h).EventSet(kDrainA);
+  sys.sync(h).EventWait(kDrainB);
+}
+void DrainPeer(System& sys, std::uint16_t h) {
+  sys.sync(h).EventWait(kDrainA);
+  sys.sync(h).EventSet(kDrainB);
+}
+
+// A repeat read fault on a page whose owner has not moved goes straight to
+// the hinted owner: 2 hops instead of the 3-hop requester->manager->owner
+// chain. Page 1 is managed by host 1, so host 0's faults take the
+// remote-manager path where hints apply.
+TEST(DsmFastPath, HintHitServesRepeatReadFaultInTwoHops) {
+  sim::Engine eng;
+  SystemConfig cfg = FastPathConfig();
+  cfg.group_fetch = false;
+  cfg.coalesced_invalidation = false;
+  System sys(eng, cfg, {&Sun(), &Sun(), &Sun()});
+  sys.Start();
+  const GlobalAddr a = sys.page_bytes();  // page 1, managed by host 1
+  sys.SpawnThread(2, "writer", [&](Host& h) {
+    sys.Alloc(2, Reg::kInt, 3 * sys.page_bytes() / 4);
+    h.Write<std::int32_t>(a, 100);  // host 2 becomes owner of page 1
+    sys.sync(2).EventSet(1);
+    sys.sync(2).EventWait(2);
+    h.Write<std::int32_t>(a, 200);  // invalidates host 0's copy
+    sys.sync(2).EventSet(3);
+    DrainPeer(sys, 2);
+  });
+  sys.SpawnThread(0, "reader", [&](Host& h) {
+    sys.sync(0).EventWait(1);
+    // First fault: manager path (3 hops), learns hint = host 2.
+    EXPECT_EQ(h.Read<std::int32_t>(a), 100);
+    sys.sync(0).EventSet(2);
+    sys.sync(0).EventWait(3);
+    // Repeat fault: hinted fetch straight to host 2 (2 hops).
+    EXPECT_EQ(h.Read<std::int32_t>(a), 200);
+    Drain(sys, 0);
+  });
+  eng.Run();
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.hint_fetches"), 1);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.hint_hits"), 1);
+  EXPECT_EQ(sys.host(2).stats().Count("dsm.hint_serves"), 1);
+  const auto hops = sys.host(0).stats().HistCopy("dsm.vm_fault_hops");
+  EXPECT_EQ(hops.count(), 2);
+  EXPECT_EQ(hops.min(), 2.0);  // the hinted fault
+  EXPECT_EQ(hops.max(), 3.0);  // the initial forwarded fault
+  ExpectQuiescent(sys);
+}
+
+// Ownership moves without the hint holder hearing about it (it held no copy
+// when the new writer invalidated). The stale hint costs one redirect
+// through the manager — never wrong data.
+TEST(DsmFastPath, StaleHintFallsBackThroughManager) {
+  sim::Engine eng;
+  SystemConfig cfg = FastPathConfig();
+  cfg.group_fetch = false;
+  cfg.coalesced_invalidation = false;
+  System sys(eng, cfg, {&Sun(), &Sun(), &Sun()});
+  sys.Start();
+  const GlobalAddr a = sys.page_bytes();  // page 1, managed by host 1
+  sys.SpawnThread(2, "first-owner", [&](Host& h) {
+    sys.Alloc(2, Reg::kInt, 3 * sys.page_bytes() / 4);
+    h.Write<std::int32_t>(a, 11);
+    sys.sync(2).EventSet(1);
+    sys.sync(2).EventWait(2);
+    // Invalidate host 0's copy; host 0's hint stays "host 2".
+    h.Write<std::int32_t>(a, 22);
+    sys.sync(2).EventSet(3);
+    DrainPeer(sys, 2);
+  });
+  sys.SpawnThread(1, "second-owner", [&](Host& h) {
+    sys.sync(1).EventWait(3);
+    // Takes ownership from host 2. Host 0 holds no copy, so it gets no
+    // invalidation and keeps the now-stale hint.
+    h.Write<std::int32_t>(a, 33);
+    sys.sync(1).EventSet(4);
+  });
+  sys.SpawnThread(0, "reader", [&](Host& h) {
+    sys.sync(0).EventWait(1);
+    EXPECT_EQ(h.Read<std::int32_t>(a), 11);  // learns hint = host 2
+    sys.sync(0).EventSet(2);
+    sys.sync(0).EventWait(4);
+    // Hinted fetch to host 2 finds it no longer owns; falls back through
+    // the manager and still returns the current value.
+    EXPECT_EQ(h.Read<std::int32_t>(a), 33);
+    Drain(sys, 0);
+  });
+  eng.Run();
+  EXPECT_GE(sys.host(0).stats().Count("dsm.hint_stale_replies"), 1);
+  EXPECT_GE(sys.host(2).stats().Count("dsm.hint_stale"), 1);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.hint_hits"), 0);
+  ExpectQuiescent(sys);
+}
+
+// After a hint-served read the manager may not yet have the reader in the
+// copyset (the confirm is an async notify). A subsequent write must still
+// invalidate that reader — via the copyset or the owner's hinted-pending
+// set — so the next read observes the new value.
+TEST(DsmFastPath, HintedReaderIsInvalidatedByLaterWrite) {
+  sim::Engine eng;
+  SystemConfig cfg = FastPathConfig();
+  cfg.group_fetch = false;
+  cfg.coalesced_invalidation = false;
+  System sys(eng, cfg, {&Sun(), &Sun(), &Sun()});
+  sys.Start();
+  const GlobalAddr a = sys.page_bytes();  // page 1, managed by host 1
+  sys.SpawnThread(2, "writer", [&](Host& h) {
+    sys.Alloc(2, Reg::kInt, 3 * sys.page_bytes() / 4);
+    for (int round = 0; round < 4; ++round) {
+      h.Write<std::int32_t>(a, 1000 + round);
+      sys.sync(2).EventSet(2 * round + 1);
+      sys.sync(2).EventWait(2 * round + 2);
+    }
+    DrainPeer(sys, 2);
+  });
+  sys.SpawnThread(0, "reader", [&](Host& h) {
+    for (int round = 0; round < 4; ++round) {
+      sys.sync(0).EventWait(2 * round + 1);
+      // Rounds after the first are served off the hint; every round must
+      // see the freshly written value.
+      EXPECT_EQ(h.Read<std::int32_t>(a), 1000 + round);
+      sys.sync(0).EventSet(2 * round + 2);
+    }
+    Drain(sys, 0);
+  });
+  eng.Run();
+  EXPECT_GE(sys.host(0).stats().Count("dsm.hint_hits"), 2);
+  EXPECT_GE(sys.host(2).stats().Count("dsm.hint_serves"), 2);
+  ExpectQuiescent(sys);
+}
+
+// Under the smallest-page-size algorithm a Sun (8 KB VM page) fault spans
+// eight 1 KB DSM pages. With group fetch on, the whole span is satisfied in
+// one round trip to the single remote host, not eight.
+TEST(DsmFastPath, GroupFetchSatisfiesSunFaultInOneRoundTrip) {
+  sim::Engine eng;
+  SystemConfig cfg = FastPathConfig();
+  cfg.probable_owner = false;
+  cfg.coalesced_invalidation = false;
+  cfg.page_policy = PageSizePolicy::kSmallest;
+  System sys(eng, cfg, {&Sun(), &Ffly()});
+  sys.Start();
+  constexpr int kInts = 2048;  // 8 KB: one Sun VM fault, eight DSM pages
+  sys.SpawnThread(1, "ffly-writer", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(1, Reg::kInt, kInts);
+    for (int i = 0; i < kInts; ++i) {
+      h.Write<std::int32_t>(a + 4 * i, 7 * i - 9);
+    }
+    sys.sync(1).EventSet(1);
+    DrainPeer(sys, 1);
+  });
+  sys.SpawnThread(0, "sun-reader", [&](Host& h) {
+    sys.sync(0).EventWait(1);
+    for (int i = 0; i < kInts; ++i) {
+      EXPECT_EQ(h.Read<std::int32_t>(4 * i), 7 * i - 9) << i;
+    }
+    Drain(sys, 0);
+  });
+  eng.Run();
+  // The reader took exactly one VM fault, served by one group-fetch call.
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.vm_faults"), 1);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.group_fetches"), 1);
+  EXPECT_GE(sys.host(1).stats().Count("dsm.group_serves"), 1);
+  const auto rtts = sys.host(0).stats().HistCopy("dsm.vm_fault_rtts");
+  EXPECT_EQ(rtts.count(), 1);
+  EXPECT_EQ(rtts.max(), 1.0);
+  // Conversion still ran: the Firefly owner re-encoded for the Sun reader.
+  EXPECT_GT(sys.host(1).stats().Count("dsm.conversions"), 0);
+  ExpectQuiescent(sys);
+}
+
+// When every page a manager is asked about is owned by the same third host,
+// the manager forwards the whole group there and the owner replies directly
+// to the requester — one extra hop for the batch, not per page.
+TEST(DsmFastPath, GroupFetchForwardsWholeGroupToCommonOwner) {
+  sim::Engine eng;
+  SystemConfig cfg = FastPathConfig();
+  cfg.probable_owner = false;
+  cfg.coalesced_invalidation = false;
+  cfg.page_policy = PageSizePolicy::kSmallest;
+  System sys(eng, cfg, {&Sun(), &Ffly(), &Ffly()});
+  sys.Start();
+  constexpr int kInts = 2048;
+  sys.SpawnThread(2, "owner", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(2, Reg::kInt, kInts);
+    for (int i = 0; i < kInts; ++i) {
+      h.Write<std::int32_t>(a + 4 * i, 5 * i + 3);
+    }
+    sys.sync(2).EventSet(1);
+    DrainPeer(sys, 2);
+  });
+  sys.SpawnThread(0, "reader", [&](Host& h) {
+    sys.sync(0).EventWait(1);
+    for (int i = 0; i < kInts; ++i) {
+      EXPECT_EQ(h.Read<std::int32_t>(4 * i), 5 * i + 3) << i;
+    }
+    Drain(sys, 0);
+  });
+  eng.Run();
+  // Host 1 manages pages 1, 4, 7 — all owned by host 2, so its one group
+  // call is forwarded wholesale; host 2 serves both its own call and the
+  // forwarded one.
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.vm_faults"), 1);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.group_fetches"), 2);
+  EXPECT_EQ(sys.host(1).stats().Count("dsm.group_forwards"), 1);
+  EXPECT_EQ(sys.host(2).stats().Count("dsm.group_serves"), 2);
+  ExpectQuiescent(sys);
+}
+
+// A write fault spanning eight DSM pages whose copies sit on one host sends
+// a single batched invalidation message instead of eight, and no page
+// becomes writable before every ack is in (the referee would catch a stale
+// read on host 2 otherwise).
+TEST(DsmFastPath, CoalescedInvalidationBatchesPerHost) {
+  sim::Engine eng;
+  SystemConfig cfg = FastPathConfig();
+  cfg.probable_owner = false;
+  cfg.group_fetch = false;
+  cfg.page_policy = PageSizePolicy::kSmallest;
+  System sys(eng, cfg, {&Sun(), &Ffly(), &Ffly()});
+  sys.Start();
+  constexpr int kInts = 2048;
+  sys.SpawnThread(1, "first-writer", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(1, Reg::kInt, kInts);
+    for (int i = 0; i < kInts; ++i) h.Write<std::int32_t>(a + 4 * i, i);
+    sys.sync(1).EventSet(1);
+    sys.sync(1).EventWait(3);
+    for (int i = 0; i < kInts; ++i) {
+      EXPECT_EQ(h.Read<std::int32_t>(4 * i), -i) << i;
+    }
+    Drain(sys, 1);
+  });
+  sys.SpawnThread(2, "reader", [&](Host& h) {
+    sys.sync(2).EventWait(1);
+    for (int i = 0; i < kInts; ++i) {
+      EXPECT_EQ(h.Read<std::int32_t>(4 * i), i) << i;
+    }
+    sys.sync(2).EventSet(2);
+  });
+  sys.SpawnThread(0, "sun-writer", [&](Host& h) {
+    sys.sync(0).EventWait(2);
+    // One Sun VM write fault covering all eight pages; host 2's copies are
+    // invalidated with one batched message.
+    for (int i = 0; i < kInts; ++i) h.Write<std::int32_t>(4 * i, -i);
+    sys.sync(0).EventSet(3);
+    DrainPeer(sys, 0);
+  });
+  eng.Run();
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.deferred_writes"), 8);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.batch_invalidations_sent"), 1);
+  EXPECT_EQ(sys.host(0).stats().Count("dsm.invalidations_sent"), 0);
+  EXPECT_EQ(sys.host(2).stats().Count("dsm.invalidations_received"), 8);
+  ExpectQuiescent(sys);
+}
+
+// All three fast paths on at once, heterogeneous hosts, several ownership
+// migrations: values stay coherent and the system drains clean.
+TEST(DsmFastPath, AllFastPathsComposeUnderMigration) {
+  sim::Engine eng;
+  SystemConfig cfg = FastPathConfig();
+  cfg.page_policy = PageSizePolicy::kSmallest;
+  System sys(eng, cfg, {&Sun(), &Ffly(), &Ffly()});
+  sys.Start();
+  constexpr int kInts = 2048;
+  // Round r uses events 10r+1..10r+5; the chain is strictly sequential:
+  // sun writes, both Fireflies read, ffly-b writes, sun and ffly-a read.
+  // When sun starts round r+1, ffly-a still holds read copies of ffly-b's
+  // pages, so sun's deferred writes batch an invalidation to it.
+  sys.SpawnThread(0, "sun", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(0, Reg::kInt, kInts);
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < kInts; ++i) {
+        h.Write<std::int32_t>(a + 4 * i, round * 10000 + i);
+      }
+      sys.sync(0).EventSet(10 * round + 1);
+      sys.sync(0).EventWait(10 * round + 3);
+      for (int i = 0; i < kInts; ++i) {
+        EXPECT_EQ(h.Read<std::int32_t>(a + 4 * i), -(round * 10000 + i));
+      }
+      sys.sync(0).EventSet(10 * round + 4);
+      sys.sync(0).EventWait(10 * round + 5);
+    }
+    Drain(sys, 0);
+  });
+  sys.SpawnThread(1, "ffly-a", [&](Host& h) {
+    for (int round = 0; round < 3; ++round) {
+      sys.sync(1).EventWait(10 * round + 1);
+      for (int i = 0; i < kInts; ++i) {
+        EXPECT_EQ(h.Read<std::int32_t>(4 * i), round * 10000 + i);
+      }
+      sys.sync(1).EventSet(10 * round + 2);
+      sys.sync(1).EventWait(10 * round + 4);
+      for (int i = 0; i < kInts; ++i) {
+        EXPECT_EQ(h.Read<std::int32_t>(4 * i), -(round * 10000 + i));
+      }
+      sys.sync(1).EventSet(10 * round + 5);
+    }
+    DrainPeer(sys, 1);
+  });
+  sys.SpawnThread(2, "ffly-b", [&](Host& h) {
+    for (int round = 0; round < 3; ++round) {
+      sys.sync(2).EventWait(10 * round + 2);
+      for (int i = 0; i < kInts; ++i) {
+        EXPECT_EQ(h.Read<std::int32_t>(4 * i), round * 10000 + i);
+      }
+      for (int i = 0; i < kInts; ++i) {
+        h.Write<std::int32_t>(4 * i, -(round * 10000 + i));
+      }
+      sys.sync(2).EventSet(10 * round + 3);
+    }
+  });
+  eng.Run();
+  ExpectQuiescent(sys);
+  // Each fast path actually engaged in this workload.
+  std::int64_t group = 0, batch = 0;
+  for (std::uint16_t i = 0; i < sys.num_hosts(); ++i) {
+    group += sys.host(i).stats().Count("dsm.group_fetches");
+    batch += sys.host(i).stats().Count("dsm.batch_invalidations_sent");
+  }
+  EXPECT_GT(group, 0);
+  EXPECT_GT(batch, 0);
+}
+
+}  // namespace
+}  // namespace mermaid::dsm
