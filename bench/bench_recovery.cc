@@ -1,0 +1,149 @@
+// Crash-recovery latency vs fleet size.
+//
+// A fleet of one Sun master plus Firefly workers shares an 8-page strip
+// managed (and initially owned) by host 1. Every host takes read copies of
+// the whole strip, host 0 takes ownership of the first strip page, and then
+// host 1 — manager of every strip page — crashes with amnesia and restarts
+// after a fixed 500 ms outage. Host 2 immediately faults against a page
+// whose manager is down; the time from the crash to that fault completing
+// is the headline number: it covers the outage, the restarted manager's
+// claim-gathering rebuild (which scales with fleet size — every live host
+// answers the recovery query), and the re-served fault itself.
+//
+// Writes BENCH_recovery.json via bench/run_all.sh.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace mermaid {
+namespace {
+
+constexpr int kStripPages = 8;
+constexpr dsm::GlobalAddr kPageB = 1024;
+constexpr SimDuration kDowntime = Milliseconds(500);
+
+struct FleetResult {
+  double first_fault_ms = 0;  // crash -> first post-crash fault served
+  double rebuild_ms = 0;      // manager restart -> state reconstructed
+  std::int64_t claims = 0;    // per-page claims gathered during the rebuild
+  std::int64_t pages_lost = 0;
+  bool correct = false;
+};
+
+FleetResult MeasureFleet(int n_hosts) {
+  sim::Engine eng;
+  dsm::SystemConfig cfg;
+  benchutil::ApplyTraceEnv(cfg);
+  cfg.region_bytes = 256 * 1024;
+  // Fixed 1 KB pages so the strip (pages 1, 1+N, ..., 1+7N) is exactly the
+  // set of allocated pages managed by host 1, for every fleet size.
+  cfg.page_bytes_override = 1024;
+  cfg.crash_recovery = true;
+  cfg.net.seed = 77000 + static_cast<std::uint64_t>(n_hosts);
+  cfg.call_timeout = Milliseconds(150);
+  cfg.call_max_attempts = 30;
+  cfg.janitor_period = Milliseconds(100);
+  cfg.confirm_probe_after = Milliseconds(300);
+
+  std::vector<const arch::ArchProfile*> hosts{&benchutil::Sun()};
+  for (int i = 1; i < n_hosts; ++i) hosts.push_back(&benchutil::Ffly());
+  dsm::System sys(eng, cfg, hosts);
+  sys.Start();
+
+  SimTime t_crash = 0, t_served = 0;
+  std::int64_t seen = -1;
+  sys.SpawnThread(0, "master", [&](dsm::Host& h) {
+    const int last_page = 1 + (kStripPages - 1) * n_hosts;
+    const dsm::GlobalAddr base = sys.Alloc(
+        0, arch::TypeRegistry::kLong,
+        static_cast<std::uint64_t>(last_page + 1) * 128);
+    auto strip = [&, base](int k) {
+      return base + kPageB * static_cast<dsm::GlobalAddr>(1 + k * n_hosts);
+    };
+    sys.sync(0).SemInit(1, 0);
+
+    sys.SpawnThread(1, "writer", [&, strip](dsm::Host& hh) {
+      for (int k = 0; k < kStripPages; ++k) {
+        hh.Write<std::int64_t>(strip(k), 100 + k);
+      }
+      sys.sync(1).V(1);
+    });
+    sys.sync(0).P(1);
+
+    // Every survivor-to-be takes read copies of the whole strip, so the
+    // rebuild has one claim per live host per page.
+    for (int i = 2; i < n_hosts; ++i) {
+      sys.SpawnThread(i, "copier" + std::to_string(i),
+                      [&, strip, i](dsm::Host& hh) {
+        for (int k = 0; k < kStripPages; ++k) {
+          (void)hh.Read<std::int64_t>(strip(k));
+        }
+        sys.sync(i).V(1);
+      });
+    }
+    for (int i = 2; i < n_hosts; ++i) sys.sync(0).P(1);
+    for (int k = 0; k < kStripPages; ++k) {
+      (void)h.Read<std::int64_t>(strip(k));
+    }
+    // Host 0 takes ownership of the first strip page: the measured fault
+    // has a live owner and only the dead manager stands in its way.
+    h.Write<std::int64_t>(strip(0), 7);
+
+    t_crash = h.runtime().Now();
+    sys.CrashAndRestartHost(1, kDowntime);
+    sys.SpawnThread(2, "fault", [&, strip](dsm::Host& hh) {
+      seen = hh.Read<std::int64_t>(strip(0));
+      t_served = hh.runtime().Now();
+      sys.sync(2).V(1);
+    });
+    sys.sync(0).P(1);
+    h.runtime().Delay(Seconds(5));  // confirm/probe drain
+  });
+  eng.Run();
+
+  benchutil::WriteTraceArtifacts(sys, "recovery");
+  auto& st = sys.GatherStats();
+  FleetResult r;
+  r.first_fault_ms = ToMillis(t_served - t_crash);
+  r.rebuild_ms = st.HistCopy("dsm.recovery_ms").mean();
+  r.claims = st.Count("dsm.recovery_claims");
+  r.pages_lost = st.Count("dsm.recovery_pages_lost");
+  r.correct = (seen == 7) && st.Count("dsm.crashes") == 1;
+  return r;
+}
+
+}  // namespace
+}  // namespace mermaid
+
+int main() {
+  using namespace mermaid;
+  benchutil::PrintHeader(
+      "Recovery: time to first served fault after a manager crash (500 ms "
+      "outage)");
+  std::printf("%6s %18s %14s %8s %8s %6s\n", "hosts", "first_fault_ms",
+              "rebuild_ms", "claims", "lost", "ok");
+  benchutil::JsonReport report("recovery");
+  report.Add("downtime_ms", ToMillis(kDowntime));
+  bool all_ok = true;
+  for (int n : {3, 4, 6, 8}) {
+    const auto r = MeasureFleet(n);
+    std::printf("%6d %18.2f %14.2f %8lld %8lld %6s\n", n, r.first_fault_ms,
+                r.rebuild_ms, static_cast<long long>(r.claims),
+                static_cast<long long>(r.pages_lost),
+                r.correct ? "yes" : "NO");
+    const std::string p = "n" + std::to_string(n) + "_";
+    report.Add(p + "first_fault_ms", r.first_fault_ms);
+    report.Add(p + "rebuild_ms", r.rebuild_ms);
+    report.Add(p + "claims", r.claims);
+    report.Add(p + "pages_lost", r.pages_lost);
+    all_ok = all_ok && r.correct;
+  }
+  report.Write();
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: a recovery scenario returned wrong data\n");
+    return 1;
+  }
+  return 0;
+}

@@ -46,6 +46,14 @@ class Allocator {
   std::uint32_t AllocBytesOfPage(PageNum p) const;
   std::uint64_t bytes_used() const { return next_free_page_ * page_bytes_; }
 
+  // Crash-recovery metadata replay: invokes fn(page, type, alloc_bytes) for
+  // every page the allocator has assigned a type. Allocation bookkeeping is
+  // modeled as durable (see DESIGN.md, "Failure model").
+  template <typename Fn>
+  void ForEachTypedPage(Fn&& fn) const {
+    for (const auto& [p, info] : pages_) fn(p, info.type, info.alloc_bytes);
+  }
+
  private:
   struct PageInfo {
     arch::TypeId type = 0;

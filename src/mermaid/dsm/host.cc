@@ -42,12 +42,14 @@ Host::Host(sim::Runtime& rt, net::Network& net, const SystemConfig& cfg,
       registry_(registry),
       self_(self),
       profile_(profile),
+      num_hosts_(num_hosts),
       page_bytes_(page_bytes),
       referee_(referee),
       endpoint_(rt, net, self, profile,
-                [] {
+                [&cfg] {
                   net::Endpoint::Config c;
                   c.dedup_window = 8192;
+                  c.carry_incarnation = cfg.crash_recovery;
                   return c;
                 }()),
       mem_(cfg.region_bytes, 0),
@@ -111,6 +113,15 @@ void Host::Start() {
   endpoint_.SetHandler(kOpHintCovered, [this](net::RequestContext ctx) {
     HandleHintCovered(std::move(ctx));
   });
+  endpoint_.SetHandler(kOpRecoveryQuery, [this](net::RequestContext ctx) {
+    HandleRecoveryQuery(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpPageLost, [this](net::RequestContext ctx) {
+    HandlePageLost(std::move(ctx));
+  });
+  endpoint_.SetHandler(kOpRecoveryDemote, [this](net::RequestContext ctx) {
+    HandleRecoveryDemote(std::move(ctx));
+  });
   endpoint_.Start();
 
   // Confirm-loss janitor: probes requesters of long-busy transfers and
@@ -135,6 +146,7 @@ void Host::Start() {
           std::vector<std::pair<PageNum, std::uint64_t>> expired;
           {
             std::lock_guard<std::mutex> lk(state_mu_);
+            if (recovering_) continue;  // entries are being rebuilt
             const SimTime now = rt_.Now();
             ptable_.ForEachManaged([&](PageNum p, ManagerEntry& m2) {
               // Local requesters recover in their own fault path (they
@@ -282,9 +294,13 @@ void Host::FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
   for (;;) {
     bool start_fetch = false;
     sim::Chan<bool> waiter;
+    std::uint32_t life;
     {
       std::lock_guard<std::mutex> lk(state_mu_);
       if (ptable_.Local(p).access >= needed) return;
+      // Captured fresh every round: a crash mid-round fences that round's
+      // install, and the next iteration starts a clean post-crash fault.
+      life = life_;
       if (fault_inflight_[p]) {
         waiter = sim::Chan<bool>(rt_);
         fault_waiters_[p].push_back(waiter);
@@ -306,8 +322,8 @@ void Host::FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
     TraceBind(trace::FaultKey(self_, p), fault_ev);
     const FaultOutcome outcome =
         ptable_.ManagedHere(p)
-            ? FaultViaLocalManager(p, is_write, telem, deferred)
-            : FaultViaRemoteManager(p, is_write, telem, deferred);
+            ? FaultViaLocalManager(p, is_write, telem, deferred, life)
+            : FaultViaRemoteManager(p, is_write, telem, deferred, life);
 
     std::vector<sim::Chan<bool>> waiters;
     {
@@ -324,8 +340,16 @@ void Host::FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
         ++retries;
         // No silent failure: a page that stays unreachable past the retry
         // budget is a deployment fault, not something to limp past.
-        MERMAID_CHECK_MSG(retries <= cfg_.fault_retry_limit,
-                          "DSM fault path exhausted retries; page unreachable");
+        if (retries > cfg_.fault_retry_limit) {
+          std::fprintf(stderr,
+                       "host %u: fault on page %u (%s, managed %s) "
+                       "exhausted %d retry rounds\n",
+                       static_cast<unsigned>(self_), static_cast<unsigned>(p),
+                       is_write ? "write" : "read",
+                       ptable_.ManagedHere(p) ? "here" : "remotely", retries);
+          MERMAID_CHECK_MSG(
+              false, "DSM fault path exhausted retries; page unreachable");
+        }
         stats_.Inc("dsm.fault_retries");
         rt_.Delay(FaultBackoff(cfg_, retries));
         break;
@@ -344,15 +368,36 @@ void Host::FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
 
 Host::FaultOutcome Host::FaultViaLocalManager(
     PageNum p, bool is_write, FaultTelemetry* telem,
-    std::vector<DeferredWrite>* deferred) {
+    std::vector<DeferredWrite>* deferred, std::uint32_t life) {
   ManagerGrant grant;
   bool granted_inline = false;
   sim::Chan<ManagerGrant> grant_chan;
+  for (;;) {
+    // Our own crash/rebuild window: wait it out instead of consuming the
+    // retry budget — the outage plus the claim-gathering rebuild is not
+    // bounded by fault_retry_limit rounds of backoff.
+    bool wait_recovery;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      wait_recovery = recovering_;
+    }
+    if (!wait_recovery) break;
+    rt_.Delay(Milliseconds(20));
+  }
+  bool ghost_owner = false;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
+    if (recovering_) return FaultOutcome::kRetry;  // crashed again just now
     ManagerEntry& m = ptable_.Manager(p);
     const bool has_copy = ptable_.Local(p).access != Access::kNone;
-    if (!m.busy) {
+    if (cfg_.crash_recovery && !m.busy && m.owner == self_ && !has_copy &&
+        !ptable_.Local(p).retained) {
+      // The entry names this host as owner, but the copy is gone (a crash
+      // of a copyset member left us promoted over a page we never held, or
+      // our own amnesia outlived the record). Granting would produce a
+      // dataless upgrade with nothing to upgrade; heal the entry first.
+      ghost_owner = true;
+    } else if (!m.busy) {
       grant = BuildGrantLocked(p, self_, is_write, has_copy);
       granted_inline = true;
     } else {
@@ -365,10 +410,18 @@ Host::FaultOutcome Host::FaultViaLocalManager(
       m.pending.push_back(std::move(t));
     }
   }
+  if (ghost_owner) {
+    stats_.Inc("dsm.owner_lost_detected");
+    HandlePageLostLocal(p, 0, self_, /*drain=*/false);
+    return FaultOutcome::kRetry;
+  }
   if (!granted_inline) {
     auto g = grant_chan.Recv();
     if (!g.has_value()) return FaultOutcome::kShutdown;
     grant = *g;
+    // op_id 0 is the crash sentinel: the queued transfer died with the
+    // wiped manager state. Retry from scratch (with a fresh life).
+    if (grant.op_id == 0) return FaultOutcome::kRetry;
   }
 
   FetchReply reply;
@@ -406,14 +459,30 @@ Host::FaultOutcome Host::FaultViaLocalManager(
       return FaultOutcome::kShutdown;
     }
     if (resp.status == net::CallStatus::kTimedOut) {
+      stats_.Inc("dsm.owner_fetch_timeouts");
+      if (cfg_.crash_recovery && net_.HostDown(grant.owner, rt_.Now())) {
+        // The owner did not merely time out, it died — and its copy with it
+        // (crash-with-amnesia). Heal the entry now: promote a surviving
+        // copy or apply the lost-page policy. This also clears the busy
+        // grant, so no separate revoke.
+        stats_.Inc("dsm.owner_lost_detected");
+        HandlePageLostLocal(p, grant.op_id, grant.owner);
+        return FaultOutcome::kRetry;
+      }
       // The owner is unreachable: free our own grant so the entry does not
       // stay busy (other requesters may reach the owner), then retry.
-      stats_.Inc("dsm.owner_fetch_timeouts");
       ManagerRevoke(p, grant.op_id);
       return FaultOutcome::kRetry;
     }
     reply = DecodeFetchReply(resp.body);
     if (telem != nullptr) telem->rtts += 1;
+    if (reply.owner_lost) {
+      // The owner of record restarted with amnesia; repair our own manager
+      // entry (promote a surviving copy or apply the lost-page policy) and
+      // refault.
+      HandlePageLostLocal(p, grant.op_id, grant.owner);
+      return FaultOutcome::kRetry;
+    }
   }
 
   // Hop count: an upgrade/self-serve is message-free; a remote-owner fetch
@@ -422,8 +491,20 @@ Host::FaultOutcome Host::FaultViaLocalManager(
   stats_.Hist("dsm.fault_hops", static_cast<double>(hops));
   if (telem != nullptr) telem->hops += hops;
 
-  if (!CompleteTransfer(p, is_write, reply, deferred)) {
-    return FaultOutcome::kShutdown;
+  switch (CompleteTransfer(p, is_write, reply, deferred, life)) {
+    case TransferResult::kShutdown:
+      return FaultOutcome::kShutdown;
+    case TransferResult::kFenced:
+      // We crashed mid-transfer: the wiped manager state no longer knows
+      // this grant, so there is nothing to commit or revoke.
+      return FaultOutcome::kRetry;
+    case TransferResult::kRejected:
+      // Dataless grant, no copy to back it: free our own grant and refault
+      // (the retry reports has_copy honestly, so data will be served).
+      ManagerRevoke(p, grant.op_id);
+      return FaultOutcome::kRetry;
+    case TransferResult::kOk:
+      break;
   }
   if (deferred != nullptr && is_write) {
     // Parked: the entry stays busy (shielding the page) until
@@ -436,9 +517,9 @@ Host::FaultOutcome Host::FaultViaLocalManager(
 
 Host::FaultOutcome Host::FaultViaRemoteManager(
     PageNum p, bool is_write, FaultTelemetry* telem,
-    std::vector<DeferredWrite>* deferred) {
+    std::vector<DeferredWrite>* deferred, std::uint32_t life) {
   if (cfg_.probable_owner && !is_write) {
-    if (auto out = FaultViaHint(p, telem)) return *out;
+    if (auto out = FaultViaHint(p, telem, life)) return *out;
   }
   base::WireWriter w;
   w.U8(kToManager);
@@ -461,6 +542,19 @@ Host::FaultOutcome Host::FaultViaRemoteManager(
   }
   FetchReply reply = DecodeFetchReply(resp.body);
   if (telem != nullptr) telem->rtts += 1;
+  if (reply.owner_lost) {
+    // The manager forwarded us to an owner that has since restarted with
+    // amnesia. Report the loss so the manager repairs its entry (promotes a
+    // surviving copy or applies the lost-page policy), then refault.
+    stats_.Inc("dsm.owner_lost_observed");
+    base::WireWriter lw;
+    lw.U32(p);
+    lw.U64(reply.op_id);
+    lw.U16(reply.owner);
+    endpoint_.CallWithStatus(mgr, kOpPageLost, std::move(lw).Take(),
+                             net::MsgKind::kControl, DsmCallOpts());
+    return FaultOutcome::kRetry;
+  }
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (fenced_.count({p, reply.op_id}) > 0) {
@@ -469,9 +563,28 @@ Host::FaultOutcome Host::FaultViaRemoteManager(
       stats_.Inc("dsm.fenced_replies");
       return FaultOutcome::kRetry;
     }
-    inflight_ops_.insert({p, reply.op_id});
+    if (cfg_.crash_recovery && life != life_) {
+      // We crashed while this reply was in flight. The wipe already cleared
+      // inflight_ops_; registering now would plant a phantom op in the fresh
+      // incarnation that answers confirm-probes "still working" forever and
+      // gets adopted as busy by manager rebuilds. Leave the grant to the
+      // manager's probe/lease reclaim.
+      stats_.Inc("dsm.fenced_replies");
+      return FaultOutcome::kRetry;
+    }
+    if (cfg_.crash_recovery &&
+        (reply.op_id >> 48) < endpoint_.PeerIncarnation(mgr)) {
+      // The granting manager has reincarnated since issuing this grant: its
+      // rebuilt map knows nothing of the op, so installing would create a
+      // holder invisible to the reconstruction. Refault against the rebuilt
+      // manager instead.
+      stats_.Inc("dsm.dead_epoch_grants");
+      return FaultOutcome::kRetry;
+    }
+    inflight_ops_[{p, reply.op_id}] = InflightOp{is_write, reply.new_version};
     if (cfg_.probable_owner) {
-      ptable_.SetHint(p, is_write ? self_ : reply.owner);
+      const net::HostId learned = is_write ? self_ : reply.owner;
+      ptable_.SetHint(p, learned, IncOf(learned));
     }
   }
   // Hop count: served by the manager itself (or an upgrade) is request +
@@ -480,10 +593,31 @@ Host::FaultOutcome Host::FaultViaRemoteManager(
       (reply.owner == mgr || reply.owner == self_) ? 2 : 3;
   stats_.Hist("dsm.fault_hops", static_cast<double>(hops));
   if (telem != nullptr) telem->hops += hops;
-  if (!CompleteTransfer(p, is_write, reply, deferred)) {
-    std::lock_guard<std::mutex> lk(state_mu_);
-    inflight_ops_.erase({p, reply.op_id});
-    return FaultOutcome::kShutdown;
+  switch (CompleteTransfer(p, is_write, reply, deferred, life)) {
+    case TransferResult::kShutdown: {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      inflight_ops_.erase({p, reply.op_id});
+      return FaultOutcome::kShutdown;
+    }
+    case TransferResult::kFenced:
+      // We crashed mid-transfer (inflight_ops_ wiped with the rest) or a
+      // recovery demote fenced this grant; confirming would make the manager
+      // record a copy we do not hold.
+      return FaultOutcome::kRetry;
+    case TransferResult::kRejected: {
+      // Dataless grant, no copy to back it: hand the grant back so the
+      // manager unbusies now instead of at lease expiry, then refault (the
+      // retry reports has_copy honestly, so data will be served). A lost
+      // notify costs only the lease wait; the janitor probe reclaims it.
+      base::WireWriter rw;
+      rw.U32(p);
+      rw.U64(reply.op_id);
+      rw.U8(1);  // no_copy: the disclaim is a live "nothing here" statement
+      endpoint_.Notify(mgr, kOpGrantReject, std::move(rw).Take());
+      return FaultOutcome::kRetry;
+    }
+    case TransferResult::kOk:
+      break;
   }
   if (deferred != nullptr && is_write) {
     // Parked: confirm only after FlushDeferredWrites finalizes. The op stays
@@ -502,13 +636,22 @@ Host::FaultOutcome Host::FaultViaRemoteManager(
 }
 
 std::optional<Host::FaultOutcome> Host::FaultViaHint(PageNum p,
-                                                     FaultTelemetry* telem) {
+                                                     FaultTelemetry* telem,
+                                                     std::uint32_t life) {
   net::HostId hinted;
   bool has_copy;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     hinted = ptable_.HintOf(p);
     if (hinted == PageTable::kNoHint || hinted == self_) return std::nullopt;
+    if (cfg_.crash_recovery &&
+        endpoint_.PeerIncarnation(hinted) > ptable_.HintIncOf(p)) {
+      // The hinted owner has reincarnated since we learned the hint: its
+      // amnesiac copy is gone, so chasing it wastes a round trip.
+      ptable_.SetHint(p, PageTable::kNoHint);
+      stats_.Inc("dsm.hint_fenced_reincarnation");
+      return std::nullopt;
+    }
     has_copy = ptable_.Local(p).access != Access::kNone;
     // Open the poison window: an invalidation arriving while the hinted
     // fetch is in flight flips this flag and the reply is discarded.
@@ -556,12 +699,18 @@ std::optional<Host::FaultOutcome> Host::FaultViaHint(PageNum p,
       return FaultOutcome::kRetry;
     }
     stats_.Inc("dsm.hint_hits");
-    if (!CompleteTransfer(p, /*is_write=*/false, reply, nullptr)) {
-      return FaultOutcome::kShutdown;
+    switch (CompleteTransfer(p, /*is_write=*/false, reply, nullptr, life)) {
+      case TransferResult::kShutdown:
+        return FaultOutcome::kShutdown;
+      case TransferResult::kFenced:
+      case TransferResult::kRejected:  // unreachable: direct serves carry data
+        return FaultOutcome::kRetry;
+      case TransferResult::kOk:
+        break;
     }
     {
       std::lock_guard<std::mutex> lk(state_mu_);
-      ptable_.SetHint(p, reply.owner);
+      ptable_.SetHint(p, reply.owner, IncOf(reply.owner));
     }
     // Tell the manager we hold a copy so future writers invalidate us; the
     // owner keeps us in hinted_pending_ until the manager confirms coverage.
@@ -576,19 +725,55 @@ std::optional<Host::FaultOutcome> Host::FaultViaHint(PageNum p,
   // Stale hint: the hinted host re-forwarded through the manager and a real
   // grant came back. Handle it exactly like a manager-path reply.
   stats_.Inc("dsm.hint_stale_replies");
+  if (reply.owner_lost) {
+    stats_.Inc("dsm.owner_lost_observed");
+    base::WireWriter lw;
+    lw.U32(p);
+    lw.U64(reply.op_id);
+    lw.U16(reply.owner);
+    endpoint_.CallWithStatus(mgr, kOpPageLost, std::move(lw).Take(),
+                             net::MsgKind::kControl, DsmCallOpts());
+    return FaultOutcome::kRetry;
+  }
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (fenced_.count({p, reply.op_id}) > 0) {
       stats_.Inc("dsm.fenced_replies");
       return FaultOutcome::kRetry;
     }
-    inflight_ops_.insert({p, reply.op_id});
-    ptable_.SetHint(p, reply.owner);
+    if (cfg_.crash_recovery && life != life_) {
+      // Crashed mid-flight: see FaultViaRemoteManager — registering would
+      // leak a phantom inflight op into the fresh incarnation.
+      stats_.Inc("dsm.fenced_replies");
+      return FaultOutcome::kRetry;
+    }
+    if (cfg_.crash_recovery &&
+        (reply.op_id >> 48) < endpoint_.PeerIncarnation(mgr)) {
+      stats_.Inc("dsm.dead_epoch_grants");
+      return FaultOutcome::kRetry;
+    }
+    inflight_ops_[{p, reply.op_id}] =
+        InflightOp{/*is_write=*/false, reply.new_version};
+    ptable_.SetHint(p, reply.owner, IncOf(reply.owner));
   }
-  if (!CompleteTransfer(p, /*is_write=*/false, reply, nullptr)) {
-    std::lock_guard<std::mutex> lk(state_mu_);
-    inflight_ops_.erase({p, reply.op_id});
-    return FaultOutcome::kShutdown;
+  switch (CompleteTransfer(p, /*is_write=*/false, reply, nullptr, life)) {
+    case TransferResult::kShutdown: {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      inflight_ops_.erase({p, reply.op_id});
+      return FaultOutcome::kShutdown;
+    }
+    case TransferResult::kFenced:
+      return FaultOutcome::kRetry;
+    case TransferResult::kRejected: {
+      base::WireWriter rw;
+      rw.U32(p);
+      rw.U64(reply.op_id);
+      rw.U8(1);  // no_copy
+      endpoint_.Notify(mgr, kOpGrantReject, std::move(rw).Take());
+      return FaultOutcome::kRetry;
+    }
+    case TransferResult::kOk:
+      break;
   }
   RecordCompleted(p, reply.op_id, mgr, /*is_write=*/false);
   base::WireWriter cw;
@@ -619,13 +804,15 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
     std::uint64_t data_version = 0;
   };
   std::vector<LocalGrant> local_grants;
+  std::uint32_t life;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
+    life = life_;
     for (PageNum p = first; p < last; ++p) {
       if (ptable_.Local(p).access >= Access::kRead) continue;
       if (fault_inflight_[p]) continue;
       if (ptable_.ManagedHere(p)) {
-        if (ptable_.Manager(p).busy) continue;
+        if (recovering_ || ptable_.Manager(p).busy) continue;
         fault_inflight_[p] = true;
         claimed.push_back(p);
         const std::uint64_t fev =
@@ -689,9 +876,19 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
     r.alloc_bytes = lg.grant.alloc_bytes;
     r.has_data = false;
     r.data_rep = arch::RepClassByte(*profile_);
-    if (!CompleteTransfer(lg.page, /*is_write=*/false, r, nullptr)) {
-      release_claims();
-      return false;
+    switch (CompleteTransfer(lg.page, /*is_write=*/false, r, nullptr, life)) {
+      case TransferResult::kShutdown:
+        release_claims();
+        return false;
+      case TransferResult::kFenced:
+        continue;  // the per-page fallback refaults it post-crash
+      case TransferResult::kRejected:
+        // Ghost self-ownership (no copy, no retained image): free the
+        // grant; the per-page fallback heals the entry and refaults.
+        ManagerRevoke(lg.page, lg.grant.op_id);
+        continue;
+      case TransferResult::kOk:
+        break;
     }
     ManagerCommit(lg.page, lg.grant.op_id, self_, /*is_write=*/false);
   }
@@ -711,6 +908,7 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
         base::WireWriter w;
         w.U32(e.page);
         w.U64(e.op_id);
+        w.U8(0);  // abandonment only: says nothing about our copy state
         endpoint_.Notify(ptable_.ManagerOf(e.page), kOpGrantReject,
                          std::move(w).Take());
       }
@@ -761,6 +959,23 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
           next[e.redirect_owner].push_back(e.redirect);
           continue;
         }
+        if (e.status == 3) {
+          // The batched owner fetch hit an amnesiac restart: report the
+          // loss to the page's manager so it repairs the entry; the page
+          // itself is swept up by the per-page fallback below.
+          stats_.Inc("dsm.owner_lost_observed");
+          if (ptable_.ManagedHere(e.page)) {
+            HandlePageLostLocal(e.page, e.redirect.op_id, e.redirect_owner);
+          } else {
+            base::WireWriter lw;
+            lw.U32(e.page);
+            lw.U64(e.redirect.op_id);
+            lw.U16(e.redirect_owner);
+            endpoint_.Notify(ptable_.ManagerOf(e.page), kOpPageLost,
+                             std::move(lw).Take());
+          }
+          continue;
+        }
         const bool local_mgr = ptable_.ManagedHere(e.page);
         if (!local_mgr) {
           std::lock_guard<std::mutex> lk(state_mu_);
@@ -768,12 +983,51 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
             stats_.Inc("dsm.fenced_replies");
             continue;
           }
-          inflight_ops_.insert({e.page, e.fr.op_id});
-          if (cfg_.probable_owner) ptable_.SetHint(e.page, e.fr.owner);
+          if (cfg_.crash_recovery && life != life_) {
+            // Crashed mid-batch: registering would leak a phantom inflight
+            // op into the fresh incarnation (see FaultViaRemoteManager).
+            stats_.Inc("dsm.fenced_replies");
+            continue;
+          }
+          if (cfg_.crash_recovery &&
+              (e.fr.op_id >> 48) <
+                  endpoint_.PeerIncarnation(ptable_.ManagerOf(e.page))) {
+            // Grant from a dead incarnation of the page's manager: the
+            // rebuilt map does not know the op; installing would create a
+            // holder invisible to the reconstruction.
+            stats_.Inc("dsm.dead_epoch_grants");
+            continue;
+          }
+          inflight_ops_[{e.page, e.fr.op_id}] =
+              InflightOp{/*is_write=*/false, e.fr.new_version};
+          if (cfg_.probable_owner) {
+            ptable_.SetHint(e.page, e.fr.owner, IncOf(e.fr.owner));
+          }
         }
-        if (!CompleteTransfer(e.page, /*is_write=*/false, e.fr, nullptr)) {
-          release_claims();
-          return false;
+        switch (CompleteTransfer(e.page, /*is_write=*/false, e.fr, nullptr,
+                                 life)) {
+          case TransferResult::kShutdown:
+            release_claims();
+            return false;
+          case TransferResult::kFenced:
+            continue;  // swept up post-crash by the per-page fallback
+          case TransferResult::kRejected: {
+            // Free the stale dataless grant; the per-page fallback refaults
+            // this page with an honest has_copy claim.
+            if (local_mgr) {
+              ManagerRevoke(e.page, e.fr.op_id);
+            } else {
+              base::WireWriter rw;
+              rw.U32(e.page);
+              rw.U64(e.fr.op_id);
+              rw.U8(1);  // no_copy
+              endpoint_.Notify(ptable_.ManagerOf(e.page), kOpGrantReject,
+                               std::move(rw).Take());
+            }
+            continue;
+          }
+          case TransferResult::kOk:
+            break;
         }
         if (local_mgr) {
           ManagerCommit(e.page, e.fr.op_id, self_, /*is_write=*/false);
@@ -814,8 +1068,17 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
   return true;
 }
 
-bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
-                            std::vector<DeferredWrite>* deferred) {
+Host::TransferResult Host::CompleteTransfer(
+    PageNum p, bool is_write, const FetchReply& reply,
+    std::vector<DeferredWrite>* deferred, std::uint32_t life) {
+  // Every locked section re-checks `life`: the blocking points in between
+  // (conversion, install cost, invalidation rounds) are exactly where a
+  // crash can interpose, and a zombie install after the wipe would put
+  // state on this host that the fresh incarnation cannot account for.
+  const auto fenced = [&] {
+    stats_.Inc("dsm.fenced_transfers");
+    return TransferResult::kFenced;
+  };
   const GlobalAddr page_base = static_cast<GlobalAddr>(p) * page_bytes_;
   if (reply.has_data) {
     const std::size_t data_size = reply.data.size();
@@ -824,6 +1087,9 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
       // into mem_ before the entry is installed is safe: access is still
       // kNone and fault coalescing keeps local threads out of this page.
       std::lock_guard<std::mutex> lk(state_mu_);
+      if (life != life_ || fenced_.count({p, reply.op_id}) != 0) {
+        return fenced();
+      }
       MERMAID_CHECK(data_size <= page_bytes_);
       reply.data.CopyTo(
           std::span<std::uint8_t>(mem_.data() + page_base, data_size));
@@ -843,6 +1109,9 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
     }
     {
       std::lock_guard<std::mutex> lk(state_mu_);
+      if (life != life_ || fenced_.count({p, reply.op_id}) != 0) {
+        return fenced();
+      }
       LocalPageEntry& e = ptable_.Local(p);
       e.access = Access::kRead;
       e.owned = false;
@@ -861,6 +1130,9 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
     // relinquished in a transfer the manager has since revoked (the retained
     // bytes are still the current version; re-animate them).
     std::lock_guard<std::mutex> lk(state_mu_);
+    if (life != life_ || fenced_.count({p, reply.op_id}) != 0) {
+      return fenced();
+    }
     LocalPageEntry& e = ptable_.Local(p);
     if (e.access == Access::kNone && e.retained) {
       e.access = Access::kRead;
@@ -869,13 +1141,26 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
         referee_->OnInstall(self_, p, e.version, Access::kRead);
       }
     }
-    MERMAID_CHECK(e.access >= Access::kRead);
+    if (e.access < Access::kRead) {
+      // The grant trusted a has_copy claim that a crash or a revoked write
+      // made stale: there is nothing here to re-animate. Discard the grant
+      // (the caller frees it at the manager) and refault with the truth.
+      MERMAID_CHECK_MSG(cfg_.crash_recovery,
+                        "read grant without data to a host without a copy");
+      FenceOpLocked(p, reply.op_id);
+      inflight_ops_.erase({p, reply.op_id});
+      stats_.Inc("dsm.stale_dataless_grants");
+      return TransferResult::kRejected;
+    }
   } else {
     // A write grant without data is an ownership upgrade. The copy being
     // upgraded may be one we relinquished in a transfer the manager has
     // since revoked (we are still the owner of record); the retained bytes
     // are the current version, so re-animate them like the read case.
     std::lock_guard<std::mutex> lk(state_mu_);
+    if (life != life_ || fenced_.count({p, reply.op_id}) != 0) {
+      return fenced();
+    }
     LocalPageEntry& e = ptable_.Local(p);
     if (e.access == Access::kNone && e.retained) {
       e.access = Access::kRead;
@@ -884,8 +1169,16 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
         referee_->OnInstall(self_, p, e.version, Access::kRead);
       }
     }
-    MERMAID_CHECK_MSG(e.access != Access::kNone,
-                      "write upgrade granted to a host without a copy");
+    if (e.access == Access::kNone) {
+      // Same stale-claim discard as the read case: an upgrade-in-place with
+      // no copy in place cannot be installed.
+      MERMAID_CHECK_MSG(cfg_.crash_recovery,
+                        "write upgrade granted to a host without a copy");
+      FenceOpLocked(p, reply.op_id);
+      inflight_ops_.erase({p, reply.op_id});
+      stats_.Inc("dsm.stale_dataless_grants");
+      return TransferResult::kRejected;
+    }
     stats_.Inc("dsm.upgrades");
   }
   rt_.Delay(profile_->page_install_cost);
@@ -902,11 +1195,14 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
       // and finalizes every page of the VM fault together.
       {
         std::lock_guard<std::mutex> lk(state_mu_);
+        if (life != life_ || fenced_.count({p, reply.op_id}) != 0) {
+          return fenced();
+        }
         MERMAID_CHECK(ptable_.Local(p).access != Access::kNone);
       }
-      deferred->push_back({p, reply});
+      deferred->push_back({p, reply, life});
       stats_.Inc("dsm.deferred_writes");
-      return true;
+      return TransferResult::kOk;
     }
     std::vector<net::HostId> to_invalidate = reply.to_invalidate;
     {
@@ -914,6 +1210,7 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
       // the manager's copyset (their covering confirm raced this upgrade);
       // they hold copies and must be invalidated too.
       std::lock_guard<std::mutex> lk(state_mu_);
+      if (life != life_) return fenced();
       if (auto it = hinted_pending_.find(p); it != hinted_pending_.end()) {
         for (net::HostId h : it->second) {
           if (std::find(to_invalidate.begin(), to_invalidate.end(), h) ==
@@ -924,15 +1221,20 @@ bool Host::CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
       }
     }
     if (!InvalidateCopies(p, to_invalidate, reply.op_id, install_ev)) {
-      return false;
+      return TransferResult::kShutdown;
     }
-    FinalizeWrite(p, reply);
+    if (!FinalizeWrite(p, reply, life)) return fenced();
   }
-  return true;
+  return TransferResult::kOk;
 }
 
-void Host::FinalizeWrite(PageNum p, const FetchReply& reply) {
+bool Host::FinalizeWrite(PageNum p, const FetchReply& reply,
+                         std::uint32_t life) {
   std::lock_guard<std::mutex> lk(state_mu_);
+  if (life != life_ || fenced_.count({p, reply.op_id}) != 0) {
+    stats_.Inc("dsm.fenced_transfers");
+    return false;
+  }
   LocalPageEntry& e = ptable_.Local(p);
   e.access = Access::kWrite;
   e.owned = true;
@@ -950,6 +1252,7 @@ void Host::FinalizeWrite(PageNum p, const FetchReply& reply) {
   if (referee_ != nullptr) {
     referee_->OnWriteGrant(self_, p, reply.new_version);
   }
+  return true;
 }
 
 bool Host::InvalidateCopies(PageNum p,
@@ -969,6 +1272,13 @@ bool Host::InvalidateCopies(PageNum p,
   // to the targets that did not ack, round after round, and abort loudly if
   // a copy holder stays unreachable past the retry budget.
   for (int round = 0; !targets.empty(); ++round) {
+    if (cfg_.crash_recovery) {
+      // A down host's copies died with it (crash-with-amnesia): skip it
+      // rather than burning the retry budget against silence.
+      std::erase_if(targets,
+                    [&](net::HostId h) { return net_.HostDown(h, rt_.Now()); });
+      if (targets.empty()) break;
+    }
     MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
                       "invalidation multicast exhausted retries");
     if (round > 0) {
@@ -1002,6 +1312,13 @@ bool Host::FlushDeferredWrites(std::vector<DeferredWrite> deferred,
   std::set<net::HostId> union_targets;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
+    // Entries parked before a crash are fenced: the wiped state cannot back
+    // their grants, so they are dropped without invalidating or confirming.
+    std::erase_if(deferred, [&](const DeferredWrite& d) {
+      if (d.life == life_) return false;
+      stats_.Inc("dsm.fenced_transfers");
+      return true;
+    });
     for (const DeferredWrite& d : deferred) {
       pages.push_back(d.page);
       // Refuse hint serves until the finalize: the target union below is
@@ -1033,7 +1350,7 @@ bool Host::FlushDeferredWrites(std::vector<DeferredWrite> deferred,
   // and no competing transfer has touched these pages in between.
   std::map<net::HostId, std::vector<const DeferredWrite*>> remote_confirms;
   for (const DeferredWrite& d : deferred) {
-    FinalizeWrite(d.page, d.reply);
+    if (!FinalizeWrite(d.page, d.reply, d.life)) continue;  // crash-fenced
     if (ptable_.ManagedHere(d.page)) {
       ManagerCommit(d.page, d.reply.op_id, self_, /*is_write=*/true);
     } else {
@@ -1064,6 +1381,12 @@ bool Host::InvalidateBatchCall(const std::vector<PageNum>& pages,
   for (PageNum p : pages) w.U32(p);
   const auto body = std::move(w).Take();
   for (int round = 0; !targets.empty(); ++round) {
+    if (cfg_.crash_recovery) {
+      // Same as InvalidateCopies: a crashed host holds no copies.
+      std::erase_if(targets,
+                    [&](net::HostId h) { return net_.HostDown(h, rt_.Now()); });
+      if (targets.empty()) break;
+    }
     MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
                       "batched invalidation exhausted retries");
     if (round > 0) {
@@ -1115,7 +1438,12 @@ ManagerGrant Host::BuildGrantLocked(PageNum p, net::HostId requester,
       }
     }
   }
-  g.op_id = ++op_counter_;
+  // The incarnation epoch in the high bits keeps op ids from a previous
+  // life of this manager disjoint from the fresh counter (which restarts at
+  // zero with the amnesia wipe). Epoch 0 with crash recovery off, so
+  // knobs-off wire images are unchanged.
+  ++op_counter_;
+  g.op_id = (static_cast<std::uint64_t>(op_epoch_) << 48) | op_counter_;
   g.new_version = is_write ? m.version + 1 : m.version;
   // Both must agree: after a revoked write grant the copyset can hold
   // phantom members whose copies the vanished writer already invalidated,
@@ -1143,6 +1471,30 @@ ManagerGrant Host::BuildGrantLocked(PageNum p, net::HostId requester,
 }
 
 void Host::ManagerIssue(PageNum p, PendingTransfer t) {
+  if (cfg_.crash_recovery) {
+    net::HostId owner;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      owner = ptable_.Manager(p).owner;
+    }
+    // Note: `t.has_copy` is NOT trusted here. It was serialized when the
+    // request was created, and a request can spend many retransmit rounds
+    // in a lossy network while recoveries rebuild the very state it
+    // describes — healing on a stale "no copy" claim has destroyed live
+    // pages. An amnesiac owner-of-record instead receives the dataless
+    // upgrade, rejects it (kOpGrantReject carries current truth), and the
+    // reject handler heals the entry.
+    const bool owner_down = owner != self_ && owner != t.requester &&
+                            net_.HostDown(owner, rt_.Now());
+    if (owner_down) {
+      // The owner's copy died with it: heal the entry before granting, or
+      // the requester would chase a corpse until its retry budget ran out.
+      // op_id 0 = no grant to unbusy; drain=false because the transfer
+      // being issued here is already in hand.
+      stats_.Inc("dsm.owner_lost_detected");
+      HandlePageLostLocal(p, 0, owner, /*drain=*/false);
+    }
+  }
   ManagerGrant grant;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
@@ -1437,6 +1789,13 @@ void Host::HandleTransferReq(net::RequestContext ctx, bool is_write) {
   bool issue_now = false;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
+    if (recovering_) {
+      // Mid-reconstruction the manager map is untrustworthy. Drop the
+      // request (no reply): the requester's call times out and retries,
+      // landing after recovery finishes.
+      stats_.Inc("dsm.recovery_dropped_reqs");
+      return;
+    }
     ManagerEntry& m = ptable_.Manager(p);
     if (m.busy) {
       m.pending.push_back(std::move(t));
@@ -1464,10 +1823,31 @@ void Host::HandleOwnerFetch(net::RequestContext ctx, bool is_write) {
     return;
   }
   rt_.Delay(profile_->server_op_cost);
-  std::uint64_t data_version;
+  std::uint64_t data_version = 0;
+  bool lost = false;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    data_version = ptable_.Local(p).version;
+    const LocalPageEntry& e = ptable_.Local(p);
+    if (cfg_.crash_recovery && e.access == Access::kNone && !e.retained) {
+      // Amnesia: the grant names this host as owner, but the copy died with
+      // a previous life. EncodeServeReply would abort on the missing copy;
+      // a minimal owner_lost reply sends the requester to the manager to
+      // report the loss instead.
+      lost = true;
+    } else {
+      data_version = e.version;
+    }
+  }
+  if (lost) {
+    stats_.Inc("dsm.owner_lost_detected");
+    TraceEv(trace::EventKind::kOwnerLost, p, op_id,
+            TraceParent(trace::OpKey(p, op_id)), self_);
+    FetchReply fr;
+    fr.op_id = op_id;
+    fr.owner = self_;
+    fr.owner_lost = true;
+    ctx.Reply(EncodeFetchReply(fr));
+    return;
   }
   auto reply = EncodeServeReply(p, ctx.origin(), is_write, data_needed, op_id,
                                 data_version, new_version, type, alloc_bytes,
@@ -1542,6 +1922,12 @@ void Host::HandleHintedFetch(net::RequestContext ctx) {
     bool issue_now = false;
     {
       std::lock_guard<std::mutex> lk(state_mu_);
+      if (recovering_) {
+        // Same as HandleTransferReq: no reply while rebuilding, the
+        // requester times out and retries.
+        stats_.Inc("dsm.recovery_dropped_reqs");
+        return;
+      }
       ManagerEntry& m = ptable_.Manager(p);
       if (m.busy) {
         m.pending.push_back(std::move(t));
@@ -1576,8 +1962,9 @@ void Host::HandleHintConfirm(net::RequestContext ctx) {
     // busy entry means a transfer (possibly a write) is in flight, and a
     // version mismatch means the serve predates a committed write. Either
     // way the owner keeps the reader in hinted_pending_ and every write
-    // serve covers it until this confirm eventually lands.
-    if (!m.busy && m.version == version) {
+    // serve covers it until this confirm eventually lands. A recovering
+    // manager also drops it: the entry is about to be rebuilt from claims.
+    if (!recovering_ && !m.busy && m.version == version) {
       m.copyset.insert(ctx.origin());
       covered = true;
       owner = m.owner;
@@ -1632,6 +2019,7 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
     std::uint64_t data_version = 0;
     bool granted = false;
     bool busy = false;
+    bool lost = false;  // named owner but the copy died with a past life
   };
   std::vector<Prep> preps(entries.size());
   {
@@ -1645,10 +2033,16 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
       }
       if (req.role == kToOwner) {
         // Pre-granted fetch against our local copy.
-        pr.data_version = ptable_.Local(req.page).version;
+        const LocalPageEntry& e = ptable_.Local(req.page);
+        if (cfg_.crash_recovery && e.access == Access::kNone && !e.retained) {
+          pr.lost = true;
+          continue;
+        }
+        pr.data_version = e.version;
         continue;
       }
-      if (!ptable_.ManagedHere(req.page) || ptable_.Manager(req.page).busy) {
+      if (!ptable_.ManagedHere(req.page) || recovering_ ||
+          ptable_.Manager(req.page).busy) {
         pr.busy = true;
         continue;
       }
@@ -1674,6 +2068,19 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
       continue;
     }
     if (req.role == kToOwner) {
+      if (pr.lost) {
+        // Status 3: the grant named us owner but our copy died in a crash.
+        // The redirect fields carry the grant id and this (dead) owner so
+        // the requester can report the loss to the manager.
+        e.status = 3;
+        e.redirect.op_id = req.op_id;
+        e.redirect_owner = self_;
+        all_redirect = false;
+        stats_.Inc("dsm.owner_lost_detected");
+        TraceEv(trace::EventKind::kOwnerLost, req.page, req.op_id,
+                TraceParent(trace::OpKey(req.page, req.op_id)), self_);
+        continue;
+      }
       e.status = 1;
       bodies.push_back(EncodeServeReply(
           req.page, ctx.origin(), /*is_write=*/false, req.data_needed,
@@ -1809,7 +2216,7 @@ bool Host::ApplyInvalidateLocked(PageNum p, net::HostId writer) {
   if (cfg_.probable_owner) {
     // The invalidating writer is about to own this page: remember it, and
     // poison any hinted fetch whose reply is crossing this invalidation.
-    ptable_.SetHint(p, writer);
+    ptable_.SetHint(p, writer, IncOf(writer));
     if (auto it = hint_poison_.find(p); it != hint_poison_.end()) {
       it->second = true;
     }
@@ -1878,13 +2285,7 @@ void Host::HandleConfirmProbe(net::RequestContext ctx) {
       // op so a late-arriving reply carrying it is discarded, never
       // installed after the manager revokes.
       answer = Answer::kReject;
-      if (fenced_.insert({p, op_id}).second) {
-        while (fenced_order_.size() >= 4096) {
-          fenced_.erase(fenced_order_.front());
-          fenced_order_.pop_front();
-        }
-        fenced_order_.emplace_back(p, op_id);
-      }
+      FenceOpLocked(p, op_id);
     }
   }
   base::WireWriter w;
@@ -1901,6 +2302,7 @@ void Host::HandleConfirmProbe(net::RequestContext ctx) {
       break;
     case Answer::kReject:
       stats_.Inc("dsm.grants_disowned");
+      w.U8(0);  // unknown-op disown: says nothing about our copy state
       endpoint_.Notify(manager, kOpGrantReject, std::move(w).Take());
       break;
   }
@@ -1910,10 +2312,16 @@ void Host::HandleGrantReject(net::RequestContext ctx) {
   base::WireReader r(ctx.body());
   const PageNum p = r.U32();
   const std::uint64_t op_id = r.U64();
+  // Two distinct meanings share this opcode, told apart by the reason
+  // byte: no_copy=1 is an install-time disclaim ("the grant is dataless
+  // and I verifiably hold nothing"), no_copy=0 is mere abandonment (group
+  // timeout, probe disown) that says nothing about the sender's copy.
+  const bool no_copy = r.U8() != 0;
   if (!r.ok() || !ptable_.ManagedHere(p)) {
     stats_.Inc("dsm.malformed");
     return;
   }
+  bool owner_disclaimed = false;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     ManagerEntry& m = ptable_.Manager(p);
@@ -1921,8 +2329,18 @@ void Host::HandleGrantReject(net::RequestContext ctx) {
         m.busy_requester != ctx.origin()) {
       return;  // stale reject of a committed or re-granted transfer
     }
+    owner_disclaimed = no_copy && m.owner == ctx.origin();
   }
   stats_.Inc("dsm.grant_rejects");
+  if (owner_disclaimed) {
+    // The owner of record itself just proved it holds no copy (it received
+    // a dataless upgrade it cannot back): the copy died in a restart. Heal
+    // the entry — promote a surviving holder or apply the lost-page
+    // policy — rather than re-granting the same ghost upgrade forever.
+    stats_.Inc("dsm.owner_lost_detected");
+    HandlePageLostLocal(p, op_id, ctx.origin());
+    return;
+  }
   ManagerRevoke(p, op_id);
 }
 
@@ -1992,6 +2410,16 @@ void Host::DropConvertCacheLocked(PageNum p) {
                 [p](const ConvertCacheKey& k) { return k.page == p; });
 }
 
+void Host::FenceOpLocked(PageNum p, std::uint64_t op_id) {
+  if (fenced_.insert({p, op_id}).second) {
+    while (fenced_order_.size() >= 4096) {
+      fenced_.erase(fenced_order_.front());
+      fenced_order_.pop_front();
+    }
+    fenced_order_.emplace_back(p, op_id);
+  }
+}
+
 void Host::RecordCompleted(PageNum p, std::uint64_t op_id,
                            net::HostId manager, bool is_write) {
   std::lock_guard<std::mutex> lk(state_mu_);
@@ -2017,7 +2445,8 @@ net::Body Host::EncodeFetchReply(const FetchReply& r) {
   w.U8(r.has_data ? 1 : 0);
   w.U8(r.data_rep);
   w.U8(static_cast<std::uint8_t>((r.sender_converted ? 1 : 0) |
-                                 (r.from_cache ? 2 : 0)));
+                                 (r.from_cache ? 2 : 0) |
+                                 (r.owner_lost ? 4 : 0)));
   // The page data rides as a shared buffer chain behind the metadata — the
   // endpoint and fragment layers never copy it.
   return net::Body(std::move(w).Take(), r.data);
@@ -2047,6 +2476,7 @@ Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) {
     const std::uint8_t flags = r.U8();
     out.sender_converted = (flags & 1) != 0;
     out.from_cache = (flags & 2) != 0;
+    out.owner_lost = (flags & 4) != 0;
     if (r.ok()) {
       if (out.has_data) {
         const std::size_t consumed = meta.size() - r.remaining();
@@ -2135,6 +2565,10 @@ net::Body Host::EncodeGroupReply(std::vector<GroupReplyEntry> es,
       w.U8(e.redirect.data_needed ? 1 : 0);
       w.U16(e.redirect.type);
       w.U32(e.redirect.alloc_bytes);
+    } else if (e.status == 3) {
+      // Owner lost: just the grant id and the amnesiac owner.
+      w.U64(e.redirect.op_id);
+      w.U16(e.redirect_owner);
     }
   }
   return net::Body(std::move(w).Take(), std::move(data));
@@ -2175,6 +2609,10 @@ std::vector<Host::GroupReplyEntry> Host::DecodeGroupReply(
         e.redirect.data_needed = r.U8() != 0;
         e.redirect.type = r.U16();
         e.redirect.alloc_bytes = r.U32();
+      } else if (e.status == 3) {
+        e.redirect.page = e.page;
+        e.redirect.op_id = r.U64();
+        e.redirect_owner = r.U16();
       } else if (e.status != 0) {
         ok = false;
       }
@@ -2194,6 +2632,596 @@ std::vector<Host::GroupReplyEntry> Host::DecodeGroupReply(
     meta = body.Flatten();
     flattened = true;
   }
+}
+
+// --------------------------------------------------------------------------
+// Crash-stop recovery
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::uint8_t AccessByte(Access a) {
+  return a == Access::kWrite ? 2 : (a == Access::kRead ? 1 : 0);
+}
+
+Access AccessFromByte(std::uint8_t b) {
+  return b == 2 ? Access::kWrite : (b == 1 ? Access::kRead : Access::kNone);
+}
+
+}  // namespace
+
+std::uint32_t Host::IncOf(net::HostId h) {
+  if (!cfg_.crash_recovery) return 0;
+  return h == self_ ? endpoint_.incarnation() : endpoint_.PeerIncarnation(h);
+}
+
+void Host::CrashWipe() {
+  // Fence the wire first: bump this host's incarnation (stamped into every
+  // subsequent message), abandon pending calls, drop reassembly partials
+  // and the dedup window.
+  endpoint_.CrashReset();
+  std::vector<sim::Chan<bool>> waiters;
+  std::vector<sim::Chan<ManagerGrant>> local_grants;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ++life_;
+    recovering_ = true;
+    op_epoch_ = endpoint_.incarnation();
+    op_counter_ = 0;
+    // Local fault threads parked on a grant channel would wedge forever
+    // once their queue entries are wiped: collect the channels and wake
+    // them with the op_id==0 crash sentinel after the lock drops.
+    ptable_.ForEachManaged([&](PageNum, ManagerEntry& m) {
+      for (PendingTransfer& t : m.pending) {
+        if (!t.remote.has_value()) local_grants.push_back(t.local_grant);
+      }
+    });
+    ptable_.WipeForCrash();
+    std::fill(mem_.begin(), mem_.end(), 0);
+    for (auto& [p, chans] : fault_waiters_) {
+      for (auto& c : chans) waiters.push_back(std::move(c));
+    }
+    fault_waiters_.clear();
+    fault_inflight_.clear();
+    completed_.clear();
+    completed_order_.clear();
+    inflight_ops_.clear();
+    fenced_.clear();
+    fenced_order_.clear();
+    convert_cache_.clear();
+    convert_cache_order_.clear();
+    hinted_pending_.clear();
+    hint_poison_.clear();
+    write_pending_.clear();
+  }
+  stats_.Inc("dsm.crashes");
+  for (auto& c : waiters) c.Send(true);
+  for (auto& c : local_grants) c.Send(ManagerGrant{});
+}
+
+void Host::HandlePageLost(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const std::uint64_t op_id = r.U64();
+  const net::HostId dead_owner = r.U16();
+  if (!r.ok() || !ptable_.ManagedHere(p)) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (recovering_) {
+      // The rebuild arbitrates from fresh claims; a concurrent report adds
+      // nothing. No reply: the reporter refaults anyway.
+      stats_.Inc("dsm.recovery_dropped_reqs");
+      return;
+    }
+  }
+  HandlePageLostLocal(p, op_id, dead_owner);
+  ctx.Reply({});
+}
+
+void Host::HandlePageLostLocal(PageNum p, std::uint64_t op_id,
+                               net::HostId dead_owner, bool drain) {
+  bool promote_remote = false;
+  bool reinit = false;
+  net::HostId new_owner = 0;
+  std::uint64_t promote_version = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    // A report carrying a grant id from a previous life of this manager is
+    // a pre-crash zombie: the entry was rebuilt since. Drop it.
+    if (op_id != 0 && (op_id >> 48) != op_epoch_) return;
+    ManagerEntry& m = ptable_.Manager(p);
+    if (m.owner != dead_owner) return;  // stale report: already healed
+    stats_.Inc("dsm.owner_lost_reports");
+    m.copyset.erase(dead_owner);
+    if (m.busy && m.busy_op_id == op_id) m.busy = false;
+    if (!m.copyset.empty()) {
+      // Promote the lowest-id surviving copy holder. The version is
+      // unchanged: every copyset member holds the committed image.
+      m.owner = *m.copyset.begin();
+      new_owner = m.owner;
+      promote_version = m.version;
+      if (new_owner == self_) {
+        ptable_.Local(p).owned = true;
+      } else {
+        promote_remote = true;
+      }
+    } else {
+      // The sole copy died with its owner.
+      MERMAID_CHECK_MSG(cfg_.lost_page_policy == SystemConfig::LostPagePolicy::kReinitZero,
+                        "page lost: the only copy died with its owner");
+      stats_.Inc("dsm.recovery_pages_lost");
+      m.owner = self_;
+      m.copyset = {self_};
+      m.version = 0;
+      LocalPageEntry& e = ptable_.Local(p);
+      e.access = Access::kRead;
+      e.owned = true;
+      e.version = 0;
+      e.retained = false;
+      e.type = m.type;
+      e.alloc_bytes = m.alloc_bytes;
+      const std::size_t base = static_cast<std::size_t>(p) * page_bytes_;
+      const std::size_t end =
+          std::min<std::size_t>(base + page_bytes_, mem_.size());
+      std::fill(mem_.begin() + base, mem_.begin() + end, 0);
+      DropConvertCacheLocked(p);
+      reinit = true;
+    }
+  }
+  if (reinit) {
+    TraceEv(trace::EventKind::kRecoveryLost, p, op_id, 0, dead_owner);
+    if (referee_ != nullptr) referee_->OnReinit(self_, p, 0);
+  } else {
+    TraceEv(trace::EventKind::kRecoveryDemote, p, op_id, 0, new_owner, 2);
+    if (promote_remote) {
+      // Fire-and-forget: the promotion only flips the new owner's `owned`
+      // bit (its copy is already live), so a lost notify costs an extra
+      // manager hop later, never correctness.
+      base::WireWriter w;
+      w.U16(1);
+      w.U32(p);
+      w.U8(2);  // mode 2: promote
+      w.U64(promote_version);
+      endpoint_.Notify(new_owner, kOpRecoveryDemote, std::move(w).Take());
+    }
+  }
+  if (drain) ManagerDrain(p);
+}
+
+void Host::HandleRecoveryQuery(net::RequestContext ctx) {
+  const net::HostId mgr = ctx.origin();
+  rt_.Delay(profile_->server_op_cost);
+  struct Claim {
+    PageNum page = 0;
+    std::uint64_t version = 0;
+    std::uint8_t access = 0;
+    std::uint8_t flags = 0;
+    std::uint64_t op_id = 0;
+    bool op_is_write = false;
+    std::uint64_t op_new_version = 0;
+  };
+  std::vector<Claim> claims;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (PageNum p = 0; p < ptable_.num_pages(); ++p) {
+      if (ptable_.ManagerOf(p) != mgr) continue;
+      const LocalPageEntry& e = ptable_.Local(p);
+      Claim c;
+      c.page = p;
+      c.version = e.version;
+      c.access = AccessByte(e.access);
+      c.flags = static_cast<std::uint8_t>((e.owned ? 1 : 0) |
+                                          (e.retained ? 2 : 0));
+      // The highest-id in-flight grant: a decoded-but-unconfirmed transfer
+      // this host WILL install, which the manager must adopt as busy.
+      for (auto it = inflight_ops_.lower_bound({p, 0});
+           it != inflight_ops_.end() && it->first.first == p; ++it) {
+        c.op_id = it->first.second;
+        c.op_is_write = it->second.is_write;
+        c.op_new_version = it->second.new_version;
+      }
+      // Claim only pages with something to say: a copy, a retained image,
+      // an in-flight grant, or a version trace (evidence the page once
+      // lived, so a silent total loss is detected, not reinitialized).
+      if (c.version == 0 && c.access == 0 && c.flags == 0 && c.op_id == 0) {
+        continue;
+      }
+      claims.push_back(c);
+    }
+  }
+  base::WireWriter w;
+  w.U16(static_cast<std::uint16_t>(claims.size()));
+  for (const Claim& c : claims) {
+    w.U32(c.page);
+    w.U64(c.version);
+    w.U8(c.access);
+    w.U8(c.flags);
+    w.U64(c.op_id);
+    w.U8(c.op_is_write ? 1 : 0);
+    w.U64(c.op_new_version);
+  }
+  ctx.Reply(std::move(w).Take());
+}
+
+void Host::HandleRecoveryDemote(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const std::uint16_t n = r.U16();
+  struct Cmd {
+    PageNum p = 0;
+    std::uint8_t mode = 0;  // 0 drop, 1 downgrade+disown, 2 promote
+    std::uint64_t version = 0;
+  };
+  std::vector<Cmd> cmds(n);
+  for (Cmd& c : cmds) {
+    c.p = r.U32();
+    c.mode = r.U8();
+    c.version = r.U64();
+  }
+  if (!r.ok()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost);
+  // Referee events are collected under the lock and reported after it (the
+  // referee takes its own mutex; keep the order state_mu_ -> referee only).
+  struct Ev {
+    std::uint8_t kind = 0;  // 0 invalidate, 1 downgrade, 2 install
+    PageNum p = 0;
+    std::uint64_t version = 0;
+  };
+  std::vector<Ev> evs;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (const Cmd& c : cmds) {
+      if (c.p >= ptable_.num_pages()) continue;
+      LocalPageEntry& e = ptable_.Local(c.p);
+      if (c.mode == 0 || c.mode == 1) {
+        // A drop/downgrade proves the rebuilt manager did NOT adopt any
+        // grant we have decoded for this page (adopted claimants are never
+        // demoted): fence those ops so their pending installs are discarded
+        // instead of resurrecting the demoted state, and let the fault path
+        // retry against the rebuilt manager.
+        for (auto it = inflight_ops_.lower_bound({c.p, 0});
+             it != inflight_ops_.end() && it->first.first == c.p;) {
+          FenceOpLocked(it->first.first, it->first.second);
+          it = inflight_ops_.erase(it);
+        }
+      }
+      if (c.mode == 0) {
+        // This copy lost the rebuild arbitration (stale version, demoted
+        // duplicate, or a dangling retained image).
+        if (e.access != Access::kNone) {
+          evs.push_back({0, c.p, 0});
+          stats_.Inc("dsm.recovery_demotions");
+        }
+        e.access = Access::kNone;
+        e.owned = false;
+        e.retained = false;
+        DropConvertCacheLocked(c.p);
+      } else if (c.mode == 1) {
+        // Ownership moved elsewhere; the copy stays readable.
+        if (e.access == Access::kWrite) {
+          e.access = Access::kRead;
+          evs.push_back({1, c.p, 0});
+          stats_.Inc("dsm.recovery_demotions");
+        }
+        e.owned = false;
+      } else if (c.mode == 2) {
+        // This host is the rebuilt owner. A retained pre-crash image is
+        // re-animated as the live copy; a write grant is conservatively
+        // downgraded (the rebuild leaves no page writable, so MRSW holds
+        // by construction through the heal).
+        if (e.access == Access::kNone && e.retained) {
+          e.access = Access::kRead;
+          e.retained = false;
+          evs.push_back({2, c.p, e.version});
+        } else if (e.access == Access::kWrite) {
+          e.access = Access::kRead;
+          evs.push_back({1, c.p, 0});
+        }
+        if (e.access != Access::kNone) {
+          e.owned = true;
+          stats_.Inc("dsm.recovery_promotions");
+        }
+      }
+      TraceEv(trace::EventKind::kRecoveryDemote, c.p, 0, 0, ctx.origin(),
+              c.mode);
+    }
+  }
+  for (const Ev& ev : evs) {
+    if (referee_ == nullptr) break;
+    if (ev.kind == 0) {
+      referee_->OnInvalidate(self_, ev.p);
+    } else if (ev.kind == 1) {
+      referee_->OnDowngrade(self_, ev.p);
+    } else {
+      referee_->OnInstall(self_, ev.p, ev.version, Access::kRead);
+    }
+  }
+  ctx.Reply({});
+}
+
+void Host::RunManagerRecovery() {
+  const SimTime t0 = rt_.Now();
+  // Crashing AGAIN mid-recovery spawns a fresh recovery for the new life;
+  // this one is then a zombie and must not touch the re-wiped state (a
+  // zombie reinit would double-initialize pages the new life also
+  // reinitializes, and a zombie `recovering_ = false` would open the
+  // request gates while the new rebuild is still collecting claims).
+  // Every mutation below re-checks the life captured here.
+  std::uint32_t life;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    life = life_;
+  }
+  TraceEv(trace::EventKind::kRecoveryStart, trace::kNoPage, 0, 0,
+          endpoint_.incarnation());
+  struct Claim {
+    PageNum page = 0;
+    std::uint64_t version = 0;
+    Access access = Access::kNone;
+    bool owned = false;
+    bool retained = false;
+    std::uint64_t op_id = 0;
+    bool op_is_write = false;
+    std::uint64_t op_new_version = 0;
+    net::HostId host = 0;
+  };
+  std::vector<Claim> claims;
+  std::vector<net::HostId> unanswered;
+  for (net::HostId h = 0; h < num_hosts_; ++h) {
+    if (h != self_) unanswered.push_back(h);
+  }
+  for (int round = 0;; ++round) {
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (life != life_) return;
+    }
+    // A host that is down right now restarts with amnesia: it has nothing
+    // to claim, so it counts as answered-empty.
+    std::erase_if(unanswered, [&](net::HostId h) {
+      return net_.HostDown(h, rt_.Now());
+    });
+    if (unanswered.empty()) break;
+    MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
+                      "manager recovery query exhausted retries");
+    if (round > 0) rt_.Delay(FaultBackoff(cfg_, round));
+    stats_.Inc("dsm.recovery_queries",
+               static_cast<std::int64_t>(unanswered.size()));
+    TraceEv(trace::EventKind::kRecoveryQuery, trace::kNoPage, 0, 0,
+            static_cast<std::int64_t>(unanswered.size()), round);
+    auto acks = endpoint_.MultiCallWithStatus(unanswered, kOpRecoveryQuery,
+                                              {}, net::MsgKind::kControl,
+                                              DsmCallOpts());
+    if (acks.status == net::CallStatus::kShutdown) return;
+    std::set<std::size_t> timed_out(acks.timed_out.begin(),
+                                    acks.timed_out.end());
+    std::vector<net::HostId> next;
+    for (std::size_t i = 0; i < unanswered.size(); ++i) {
+      if (timed_out.count(i) != 0) {
+        next.push_back(unanswered[i]);
+        continue;
+      }
+      const base::Buffer flat = acks.replies[i].Flatten();
+      base::WireReader r(flat.span());
+      const std::uint16_t n = r.U16();
+      for (std::uint16_t k = 0; k < n && r.ok(); ++k) {
+        Claim c;
+        c.page = r.U32();
+        c.version = r.U64();
+        c.access = AccessFromByte(r.U8());
+        const std::uint8_t flags = r.U8();
+        c.owned = (flags & 1) != 0;
+        c.retained = (flags & 2) != 0;
+        c.op_id = r.U64();
+        c.op_is_write = r.U8() != 0;
+        c.op_new_version = r.U64();
+        c.host = unanswered[i];
+        if (r.ok()) claims.push_back(c);
+      }
+      if (!r.ok()) stats_.Inc("dsm.malformed");
+    }
+    unanswered = std::move(next);
+  }
+  stats_.Inc("dsm.recovery_claims",
+             static_cast<std::int64_t>(claims.size()));
+
+  std::map<PageNum, std::vector<const Claim*>> by_page;
+  for (const Claim& c : claims) {
+    if (c.page < ptable_.num_pages() && ptable_.ManagedHere(c.page)) {
+      by_page[c.page].push_back(&c);
+    }
+  }
+  struct Out {
+    net::HostId dst = 0;
+    PageNum p = 0;
+    std::uint8_t mode = 0;
+    std::uint64_t version = 0;
+  };
+  std::vector<Out> outs;
+  // Pages reinitialized (referee OnReinit after the lock): quiet initial
+  // restores and policy-reinitialized losses alike.
+  std::vector<PageNum> reinits;
+  std::vector<PageNum> rebuilt_pages;
+  std::int64_t lost = 0;
+  std::int64_t adopted = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (life != life_) return;
+    ptable_.ForEachManaged([&](PageNum p, ManagerEntry& m) {
+      m.busy = false;
+      m.pending.clear();  // queued requesters re-send after their timeouts
+      m.copyset.clear();
+      const Claim* infl = nullptr;
+      bool evidence = false;
+      std::vector<const Claim*> valid;
+      std::uint64_t vmax = 0;
+      if (auto it = by_page.find(p); it != by_page.end()) {
+        for (const Claim* c : it->second) {
+          if (c->version > 0 || c->op_id != 0) evidence = true;
+          if (c->access != Access::kNone || c->retained) {
+            valid.push_back(c);
+            vmax = std::max(vmax, c->version);
+          }
+          if (c->op_id != 0 && (infl == nullptr || c->op_id > infl->op_id)) {
+            infl = c;
+          }
+        }
+      }
+      if (valid.empty() && infl == nullptr) {
+        // No copy survives anywhere. Without evidence the page was simply
+        // never shared (every page starts owned by its manager): restore
+        // the initial placement quietly. With evidence, the whole history
+        // died in the crash: the lost-page policy applies.
+        if (evidence) {
+          MERMAID_CHECK_MSG(
+              cfg_.lost_page_policy == SystemConfig::LostPagePolicy::kReinitZero,
+              "page lost in manager crash: every copy died");
+          stats_.Inc("dsm.recovery_pages_lost");
+          ++lost;
+        }
+        m.owner = self_;
+        m.copyset.insert(self_);
+        m.version = 0;
+        LocalPageEntry& e = ptable_.Local(p);
+        e.access = Access::kRead;
+        e.owned = true;
+        e.version = 0;
+        e.retained = false;
+        e.type = m.type;
+        e.alloc_bytes = m.alloc_bytes;
+        const std::size_t base = static_cast<std::size_t>(p) * page_bytes_;
+        const std::size_t end =
+            std::min<std::size_t>(base + page_bytes_, mem_.size());
+        std::fill(mem_.begin() + base, mem_.begin() + end, 0);
+        reinits.push_back(p);
+        return;
+      }
+      rebuilt_pages.push_back(p);
+      // Arbitrate the surviving copies: highest version wins; among those,
+      // prefer a claimed owner-writer, then a claimed owner, then any live
+      // copy, then a retained image; lowest host id breaks ties.
+      auto rank = [](const Claim* c) {
+        if (c->owned && c->access == Access::kWrite) return 3;
+        if (c->owned) return 2;
+        if (c->access != Access::kNone) return 1;
+        return 0;
+      };
+      const bool adopt = infl != nullptr && infl->op_new_version >= vmax;
+      const Claim* winner = nullptr;
+      for (const Claim* c : valid) {
+        if (c->version < vmax) continue;
+        if (winner == nullptr || rank(c) > rank(winner) ||
+            (rank(c) == rank(winner) && c->host < winner->host)) {
+          winner = c;
+        }
+      }
+      if (winner != nullptr) {
+        m.owner = winner->host;
+        m.version = vmax;
+        for (const Claim* c : valid) {
+          // The adopted in-flight grant's install depends on the local state
+          // its claimant reported (a read copy to upgrade, a retained image
+          // to re-animate). A drop/downgrade would wipe that state out from
+          // under the pending install — leave the claimant alone and let
+          // the transfer's confirm settle owner and copyset.
+          const bool pending_install = adopt && c->host == infl->host;
+          if (c->version < vmax) {
+            // Stale copy: drop it (and any retained image with it).
+            if (!pending_install) outs.push_back({c->host, p, 0, vmax});
+            continue;
+          }
+          if (c == winner) {
+            m.copyset.insert(c->host);
+            outs.push_back({c->host, p, 2, vmax});
+            continue;
+          }
+          if (c->access == Access::kNone) {
+            // A retained image that lost the arbitration is a dangling
+            // pre-crash grant artifact: clear it.
+            if (!pending_install) outs.push_back({c->host, p, 0, vmax});
+            continue;
+          }
+          m.copyset.insert(c->host);
+          if (c->owned || c->access == Access::kWrite) {
+            // Duplicate owner/writer: downgrade and disown, keep the copy.
+            if (!pending_install) outs.push_back({c->host, p, 1, vmax});
+          }
+        }
+      }
+      if (adopt) {
+        // A host holds a decoded-but-unconfirmed grant for this page: adopt
+        // it as the busy transfer so its confirm commits normally (or the
+        // janitor probes it out if the claimant died meanwhile).
+        if (winner == nullptr) {
+          m.owner = infl->host;
+          m.version = infl->op_new_version;
+        }
+        m.busy = true;
+        m.busy_op_id = infl->op_id;
+        m.busy_requester = infl->host;
+        m.busy_is_write = infl->op_is_write;
+        m.busy_new_version = infl->op_new_version;
+        m.busy_since = rt_.Now();
+        ++adopted;
+        stats_.Inc("dsm.recovery_inflight_adopted");
+      }
+    });
+    // Referee notification stays under the lock: a crash cannot interpose
+    // between the wipe check above and the reinit becoming visible (the
+    // wipe itself needs state_mu_), so the referee never records a reinit
+    // from a life that has already been wiped away.
+    for (PageNum p : reinits) {
+      if (referee_ != nullptr) referee_->OnReinit(self_, p, 0);
+    }
+  }
+  for (PageNum p : rebuilt_pages) {
+    TraceEv(trace::EventKind::kRecoveryRebuild, p, 0, 0);
+  }
+
+  // Apply the arbitration on the claimants. Reliable delivery matters for
+  // modes 0/1 (a missed demote leaves a stale owner or duplicate writer
+  // behind), so each batch is a bounded-retry call, skipped only when the
+  // destination itself died (amnesia voids the demote anyway).
+  std::map<net::HostId, std::vector<Out>> by_dst;
+  for (const Out& o : outs) by_dst[o.dst].push_back(o);
+  for (const auto& [dst, cmds] : by_dst) {
+    base::WireWriter w;
+    w.U16(static_cast<std::uint16_t>(cmds.size()));
+    for (const Out& o : cmds) {
+      w.U32(o.p);
+      w.U8(o.mode);
+      w.U64(o.version);
+    }
+    const net::Body body = std::move(w).Take();
+    for (int round = 0;; ++round) {
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        if (life != life_) return;
+      }
+      if (net_.HostDown(dst, rt_.Now())) break;
+      MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
+                        "recovery demote exhausted retries");
+      if (round > 0) rt_.Delay(FaultBackoff(cfg_, round));
+      auto res = endpoint_.CallWithStatus(dst, kOpRecoveryDemote, body,
+                                          net::MsgKind::kControl,
+                                          DsmCallOpts());
+      if (res.status != net::CallStatus::kTimedOut) break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (life != life_) return;
+    recovering_ = false;
+  }
+  stats_.Hist("dsm.recovery_ms", ToMillis(rt_.Now() - t0));
+  TraceEv(trace::EventKind::kRecoveryDone, trace::kNoPage, 0, 0,
+          static_cast<std::int64_t>(rebuilt_pages.size()), lost);
+  (void)adopted;
 }
 
 }  // namespace mermaid::dsm

@@ -199,6 +199,9 @@ class Host {
     std::uint8_t data_rep = 0;
     bool sender_converted = false;
     bool from_cache = false;  // served from the owner's conversion cache
+    // The addressed host restarted with amnesia and no longer holds the
+    // page: the requester must report the loss to the manager and retry.
+    bool owner_lost = false;
     base::BufferChain data;
   };
 
@@ -222,7 +225,18 @@ class Host {
   struct DeferredWrite {
     PageNum page = 0;
     FetchReply reply;
+    // Host life at park time; a crash between park and flush fences the
+    // entry (the wiped state can no longer back the grant).
+    std::uint32_t life = 0;
   };
+
+  // Outcome of CompleteTransfer: kFenced means this host crashed while the
+  // transfer was in flight — the grant must NOT be confirmed (the wiped
+  // state cannot back it) and the caller simply refaults. kRejected means
+  // the grant arrived without data but no local copy exists to back it (the
+  // manager trusted a claim that a crash or revoke made stale); the caller
+  // must free the grant at the manager and refault with the truth.
+  enum class TransferResult { kOk, kFenced, kRejected, kShutdown };
 
   // --- fault path ---------------------------------------------------------
   void EnsureAccess(PageNum p, Access needed);
@@ -232,18 +246,24 @@ class Host {
   // One DSM-page protocol round. With `deferred` non-null (coalesced
   // invalidation), a granted write parks in `deferred` instead of
   // invalidating and finalizing.
+  // The `life` parameter of the fault helpers is the host life (crash
+  // count) captured when the round started; CompleteTransfer fences the
+  // install when it no longer matches (the thread is a pre-crash zombie).
   void FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
                 std::vector<DeferredWrite>* deferred);
   FaultOutcome FaultViaLocalManager(PageNum p, bool is_write,
                                     FaultTelemetry* telem,
-                                    std::vector<DeferredWrite>* deferred);
+                                    std::vector<DeferredWrite>* deferred,
+                                    std::uint32_t life);
   FaultOutcome FaultViaRemoteManager(PageNum p, bool is_write,
                                      FaultTelemetry* telem,
-                                     std::vector<DeferredWrite>* deferred);
+                                     std::vector<DeferredWrite>* deferred,
+                                     std::uint32_t life);
   // Probable-owner fast path: one direct fetch round against the hinted
   // owner. Returns the outcome, or nullopt when the normal manager path
   // should run (no hint, hint timed out, or the serve was fenced).
-  std::optional<FaultOutcome> FaultViaHint(PageNum p, FaultTelemetry* telem);
+  std::optional<FaultOutcome> FaultViaHint(PageNum p, FaultTelemetry* telem,
+                                           std::uint32_t life);
   // Batched group fetch for a read VM fault spanning [first, last): one
   // kOpGroupFetch call per remote manager / distinct owner; pages the batch
   // cannot serve (busy entries, losses) fall back to FaultOne. False on
@@ -256,12 +276,14 @@ class Host {
                            FaultTelemetry* telem);
   // Install + invalidate + (write-)grant; shared tail of both fault
   // variants. With `deferred` non-null a write parks instead of finalizing.
-  // False means the runtime shut down mid-transfer.
-  bool CompleteTransfer(PageNum p, bool is_write, const FetchReply& reply,
-                        std::vector<DeferredWrite>* deferred);
+  TransferResult CompleteTransfer(PageNum p, bool is_write,
+                                  const FetchReply& reply,
+                                  std::vector<DeferredWrite>* deferred,
+                                  std::uint32_t life);
   // The locked write-finalize step (write access, version bump, referee
   // write grant). Caller must have completed the page's invalidations.
-  void FinalizeWrite(PageNum p, const FetchReply& reply);
+  // False when fenced by a crash (caller skips the confirm).
+  bool FinalizeWrite(PageNum p, const FetchReply& reply, std::uint32_t life);
   // Reliable write invalidation: re-multicasts to unacked targets until all
   // ack (bounded rounds; aborts loudly when exhausted). False on shutdown.
   // `op_id`/`parent_ev` only feed the trace (the install event that caused
@@ -282,6 +304,31 @@ class Host {
   // pending queue. Used by grant rejects, lease expiry, and the local fault
   // path when its owner fetch times out.
   void ManagerRevoke(PageNum p, std::uint64_t op_id);
+
+  // --- crash-stop recovery ------------------------------------------------
+  // Crash-with-amnesia: resets the endpoint (new incarnation, zombie calls
+  // fenced), wipes the page table, hints, conversion cache, memory image,
+  // and all fault-path bookkeeping, and marks the manager role as
+  // recovering. Parked fault waiters are woken so their threads refault.
+  void CrashWipe();
+  // Manager-state reconstruction after a restart: queries every live host
+  // for its page claims (kOpRecoveryQuery), rebuilds owner/copyset/version
+  // for each managed page, demotes duplicate or stale writers, adopts
+  // claimed in-flight transfers, and applies SystemConfig::lost_page_policy
+  // when the sole copy of a page died. Blocking; run from a recovery daemon.
+  void RunManagerRecovery();
+  // Shared dead-owner repair: removes `dead_owner` from page p's manager
+  // entry and promotes a surviving copy (or applies the lost-page policy).
+  // No-op when the report is stale (current owner differs). `op_id` is the
+  // reporter's observed in-flight grant (0 = none), cleared if still busy.
+  // `drain` re-issues the pending queue after the repair; pass false when
+  // the caller is itself about to issue a transfer for this page.
+  void HandlePageLostLocal(PageNum p, std::uint64_t op_id,
+                           net::HostId dead_owner, bool drain = true);
+  // The hinted/recorded incarnation of host h: 0 with crash recovery off
+  // (keeps wire images and hint state bit-identical), else the endpoint's
+  // current knowledge.
+  std::uint32_t IncOf(net::HostId h);
 
   // --- owner role ---------------------------------------------------------
   // Serves a fetch against the local copy; fills reply fields that depend
@@ -312,6 +359,10 @@ class Host {
   void HandleGroupFetch(net::RequestContext ctx);
   void HandleGroupConfirm(net::RequestContext ctx);
   void HandleInvalidateBatch(net::RequestContext ctx);
+  // Crash-recovery handlers.
+  void HandleRecoveryQuery(net::RequestContext ctx);
+  void HandleRecoveryDemote(net::RequestContext ctx);
+  void HandlePageLost(net::RequestContext ctx);
 
   // --- group-fetch wire helpers -------------------------------------------
   // One entry of a kOpGroupFetch request (role is per entry: the same call
@@ -329,7 +380,10 @@ class Host {
   // One entry of a kOpGroupFetch reply.
   struct GroupReplyEntry {
     PageNum page = 0;
-    std::uint8_t status = 0;  // 0 = busy (fall back), 1 = grant, 2 = redirect
+    // 0 = busy (fall back), 1 = grant, 2 = redirect, 3 = owner lost (the
+    // addressed owner restarted with amnesia; redirect.op_id/redirect_owner
+    // carry the grant id and dead owner for the kOpPageLost report).
+    std::uint8_t status = 0;
     FetchReply fr;            // status 1
     GroupReqEntry redirect;   // status 2 (owner-role request parameters)
     net::HostId redirect_owner = 0;
@@ -368,6 +422,9 @@ class Host {
                            std::vector<net::HostId> targets);
   void RecordCompleted(PageNum p, std::uint64_t op_id, net::HostId manager,
                        bool is_write);
+  // Adds {p, op_id} to the fenced set (bounded FIFO) so a decoded-but-not-
+  // installed grant is discarded instead of installed. Caller holds state_mu_.
+  void FenceOpLocked(PageNum p, std::uint64_t op_id);
   static net::Body EncodeFetchReply(const FetchReply& r);
   static FetchReply DecodeFetchReply(const base::BufferChain& body);
   net::Endpoint::CallOpts DsmCallOpts() const;
@@ -394,6 +451,7 @@ class Host {
   const arch::TypeRegistry& registry_;
   net::HostId self_;
   const arch::ArchProfile* profile_;
+  std::uint16_t num_hosts_;
   std::uint32_t page_bytes_;
   CoherenceReferee* referee_;
   net::Endpoint endpoint_;
@@ -416,14 +474,30 @@ class Host {
   std::deque<std::pair<PageNum, std::uint64_t>> completed_order_;
   // Grants this host is processing right now (reply decoded, confirm not yet
   // sent): a confirm-probe for one of these answers "still working"
-  // (kOpGrantExtend) instead of disowning the grant.
-  std::set<std::pair<PageNum, std::uint64_t>> inflight_ops_;
+  // (kOpGrantExtend) instead of disowning the grant. The value lets a
+  // restarted manager adopt the claimed transfer during reconstruction.
+  struct InflightOp {
+    bool is_write = false;
+    std::uint64_t new_version = 0;
+  };
+  std::map<std::pair<PageNum, std::uint64_t>, InflightOp> inflight_ops_;
   // Grants this host disowned in answer to a confirm-probe. A late reply
   // carrying a fenced op must be discarded — the manager has revoked it, and
   // installing it would put two writers on the page (bounded FIFO).
   std::set<std::pair<PageNum, std::uint64_t>> fenced_;
   std::deque<std::pair<PageNum, std::uint64_t>> fenced_order_;
   std::uint64_t op_counter_ = 0;
+  // Crash-recovery state (guarded by state_mu_):
+  //  - life_: crash count; fault threads capture it per round and their
+  //    installs are fenced when it moved (pre-crash zombies).
+  //  - recovering_: set from crash until manager reconstruction finishes;
+  //    manager-role requests are dropped (requesters retry) meanwhile.
+  //  - op_epoch_: this host's incarnation, folded into the high bits of
+  //    issued op ids so a reincarnated manager never reuses a live grant id
+  //    (op_counter_ itself restarts from zero — true amnesia).
+  std::uint32_t life_ = 0;
+  bool recovering_ = false;
+  std::uint32_t op_epoch_ = 0;
   // Owner-side conversion cache: converted outgoing page images keyed by
   // (page, version, representation class), LRU-bounded (a hit promotes the
   // key to the back of the eviction order). Version keying makes stale hits

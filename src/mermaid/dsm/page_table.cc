@@ -9,7 +9,8 @@ PageTable::PageTable(PageNum num_pages, net::HostId self,
     : self_(self),
       num_hosts_(num_hosts),
       local_(num_pages),
-      hints_(num_pages, kNoHint) {
+      hints_(num_pages, kNoHint),
+      hint_inc_(num_pages, 0) {
   MERMAID_CHECK(num_hosts > 0);
   // Pages managed here: ceil over the strided assignment.
   const PageNum mine =

@@ -7,6 +7,7 @@
 // manager that can identify the owner and the copy set of the page."
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -101,8 +102,30 @@ class PageTable {
   net::HostId HintOf(PageNum p) const {
     return p < hints_.size() ? hints_[p] : kNoHint;
   }
-  void SetHint(PageNum p, net::HostId owner) {
-    if (p < hints_.size()) hints_[p] = owner;
+  // `owner_inc` is the hinted owner's incarnation at learn time (always 0
+  // unless crash recovery is on): a hint learned from a previous life of the
+  // owner is fenced by the requester instead of being chased.
+  void SetHint(PageNum p, net::HostId owner, std::uint32_t owner_inc = 0) {
+    if (p < hints_.size()) {
+      hints_[p] = owner;
+      hint_inc_[p] = owner_inc;
+    }
+  }
+  std::uint32_t HintIncOf(PageNum p) const {
+    return p < hint_inc_.size() ? hint_inc_[p] : 0;
+  }
+
+  // Crash-with-amnesia: forgets everything — every local copy, every
+  // probable-owner hint, and all manager-side owner/copyset/transfer state
+  // (including queued transfers; their requesters' calls time out and
+  // retry). Manager entries do NOT return to their initial self-owned
+  // state: a restarted manager knows nothing until reconstruction
+  // (Host::RunManagerRecovery) rebuilds its entries from live hosts.
+  void WipeForCrash() {
+    for (auto& e : local_) e = LocalPageEntry{};
+    for (auto& m : managed_) m = ManagerEntry{};
+    std::fill(hints_.begin(), hints_.end(), kNoHint);
+    std::fill(hint_inc_.begin(), hint_inc_.end(), 0u);
   }
 
   // Iterates the pages managed by this host (janitor scans).
@@ -122,6 +145,7 @@ class PageTable {
   std::vector<LocalPageEntry> local_;
   std::vector<ManagerEntry> managed_;  // dense, indexed by p / num_hosts
   std::vector<net::HostId> hints_;     // probable owner per page (kNoHint)
+  std::vector<std::uint32_t> hint_inc_;  // hinted owner's incarnation
 };
 
 }  // namespace mermaid::dsm

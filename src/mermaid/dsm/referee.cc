@@ -10,6 +10,12 @@ void CoherenceReferee::OnInstall(net::HostId h, PageNum page,
                                  std::uint64_t version, Access access) {
   std::lock_guard<std::mutex> lk(mu_);
   PageState& st = pages_[page];
+  if (st.orphaned && st.holders.empty()) {
+    // The committed copy died with its holders; a recovery promotion may
+    // legally re-animate an older retained image as the new lineage.
+    st.version = version;
+    st.orphaned = false;
+  }
   MERMAID_CHECK_MSG(version >= st.version,
                     "host installed a copy older than the committed version");
   if (version > st.version) {
@@ -52,6 +58,40 @@ void CoherenceReferee::OnInvalidate(net::HostId h, PageNum page) {
   PageState& st = pages_[page];
   st.holders.erase(h);
   if (st.writer.has_value() && *st.writer == h) st.writer.reset();
+}
+
+void CoherenceReferee::OnHostCrash(net::HostId h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [page, st] : pages_) {
+    const bool held = st.holders.erase(h) != 0;
+    if (st.writer.has_value() && *st.writer == h) st.writer.reset();
+    if (held && st.holders.empty()) st.orphaned = true;
+  }
+}
+
+void CoherenceReferee::OnReinit(net::HostId h, PageNum page,
+                                std::uint64_t version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PageState& st = pages_[page];
+  if (!st.holders.empty()) {
+    std::fprintf(stderr,
+                 "referee: host %u reinitialized page %u (version %llu) "
+                 "with live holders:",
+                 static_cast<unsigned>(h), static_cast<unsigned>(page),
+                 static_cast<unsigned long long>(st.version));
+    for (net::HostId holder : st.holders) {
+      std::fprintf(stderr, " %u", static_cast<unsigned>(holder));
+    }
+    std::fprintf(stderr, "\n");
+  }
+  MERMAID_CHECK_MSG(st.holders.empty(),
+                    "page re-initialized while live copies exist");
+  // The committed version restarts: the old history died with the sole
+  // owner, and the referee must accept the fresh zero-page lineage.
+  st.version = version;
+  st.holders = {h};
+  st.writer.reset();
+  st.orphaned = false;
 }
 
 void CoherenceReferee::CheckAccess(net::HostId h, PageNum page,

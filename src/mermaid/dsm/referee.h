@@ -33,6 +33,12 @@ class CoherenceReferee {
   void OnDowngrade(net::HostId h, PageNum page);
   // Host `h` dropped its copy.
   void OnInvalidate(net::HostId h, PageNum page);
+  // Host `h` crashed with amnesia: every copy (and write grant) it held
+  // ceases to exist. MRSW invariants must keep holding for the survivors.
+  void OnHostCrash(net::HostId h);
+  // A recovering manager re-initialized a lost page to zeroes: `h` becomes
+  // the sole holder at `version` (the reinit-zero lost-page policy).
+  void OnReinit(net::HostId h, PageNum page, std::uint64_t version);
   // A typed access on host `h` with this access level and local version.
   void CheckAccess(net::HostId h, PageNum page, std::uint64_t local_version,
                    Access access) const;
@@ -42,6 +48,11 @@ class CoherenceReferee {
     std::uint64_t version = 0;
     std::set<net::HostId> holders;           // hosts with a valid copy
     std::optional<net::HostId> writer;       // host with write access
+    // Every holder died in a crash. The next install re-establishes the
+    // lineage at whatever version the surviving (possibly retained, hence
+    // older) image carries, so the version-monotonicity check is suspended
+    // for exactly that install.
+    bool orphaned = false;
   };
 
   mutable std::mutex mu_;

@@ -187,6 +187,7 @@ base::StatsRegistry& System::GatherStats() {
     merged_stats_.Merge(h->endpoint().frag_stats());
   }
   merged_stats_.Merge(network_->stats());
+  merged_stats_.Merge(sync_server_->stats());
   return merged_stats_;
 }
 
@@ -198,12 +199,51 @@ void System::ResetStats() {
   }
   network_->stats().Clear();
   central_server_->stats().Clear();
+  sync_server_->stats().Clear();
   merged_stats_.Clear();
   tracer_->Clear();
   // The bulk-copy budget counters are process-global (they audit every
   // Buffer copy, not just this system's); reset them too or a second run's
   // copy accounting starts inflated.
   base::BulkCopyReset();
+}
+
+void System::CrashHostAmnesia(net::HostId h) {
+  MERMAID_CHECK(started_);
+  MERMAID_CHECK_MSG(cfg_.crash_recovery,
+                    "CrashHostAmnesia requires config().crash_recovery");
+  // Host 0 carries the singleton services (allocator worker, sync server,
+  // central server); the failure model keeps it up (see DESIGN.md).
+  MERMAID_CHECK_MSG(h != 0, "host 0 (service host) is modeled as reliable");
+  // Order matters: the referee must forget the copies before the wipe
+  // re-seeds nothing, and the network must drop in-flight packets before
+  // the endpoint reincarnates (so no old-life delivery races the reset).
+  referee_.OnHostCrash(h);
+  network_->CrashHost(h);
+  hosts_.at(h)->CrashWipe();
+  sync_server_->BreakHost(h);
+}
+
+void System::RestartHostRecover(net::HostId h) {
+  network_->RestartHost(h);
+  Host& host = *hosts_.at(h);
+  // Replay the durable allocation metadata into the restarted manager so
+  // grants carry correct type/extent information again.
+  allocator_->ForEachTypedPage(
+      [&](PageNum p, arch::TypeId type, std::uint32_t alloc_bytes) {
+        if (p % num_hosts() == h) host.ApplyTypeSet(p, type, alloc_bytes);
+      });
+  host.RunManagerRecovery();
+}
+
+void System::CrashAndRestartHost(net::HostId h, SimDuration down_for) {
+  CrashHostAmnesia(h);
+  // Non-daemon: the engine must not declare the run finished while the
+  // restart (and the recovery rebuild) is still pending.
+  rt_.Spawn("dsm-recovery-" + std::to_string(h), [this, h, down_for] {
+    rt_.Delay(down_for);
+    RestartHostRecover(h);
+  });
 }
 
 System::QuiescenceReport System::CheckQuiescent() {
@@ -282,9 +322,33 @@ std::string System::ReportStats() {
                 static_cast<long long>(frag_delivered),
                 static_cast<long long>(frag_expired));
   out += line;
+  std::int64_t crashes = 0, fenced = 0, owner_lost = 0, pages_lost = 0;
+  std::int64_t zombie_calls = 0, broken_locks = 0;
+  for (auto& h : hosts_) {
+    auto& s = h->stats();
+    crashes += s.Count("dsm.crashes");
+    fenced += s.Count("dsm.fenced_transfers");
+    owner_lost += s.Count("dsm.owner_lost_reports");
+    pages_lost += s.Count("dsm.recovery_pages_lost");
+    zombie_calls += h->endpoint().stats().Count("reqrep.fenced_zombie_calls");
+  }
+  broken_locks += sync_server_->stats().Count("sync.broken_locks");
+  if (crashes != 0) {
+    std::snprintf(line, sizeof(line),
+                  "recovery: %lld crashes, %lld owner-lost reports, "
+                  "%lld pages lost, %lld fenced transfers, "
+                  "%lld zombie calls, %lld broken locks\n",
+                  static_cast<long long>(crashes),
+                  static_cast<long long>(owner_lost),
+                  static_cast<long long>(pages_lost),
+                  static_cast<long long>(fenced),
+                  static_cast<long long>(zombie_calls),
+                  static_cast<long long>(broken_locks));
+    out += line;
+  }
   // Per-message-class wire traffic (request/notify/reply payload bytes,
   // counted at the sending endpoint). Classes with no traffic are omitted.
-  for (std::uint8_t op = kOpAlloc; op <= kOpHintCovered; ++op) {
+  for (std::uint8_t op = kOpAlloc; op <= kOpMax; ++op) {
     const std::string cls = OpName(op);
     std::int64_t msgs = 0, bytes = 0;
     for (auto& h : hosts_) {
@@ -303,7 +367,7 @@ std::string System::ReportStats() {
   static constexpr const char* kHistNames[] = {
       "dsm.fault_service_ms", "reqrep.rtt_ms", "dsm.convert_time_ms",
       "dsm.invalidate_fanout", "dsm.fault_hops", "dsm.vm_fault_hops",
-      "dsm.vm_fault_rtts"};
+      "dsm.vm_fault_rtts", "dsm.recovery_ms"};
   for (const char* name : kHistNames) {
     base::Histogram merged;
     for (auto& h : hosts_) {

@@ -88,6 +88,22 @@ class System {
   // present so callers can Snapshot() unconditionally; empty when disabled.
   trace::Tracer& tracer() { return *tracer_; }
 
+  // Crash-stop with amnesia: host `h` loses every page copy, hint, manager
+  // entry, and in-flight operation; its incarnation is bumped so zombie
+  // replies from its previous life are fenced. The referee forgets its
+  // copies and the sync server breaks any locks it held. Requires
+  // config().crash_recovery. The host stays down (messages dropped) until
+  // RestartHostRecover.
+  void CrashHostAmnesia(net::HostId h);
+  // Brings a crashed host back: reconnects the network, replays the
+  // allocator's page type/extent metadata into the restarted manager (the
+  // one piece of state modeled as durable — see DESIGN.md), and runs
+  // manager-state reconstruction (blocking until the rebuild finishes).
+  void RestartHostRecover(net::HostId h);
+  // Convenience: CrashHostAmnesia now, then a spawned process delays
+  // `down_for` and runs RestartHostRecover.
+  void CrashAndRestartHost(net::HostId h, SimDuration down_for);
+
   // Protocol quiescence snapshot: once all application threads are done and
   // confirms have drained, no manager entry should remain busy and no
   // transfer queued. Chaos tests assert both are zero.

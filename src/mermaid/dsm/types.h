@@ -102,6 +102,23 @@ struct SystemConfig {
   // bounds the ring buffer; oldest events are evicted first.
   bool trace = false;
   std::size_t trace_capacity = 1 << 16;
+
+  // --- crash-stop recovery (default OFF: knobs-off wire format and Table
+  // 2/3/4 calibration are bit-identical; see DESIGN.md "Failure model") ---
+  //
+  // When on: every reqrep request/reply carries the sender's incarnation
+  // number (+4 wire bytes each way) so zombie traffic from a previous life
+  // is fenced; System::CrashAndRestartHost wipes the crashed host's page
+  // table, hints, conversion cache, and manager maps (crash-with-amnesia)
+  // and the restarted manager rebuilds owner/copyset state from live hosts'
+  // claims via kOpRecoveryQuery.
+  bool crash_recovery = false;
+  // What a recovering manager does when no live host holds a copy of one of
+  // its pages (the sole copy died with the crash): kFatal aborts loudly —
+  // data loss must never be silent — while kReinitZero re-initializes the
+  // page to zeroes at version 0 and counts it under dsm.recovery_pages_lost.
+  enum class LostPagePolicy : std::uint8_t { kFatal = 0, kReinitZero = 1 };
+  LostPagePolicy lost_page_policy = LostPagePolicy::kFatal;
 };
 
 // Protocol opcodes (one Endpoint per host, shared with the sync module).
@@ -126,6 +143,18 @@ inline constexpr std::uint8_t kOpGroupConfirm = 12; // requester -> manager (not
 inline constexpr std::uint8_t kOpInvalidateBatch = 13;  // writer -> copyset member
 inline constexpr std::uint8_t kOpHintConfirm = 14;  // requester -> manager (notify)
 inline constexpr std::uint8_t kOpHintCovered = 15;  // manager -> owner (notify)
+// Crash-stop recovery opcodes (only sent when SystemConfig::crash_recovery
+// is on). kOpRecoveryQuery: a restarted manager asks every live host what
+// it holds of the manager's pages; the reply carries per-page claims.
+// kOpPageLost: a requester that discovered an amnesiac/reincarnated owner
+// tells the page's manager so it can re-elect an owner from the copyset.
+// kOpRecoveryDemote: a recovering manager tells a host to drop or downgrade
+// a copy that lost the version/ownership conflict resolution (notify).
+inline constexpr std::uint8_t kOpRecoveryQuery = 16;  // manager -> all hosts
+inline constexpr std::uint8_t kOpPageLost = 17;       // requester -> manager
+inline constexpr std::uint8_t kOpRecoveryDemote = 18; // manager -> holder (notify)
+// Highest opcode, for per-class stats iteration.
+inline constexpr std::uint8_t kOpMax = kOpRecoveryDemote;
 
 // Role byte inside kOpReadReq/kOpWriteReq/kOpGroupFetch bodies: the same
 // opcode serves the requester->manager leg, the forwarded manager->owner
@@ -154,6 +183,9 @@ inline const char* OpName(std::uint8_t op) {
     case kOpInvalidateBatch: return "invalidate_batch";
     case kOpHintConfirm: return "hint_confirm";
     case kOpHintCovered: return "hint_covered";
+    case kOpRecoveryQuery: return "recovery_query";
+    case kOpPageLost: return "page_lost";
+    case kOpRecoveryDemote: return "recovery_demote";
     default: return "other";
   }
 }

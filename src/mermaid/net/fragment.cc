@@ -151,6 +151,21 @@ void Reassembler::SweepStale() {
   DropStaleLocked(now);
 }
 
+void Reassembler::PurgeAll() {
+  const SimTime now = rt_.Now();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    stats_.Inc("frag.stale_partials_dropped");
+    stats_.Inc("net.reassembly_expired");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Record(trace::EventKind::kReassemblyExpired, trace_self_, now,
+                      trace::kNoPage, it->first.second, 0,
+                      it->second.received);
+    }
+    it = partial_.erase(it);
+  }
+}
+
 std::size_t Reassembler::partial_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return partial_.size();

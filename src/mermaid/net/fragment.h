@@ -77,6 +77,12 @@ class Reassembler {
   // process other than the receive loop (internally locked).
   void SweepStale();
 
+  // Drops every partial regardless of age (crash-with-amnesia: a crashed
+  // host's half-reassembled messages must not survive into its next life,
+  // and must not sit in memory until the TTL sweeper ages them out).
+  // Counted under net.reassembly_expired like TTL drops.
+  void PurgeAll();
+
   std::size_t partial_count() const;
   SimDuration stale_after() const { return stale_after_; }
 

@@ -89,9 +89,22 @@ void Network::ResumeHost(HostId id) {
 }
 
 void Network::CrashHost(HostId id) {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    crashed_.insert(id);
+    stats_.Inc("net.host_crashes");
+    auto it = crash_hooks_.find(id);
+    if (it != crash_hooks_.end()) hook = it->second;
+  }
+  // Fired outside the lock: hooks reach back into endpoint state (e.g. the
+  // reassembler purge) whose own locks must not nest under mu_.
+  if (hook) hook();
+}
+
+void Network::SetCrashHook(HostId id, std::function<void()> hook) {
   std::lock_guard<std::mutex> lk(mu_);
-  crashed_.insert(id);
-  stats_.Inc("net.host_crashes");
+  crash_hooks_[id] = std::move(hook);
 }
 
 void Network::RestartHost(HostId id) {

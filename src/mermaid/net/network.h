@@ -134,6 +134,13 @@ class Network {
   void CrashHost(HostId id);    // like pause; in-flight packets also die
   void RestartHost(HostId id);
 
+  // Registers a hook fired (outside the network lock) every time `id` is
+  // crashed — imperatively via CrashHost or by a FaultPlan outage that uses
+  // CrashHost in its on_down. The endpoint layer uses it to purge the
+  // crashed host's partial reassembly buffers at crash time instead of
+  // leaving them to age out via the TTL sweeper.
+  void SetCrashHook(HostId id, std::function<void()> hook);
+
   // True if `id` cannot exchange packets at time `t` (outage or imperative
   // pause/crash). Exposed so protocol tests can line assertions up with the
   // scripted windows.
@@ -170,6 +177,7 @@ class Network {
   FaultPlan plan_;
   std::set<HostId> paused_;   // imperative PauseHost
   std::set<HostId> crashed_;  // imperative CrashHost
+  std::map<HostId, std::function<void()>> crash_hooks_;
   base::StatsRegistry stats_;
   trace::Tracer* tracer_ = nullptr;
 };

@@ -8,9 +8,12 @@
 namespace mermaid::net {
 
 // Request/notify wire layout within a Message payload:
-//   u8 type | u64 req_id | u16 origin | u8 op | body...
+//   u8 type | u64 req_id | u16 origin | u8 op | [u32 origin_inc] | body...
 // Reply layout:
-//   u8 type | u64 req_id | body...
+//   u8 type | u64 req_id | [u32 sender_inc] | body...
+// The bracketed incarnation stamps exist only when
+// Config::carry_incarnation is set (crash-stop recovery); the default wire
+// format is byte-identical to the pre-recovery protocol.
 
 void RequestContext::Reply(Body body, MsgKind kind) const {
   MERMAID_CHECK(ep_ != nullptr);
@@ -37,8 +40,10 @@ void RequestContext::Forward(HostId next, Body body) const {
     }
     ep_->stats_.Inc("reqrep.forwards");
   }
+  // Forwards keep the *origin's* incarnation stamp: the downstream handler
+  // and dedup table must fence on the requester's life, not the forwarder's.
   ep_->SendRequestWire(Endpoint::WireType::kRequest, next, op_, origin_,
-                       req_id_, body, MsgKind::kControl);
+                       req_id_, origin_inc_, body, MsgKind::kControl);
 }
 
 Endpoint::Endpoint(sim::Runtime& rt, Network& net, HostId self,
@@ -61,6 +66,10 @@ void Endpoint::SetHandler(std::uint8_t op,
 void Endpoint::Start() {
   MERMAID_CHECK(!started_);
   started_ = true;
+  // Crash hygiene: when the network crashes this host, its half-reassembled
+  // messages die with it immediately instead of lingering until the TTL
+  // sweeper ages them out.
+  net_.SetCrashHook(self_, [this] { reassembler_.PurgeAll(); });
   rt_.Spawn("reqrep-rx-" + std::to_string(self_), [this] { RxLoop(); },
             /*daemon=*/true);
   // Stale-reassembly sweeper. OnPacket purges expired partials only when a
@@ -89,14 +98,18 @@ namespace {
 constexpr std::size_t kRequestFramingBytes = 12;
 // Reply framing: u8 type | u64 req_id.
 constexpr std::size_t kReplyFramingBytes = 9;
+// Incarnation stamp appended to both layouts when carried.
+constexpr std::size_t kIncarnationBytes = 4;
 
-// Contiguous view of a message's protocol framing. The sender serializes
-// framing and protocol head into one chunk, so this is the first chunk in
-// practice; flatten only in degenerate tiny-chunk cases.
-base::Buffer FramingView(const base::BufferChain& payload) {
+// Contiguous view of a message's protocol framing (at least `framing_bytes`
+// of it). The sender serializes framing and protocol head into one chunk,
+// so this is the first chunk in practice; flatten only in degenerate
+// tiny-chunk cases.
+base::Buffer FramingView(const base::BufferChain& payload,
+                         std::size_t framing_bytes) {
   if (payload.chunk_count() == 0) return base::Buffer();
   base::Buffer head = payload.chunk(0);
-  if (head.size() < kRequestFramingBytes && head.size() < payload.size()) {
+  if (head.size() < framing_bytes && head.size() < payload.size()) {
     return payload.Flatten();
   }
   return head;
@@ -104,11 +117,87 @@ base::Buffer FramingView(const base::BufferChain& payload) {
 
 }  // namespace
 
+std::size_t Endpoint::RequestFramingBytes() const {
+  return kRequestFramingBytes +
+         (cfg_.carry_incarnation ? kIncarnationBytes : 0);
+}
+
+std::size_t Endpoint::ReplyFramingBytes() const {
+  return kReplyFramingBytes +
+         (cfg_.carry_incarnation ? kIncarnationBytes : 0);
+}
+
+std::uint32_t Endpoint::incarnation() const {
+  std::lock_guard<std::mutex> lk(maps_mu_);
+  return incarnation_;
+}
+
+std::uint32_t Endpoint::PeerIncarnation(HostId peer) const {
+  std::lock_guard<std::mutex> lk(maps_mu_);
+  auto it = peer_inc_.find(peer);
+  return it == peer_inc_.end() ? 0 : it->second;
+}
+
+bool Endpoint::FencePeerIncLocked(HostId peer, std::uint32_t inc) {
+  std::uint32_t& known = peer_inc_[peer];
+  if (inc < known) {
+    stats_.Inc("reqrep.fenced_stale_inc");
+    return true;
+  }
+  if (inc > known) {
+    known = inc;
+    // The peer's previous life's dedup entries describe requests that its
+    // new life has no memory of issuing; replaying their cached replies to
+    // the reincarnated peer would resurrect pre-crash protocol state.
+    std::size_t purged = 0;
+    for (auto it = dedup_.begin(); it != dedup_.end();) {
+      if (it->first.first == peer) {
+        it = dedup_.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+    if (purged > 0) {
+      for (auto it = dedup_order_.begin(); it != dedup_order_.end();) {
+        if (it->first == peer) {
+          it = dedup_order_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      stats_.Inc("reqrep.dedup_purged_reincarnation",
+                 static_cast<std::int64_t>(purged));
+    }
+  }
+  return false;
+}
+
+void Endpoint::CrashReset() {
+  std::size_t zombies = 0;
+  {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    ++incarnation_;
+    zombies = pending_.size();
+    // Abandon outstanding Calls: their processes survive (sim threads
+    // cannot be killed) but their reply channels are forgotten, so any
+    // late reply is counted as an orphan and the zombie call times out.
+    pending_.clear();
+    dedup_.clear();
+    dedup_order_.clear();
+  }
+  if (zombies > 0) {
+    stats_.Inc("reqrep.fenced_zombie_calls",
+               static_cast<std::int64_t>(zombies));
+  }
+  reassembler_.PurgeAll();
+}
+
 void Endpoint::RxLoop() {
   while (auto pkt = rx_.Recv()) {
     auto msg = reassembler_.OnPacket(std::move(*pkt));
     if (!msg.has_value()) continue;
-    base::Buffer head = FramingView(msg->payload);
+    base::Buffer head = FramingView(msg->payload, RequestFramingBytes());
     base::WireReader r(head.span());
     const auto type = static_cast<WireType>(r.U8());
     switch (type) {
@@ -125,6 +214,20 @@ void Endpoint::RxLoop() {
         sim::Chan<ReplyMsg> target;
         {
           std::lock_guard<std::mutex> lk(maps_mu_);
+          if (cfg_.carry_incarnation) {
+            // A reply stamped with a pre-crash incarnation of the sender
+            // describes state from its previous life — fence it before it
+            // can resolve a live call.
+            base::WireReader rr(head.span());
+            rr.U8();
+            rr.U64();
+            const std::uint32_t sender_inc = rr.U32();
+            if (!rr.ok()) {
+              stats_.Inc("reqrep.malformed");
+              break;
+            }
+            if (FencePeerIncLocked(msg->src, sender_inc)) break;
+          }
           auto it = pending_.find(req_id);
           if (it == pending_.end()) {
             stats_.Inc("reqrep.orphan_replies");  // caller gave up already
@@ -134,7 +237,7 @@ void Endpoint::RxLoop() {
         }
         ReplyMsg reply;
         reply.req_id = req_id;
-        reply.body = msg->payload.Slice(kReplyFramingBytes);
+        reply.body = msg->payload.Slice(ReplyFramingBytes());
         target.Send(std::move(reply));
         break;
       }
@@ -146,15 +249,24 @@ void Endpoint::RxLoop() {
 }
 
 void Endpoint::DispatchRequest(Message msg) {
-  base::Buffer framing = FramingView(msg.payload);
+  base::Buffer framing = FramingView(msg.payload, RequestFramingBytes());
   base::WireReader r(framing.span());
   const auto type = static_cast<WireType>(r.U8());
   const std::uint64_t req_id = r.U64();
   const HostId origin = r.U16();
   const std::uint8_t op = r.U8();
+  std::uint32_t origin_inc = 0;
+  if (cfg_.carry_incarnation) origin_inc = r.U32();
   if (!r.ok()) {
     stats_.Inc("reqrep.malformed");
     return;
+  }
+  if (cfg_.carry_incarnation) {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    // Requests from a previous life of the origin (zombie retransmissions,
+    // packets delayed across its crash) must not reach handlers: the new
+    // life has no record of them and their effects would be stale.
+    if (FencePeerIncLocked(origin, origin_inc)) return;
   }
 
   if (type == WireType::kRequest) {
@@ -184,7 +296,8 @@ void Endpoint::DispatchRequest(Message msg) {
         case DedupEntry::State::kForwarded:
           // Re-forward; the downstream dedup table replays its reply.
           SendRequestWire(WireType::kRequest, replay.forwarded_to, op, origin,
-                          req_id, replay.saved_body, MsgKind::kControl);
+                          req_id, origin_inc, replay.saved_body,
+                          MsgKind::kControl);
           break;
       }
       return;
@@ -201,7 +314,8 @@ void Endpoint::DispatchRequest(Message msg) {
   ctx.origin_ = origin;
   ctx.req_id_ = req_id;
   ctx.op_ = op;
-  ctx.body_ = msg.payload.Slice(kRequestFramingBytes).Flatten();
+  ctx.origin_inc_ = origin_inc;
+  ctx.body_ = msg.payload.Slice(RequestFramingBytes()).Flatten();
   stats_.Inc(type == WireType::kRequest ? "reqrep.requests_handled"
                                         : "reqrep.notifies_handled");
   it->second(std::move(ctx));
@@ -209,12 +323,14 @@ void Endpoint::DispatchRequest(Message msg) {
 
 void Endpoint::SendRequestWire(WireType type, HostId dst, std::uint8_t op,
                                HostId origin, std::uint64_t req_id,
-                               const Body& body, MsgKind kind) {
+                               std::uint32_t origin_inc, const Body& body,
+                               MsgKind kind) {
   base::WireWriter w;
   w.U8(static_cast<std::uint8_t>(type));
   w.U64(req_id);
   w.U16(origin);
   w.U8(op);
+  if (cfg_.carry_incarnation) w.U32(origin_inc);
   w.Raw(body.head);
   Message m;
   m.src = self_;
@@ -232,6 +348,10 @@ void Endpoint::SendReplyWire(HostId dst, std::uint8_t op,
   base::WireWriter w;
   w.U8(static_cast<std::uint8_t>(WireType::kReply));
   w.U64(req_id);
+  if (cfg_.carry_incarnation) {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    w.U32(incarnation_);
+  }
   w.Raw(body.head);
   Message m;
   m.src = self_;
@@ -295,8 +415,13 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
     base::BufferChain reply;
   };
   std::vector<Slot> slots(dsts.size());
+  // Stamped once at call start: a call that survives its host's crash as a
+  // zombie process keeps retransmitting with the old incarnation, so every
+  // receiver that has heard from the new life fences it.
+  std::uint32_t origin_inc = 0;
   {
     std::lock_guard<std::mutex> lk(maps_mu_);
+    origin_inc = incarnation_;
     for (auto& slot : slots) {
       slot.req_id = next_req_id_++;
       pending_.emplace(slot.req_id, reply_chan);
@@ -304,7 +429,7 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
   }
   for (std::size_t i = 0; i < dsts.size(); ++i) {
     SendRequestWire(WireType::kRequest, dsts[i], op, self_, slots[i].req_id,
-                    body, kind);
+                    origin_inc, body, kind);
     stats_.Inc("reqrep.requests_sent");
   }
 
@@ -336,6 +461,15 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
       shutdown = true;
       break;
     }
+    if (cfg_.carry_incarnation) {
+      // The endpoint reincarnated under this call (crash-with-amnesia):
+      // the pending entry is gone and every receiver fences the stale
+      // origin_inc, so retransmitting would spin the attempt budget dry.
+      // Bail out as a timeout; the caller's retry issues a fresh call
+      // stamped with the new life.
+      std::lock_guard<std::mutex> lk(maps_mu_);
+      if (incarnation_ != origin_inc) break;
+    }
     // Deadline hit: retransmit every unanswered request that has attempts
     // left; give up on the rest.
     bool any_left = false;
@@ -349,8 +483,8 @@ MultiCallResult Endpoint::MultiCallWithStatus(const std::vector<HostId>& dsts,
         tracer_->Record(trace::EventKind::kRetransmit, self_, rt_.Now(),
                         trace::kNoPage, s.req_id, 0, s.attempts, dsts[i]);
       }
-      SendRequestWire(WireType::kRequest, dsts[i], op, self_, s.req_id, body,
-                      kind);
+      SendRequestWire(WireType::kRequest, dsts[i], op, self_, s.req_id,
+                      origin_inc, body, kind);
     }
     if (!any_left) break;
     wait_ns = std::min(wait_ns * cfg_.backoff_factor,
@@ -424,7 +558,13 @@ std::optional<std::vector<std::vector<std::uint8_t>>> Endpoint::MultiCall(
 
 void Endpoint::Notify(HostId dst, std::uint8_t op, Body body, MsgKind kind) {
   stats_.Inc("reqrep.notifies_sent");
-  SendRequestWire(WireType::kNotify, dst, op, self_, 0, body, kind);
+  std::uint32_t origin_inc = 0;
+  if (cfg_.carry_incarnation) {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    origin_inc = incarnation_;
+  }
+  SendRequestWire(WireType::kNotify, dst, op, self_, 0, origin_inc, body,
+                  kind);
 }
 
 }  // namespace mermaid::net

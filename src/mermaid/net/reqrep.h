@@ -67,6 +67,10 @@ class RequestContext {
   std::uint8_t op() const { return op_; }
   std::span<const std::uint8_t> body() const { return body_.span(); }
 
+  // The origin's incarnation number at the time it issued the request
+  // (0 unless the endpoint carries incarnations).
+  std::uint32_t origin_inc() const { return origin_inc_; }
+
   // Sends the reply to the original requester.
   void Reply(Body body, MsgKind kind = MsgKind::kControl) const;
   // Passes the request (with a new body) to another host; the reply duty
@@ -80,6 +84,7 @@ class RequestContext {
   HostId origin_ = 0;
   std::uint64_t req_id_ = 0;
   std::uint8_t op_ = 0;
+  std::uint32_t origin_inc_ = 0;
   base::Buffer body_;
 };
 
@@ -134,6 +139,13 @@ class Endpoint {
     SimDuration backoff_cap = Seconds(4);
     double backoff_jitter = 0.2;
     std::uint64_t backoff_seed = 0x6d657277616964ULL;  // per-host salt added
+    // Crash-stop fencing: when true, every request carries the origin's
+    // incarnation number (+4 wire bytes) and every reply the sender's
+    // (+4 bytes); traffic stamped with an incarnation older than the
+    // receiver's latest knowledge of that peer is dropped and counted
+    // (reqrep.fenced_stale_inc). Default off so the knobs-off wire format
+    // and modeled byte counts are unchanged.
+    bool carry_incarnation = false;
   };
 
   // Attaches `self` to the network with the given architecture profile.
@@ -177,6 +189,20 @@ class Endpoint {
   // One-way message; at-most-once, no retransmission.
   void Notify(HostId dst, std::uint8_t op, Body body,
               MsgKind kind = MsgKind::kControl);
+
+  // Crash-with-amnesia: bumps this endpoint's incarnation number, abandons
+  // every outstanding Call (their zombie processes time out and observe
+  // kTimedOut; counted as reqrep.fenced_zombie_calls), and drops the dedup
+  // table and all partial reassemblies — none of the previous life's
+  // protocol state survives. The next_req_id_ counter is deliberately NOT
+  // reset so new calls can never collide with stale replies to old ids.
+  void CrashReset();
+
+  // This endpoint's current incarnation number (0 until the first crash).
+  std::uint32_t incarnation() const;
+  // Latest incarnation observed from `peer` (via its requests and replies);
+  // 0 until any incarnation-stamped traffic from the peer arrives.
+  std::uint32_t PeerIncarnation(HostId peer) const;
 
   HostId self() const { return self_; }
   sim::Runtime& runtime() { return rt_; }
@@ -227,9 +253,18 @@ class Endpoint {
   void DispatchRequest(Message msg);
   void SendRequestWire(WireType type, HostId dst, std::uint8_t op,
                        HostId origin, std::uint64_t req_id,
-                       const Body& body, MsgKind kind);
+                       std::uint32_t origin_inc, const Body& body,
+                       MsgKind kind);
   void SendReplyWire(HostId dst, std::uint8_t op, std::uint64_t req_id,
                      const Body& body, MsgKind kind);
+  // Framing sizes depend on whether incarnations are carried.
+  std::size_t RequestFramingBytes() const;
+  std::size_t ReplyFramingBytes() const;
+  // Records `inc` as peer's latest incarnation; returns true when `inc` is
+  // older than what we already know (the message must be fenced). A newer
+  // incarnation purges the peer's dedup entries (its new life restarts
+  // req-id-independent state). Caller must hold maps_mu_.
+  bool FencePeerIncLocked(HostId peer, std::uint32_t inc);
   // Per-message-class transmit accounting (no-op name fallback "op<N>"
   // when no namer is installed). `wire_bytes` is the full payload size
   // including the request/reply framing.
@@ -249,8 +284,11 @@ class Endpoint {
   // and the rx daemon genuinely run concurrently. Never held across a
   // blocking operation (Delay/Recv) — under the virtual-time engine an OS
   // mutex held across a process switch would wedge the scheduler.
-  std::mutex maps_mu_;
+  mutable std::mutex maps_mu_;
   std::uint64_t next_req_id_ = 1;
+  // Crash-stop fencing state (only used when cfg_.carry_incarnation).
+  std::uint32_t incarnation_ = 0;
+  std::map<HostId, std::uint32_t> peer_inc_;
   base::Rng backoff_rng_;  // jitter source; guarded by maps_mu_
   // Outstanding Calls/MultiCalls: req_id -> the caller's reply channel.
   std::map<std::uint64_t, sim::Chan<ReplyMsg>> pending_;

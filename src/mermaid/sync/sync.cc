@@ -42,6 +42,7 @@ void SyncServer::Handle(net::RequestContext ctx) {
   if (!r.ok()) return;
 
   Waiter self;
+  self.origin = ctx.origin();
   self.remote = std::move(ctx);
   std::vector<Waiter> release;
   {
@@ -70,6 +71,7 @@ bool SyncServer::ApplyLocked(std::uint8_t subop, SyncId id, std::int64_t arg,
       Sem& s = sems_[id];
       if (s.count > 0) {
         --s.count;
+        s.holders.insert(self.origin);
         release->push_back(std::move(self));
         return true;
       }
@@ -78,7 +80,12 @@ bool SyncServer::ApplyLocked(std::uint8_t subop, SyncId id, std::int64_t arg,
     }
     case kSemV: {
       Sem& s = sems_[id];
+      // A V normally releases the issuer's own hold; when used as a pure
+      // signal (no prior P from this host) there is no hold to clear.
+      auto hold = s.holders.find(self.origin);
+      if (hold != s.holders.end()) s.holders.erase(hold);
       if (!s.waiters.empty()) {
+        s.holders.insert(s.waiters.front().origin);
         release->push_back(std::move(s.waiters.front()));
         s.waiters.pop_front();
       } else {
@@ -163,6 +170,57 @@ void SyncServer::LocalBarrier(SyncId id, std::int64_t parties) {
 
 #undef MERMAID_SYNC_LOCAL
 
+void SyncServer::BreakHost(net::HostId h) {
+  std::vector<Waiter> release;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, s] : sems_) {
+      // Ghost waiters go first, so a force-released grant can never be
+      // consumed by a request whose issuer no longer exists.
+      const auto dropped = std::erase_if(
+          s.waiters, [h](const Waiter& w) { return w.origin == h; });
+      if (dropped != 0) {
+        stats_.Inc("sync.dead_waiters_dropped",
+                   static_cast<std::int64_t>(dropped));
+      }
+      auto broken = s.holders.count(h);
+      if (broken == 0) continue;
+      s.holders.erase(h);
+      // Each broken hold is a forced V: hand the grant to the next live
+      // waiter, or return it to the count.
+      while (broken-- > 0) {
+        stats_.Inc("sync.broken_locks");
+        if (!s.waiters.empty()) {
+          s.holders.insert(s.waiters.front().origin);
+          release.push_back(std::move(s.waiters.front()));
+          s.waiters.pop_front();
+        } else {
+          ++s.count;
+        }
+      }
+    }
+    for (auto& [id, e] : events_) {
+      const auto dropped = std::erase_if(
+          e.waiters, [h](const Waiter& w) { return w.origin == h; });
+      if (dropped != 0) {
+        stats_.Inc("sync.dead_waiters_dropped",
+                   static_cast<std::int64_t>(dropped));
+      }
+    }
+    // A dead barrier arrival is forgotten: the restarted host's thread must
+    // arrive again for the barrier to complete.
+    for (auto& [id, b] : barriers_) {
+      const auto dropped = std::erase_if(
+          b.waiters, [h](const Waiter& w) { return w.origin == h; });
+      if (dropped != 0) {
+        stats_.Inc("sync.dead_waiters_dropped",
+                   static_cast<std::int64_t>(dropped));
+      }
+    }
+  }
+  for (auto& w : release) Wake(w);
+}
+
 Client::Client(net::Endpoint* ep, net::HostId server_host, SyncServer* local)
     : ep_(ep), server_host_(server_host), local_(local) {}
 
@@ -178,9 +236,16 @@ void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg) {
   net::Endpoint::CallOpts opts;
   opts.timeout = Milliseconds(500);
   opts.max_attempts = 1 << 20;  // a parked P may wait arbitrarily long
+  const std::uint32_t inc0 = ep_->incarnation();
   auto r = ep_->CallWithStatus(server_host_, dsm::kOpSync,
                                EncodeOp(subop, id, arg),
                                net::MsgKind::kControl, opts);
+  // A call fenced by this host's own crash-with-amnesia is abandoned, not
+  // an error: the issuing life is gone, and the server either applied the
+  // op before the crash or broke the hold when the crash was reported.
+  if (r.status == net::CallStatus::kTimedOut && ep_->incarnation() != inc0) {
+    return;
+  }
   // Shutdown unwinds silently; anything else losing a sync op would corrupt
   // the application's synchronization invariants, so fail loudly.
   MERMAID_CHECK_MSG(r.status != net::CallStatus::kTimedOut,

@@ -19,8 +19,10 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <vector>
 
+#include "mermaid/base/stats.h"
 #include "mermaid/net/reqrep.h"
 #include "mermaid/sim/runtime.h"
 #include "mermaid/trace/trace.h"
@@ -47,6 +49,16 @@ class SyncServer {
   void LocalEventWait(SyncId id);
   void LocalBarrier(SyncId id, std::int64_t parties);
 
+  // Crash-stop repair: host `h` died with amnesia. Every semaphore hold it
+  // acquired is released (the grant passes to the next live waiter —
+  // sync.broken_locks), and its parked waiters are discarded so a grant is
+  // never consumed by a ghost (sync.dead_waiters_dropped). Threads on the
+  // server host itself are never broken: the server host is assumed
+  // non-crashing (see DESIGN.md).
+  void BreakHost(net::HostId h);
+
+  base::StatsRegistry& stats() { return stats_; }
+
  private:
   friend class Client;
 
@@ -60,15 +72,24 @@ class SyncServer {
     kBarrier = 7,
   };
 
+  // Origin marker for threads running on the server host itself (they reach
+  // the server without a request context and are assumed non-crashing).
+  static constexpr net::HostId kLocalOrigin = 0xFFFF;
+
   // A parked waiter: a remote request context or a local grant channel.
   struct Waiter {
     std::optional<net::RequestContext> remote;
     sim::Chan<bool> local;
+    net::HostId origin = kLocalOrigin;
   };
 
   struct Sem {
     std::int64_t count = 0;
     std::deque<Waiter> waiters;
+    // Hosts currently holding a grant (one entry per outstanding P). V from
+    // a host releases one of its own holds first; BreakHost force-releases
+    // every hold of the dead host.
+    std::multiset<net::HostId> holders;
   };
   struct Event {
     bool set = false;
@@ -90,6 +111,7 @@ class SyncServer {
   std::map<SyncId, Sem> sems_;
   std::map<SyncId, Event> events_;
   std::map<SyncId, Barrier> barriers_;
+  base::StatsRegistry stats_;
 };
 
 // Per-host client handle. For threads on the server host it short-circuits

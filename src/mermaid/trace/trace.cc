@@ -37,6 +37,13 @@ const char* KindName(EventKind k) {
     case EventKind::kGroupFetch: return "GroupFetch";
     case EventKind::kGroupServe: return "GroupServe";
     case EventKind::kInvalidateBatch: return "InvalidateBatch";
+    case EventKind::kRecoveryStart: return "RecoveryStart";
+    case EventKind::kRecoveryQuery: return "RecoveryQuery";
+    case EventKind::kRecoveryRebuild: return "RecoveryRebuild";
+    case EventKind::kRecoveryLost: return "RecoveryLost";
+    case EventKind::kRecoveryDone: return "RecoveryDone";
+    case EventKind::kRecoveryDemote: return "RecoveryDemote";
+    case EventKind::kOwnerLost: return "OwnerLost";
   }
   return "Unknown";
 }

@@ -71,6 +71,16 @@ enum class EventKind : std::uint8_t {
   kGroupFetch,           // a0 = page count, a1 = manager host
   kGroupServe,           // a0 = pages served with data, a1 = payload bytes
   kInvalidateBatch,      // a0 = fan-out (targets this round), a1 = page count
+  // Crash-stop recovery (SystemConfig::crash_recovery; see DESIGN.md
+  // "Failure model"). The whole recovery of one host forms a causal chain
+  // rooted at its kRecoveryStart, linked through RecoveryKey.
+  kRecoveryStart,        // a0 = new incarnation number
+  kRecoveryQuery,        // a0 = live hosts queried, a1 = hosts that answered
+  kRecoveryRebuild,      // page rebuilt; a0 = owner, a1 = version
+  kRecoveryLost,         // page lost;   a0 = policy (0 fatal, 1 reinit-zero)
+  kRecoveryDone,         // a0 = pages rebuilt, a1 = pages lost
+  kRecoveryDemote,       // a0 = demoted host, a1 = kept owner
+  kOwnerLost,            // requester saw an amnesiac owner; a0 = owner host
 };
 
 const char* KindName(EventKind k);
@@ -110,6 +120,11 @@ inline CausalKey InvKey(std::uint32_t page) {
 // back through it.
 inline CausalKey HintKey(std::uint16_t host, std::uint32_t page) {
   return {(4ull << 32) | page, host};
+}
+// One host's in-flight crash recovery: kRecoveryStart binds here and every
+// query/rebuild/lost/done event of that recovery links back through it.
+inline CausalKey RecoveryKey(std::uint16_t host) {
+  return {(5ull << 32), host};
 }
 
 class Tracer {

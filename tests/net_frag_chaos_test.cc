@@ -66,6 +66,51 @@ TEST(FragSweepStale, ExpiresAbandonedPartialWithoutFurtherPackets) {
   EXPECT_EQ(re.stats().Count("frag.stale_partials_dropped"), 1);
 }
 
+// Crash-with-amnesia purge: a crashed host's half-reassembled messages must
+// be dropped immediately at crash time, not leak until the TTL sweeper ages
+// them out (or worse, complete in the next incarnation from stale bytes).
+TEST(FragPurgeAll, DropsEveryPartialImmediatelyRegardlessOfAge) {
+  sim::Engine eng;
+  Network net(eng, {});
+  auto rx1 = net.Attach(1, &arch::Sun3Profile());
+  net.Attach(0, &arch::Sun3Profile());
+
+  Reassembler re(eng, Seconds(2));
+  bool fed = false;
+  eng.Spawn(
+      "receiver",
+      [&] {
+        while (auto pkt = rx1.Recv()) {
+          if (!fed) {
+            fed = true;
+            EXPECT_FALSE(re.OnPacket(*pkt).has_value());
+          }
+        }
+      },
+      /*daemon=*/true);
+
+  std::size_t live = 0, after_purge = 0;
+  eng.Spawn("main", [&] {
+    Fragmenter frag(eng, net, 0);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.kind = MsgKind::kData;
+    m.payload = std::vector<std::uint8_t>(4096, 0xAB);  // several fragments
+    frag.Send(std::move(m));
+    eng.Delay(Milliseconds(50));
+    live = re.partial_count();
+    re.PurgeAll();  // crash: the partial is nowhere near its 2 s TTL
+    after_purge = re.partial_count();
+  });
+  eng.Run();
+
+  EXPECT_TRUE(fed);
+  EXPECT_EQ(live, 1u) << "partial must be live before the crash";
+  EXPECT_EQ(after_purge, 0u) << "crash purge must not wait for the TTL";
+  EXPECT_EQ(re.stats().Count("net.reassembly_expired"), 1);
+}
+
 TEST(FragChaos, ReassemblyTableStaysBoundedUnder30PercentLoss) {
   sim::Engine eng;
   Network::Config ncfg;
