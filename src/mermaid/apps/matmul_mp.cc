@@ -80,8 +80,8 @@ MpMatMul::MpMatMul(dsm::System& sys) : sys_(sys) {
 
     // Per-host compute workers: enough to use the multiprocessor's CPUs.
     for (int w = 0; w < host->profile().cpu_count; ++w) {
-      host->runtime().Spawn(
-          "mp-worker-" + std::to_string(h) + "-" + std::to_string(w),
+      host->runtime().SpawnOn(
+          h, "mp-worker-" + std::to_string(h) + "-" + std::to_string(w),
           [state, host] {
             for (;;) {
               auto job = state->jobs.Recv();

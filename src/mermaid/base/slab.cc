@@ -1,0 +1,104 @@
+#include "mermaid/base/slab.h"
+
+#include <bit>
+
+#include "mermaid/base/check.h"
+
+namespace mermaid::base {
+
+namespace {
+// Every block must hold a FreeNode and keep 16-byte alignment so slabbed
+// objects (which may contain long doubles or vector registers saved by
+// ucontext) are as aligned as operator new would make them.
+constexpr std::size_t kBlockAlign = 16;
+
+std::size_t RoundBlock(std::size_t bytes) {
+  if (bytes < sizeof(void*)) bytes = sizeof(void*);
+  return (bytes + kBlockAlign - 1) & ~(kBlockAlign - 1);
+}
+}  // namespace
+
+Slab::Slab(std::size_t block_bytes, std::size_t blocks_per_chunk)
+    : block_(RoundBlock(block_bytes)), per_chunk_(blocks_per_chunk) {
+  MERMAID_CHECK(per_chunk_ > 0);
+}
+
+void Slab::Refill() {
+  auto chunk = std::make_unique<std::byte[]>(block_ * per_chunk_);
+  std::byte* base = chunk.get();
+  // operator new[] aligns to max_align_t and block_ is a multiple of 16, so
+  // every block in the chunk is 16-byte aligned.
+  for (std::size_t i = per_chunk_; i-- > 0;) {
+    auto* node = reinterpret_cast<FreeNode*>(base + i * block_);
+    node->next = free_;
+    free_ = node;
+  }
+  chunks_.push_back(std::move(chunk));
+  ++st_.chunks;
+  st_.bytes_reserved += block_ * per_chunk_;
+}
+
+void* Slab::Alloc() {
+  if (free_ == nullptr) Refill();
+  FreeNode* node = free_;
+  free_ = node->next;
+  ++st_.allocs;
+  if (++st_.live > st_.high_water) st_.high_water = st_.live;
+  return node;
+}
+
+void Slab::Free(void* p) {
+  MERMAID_CHECK(p != nullptr);
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = free_;
+  free_ = node;
+  ++st_.frees;
+  --st_.live;
+}
+
+int SlabPool::ClassOf(std::size_t bytes) {
+  if (bytes > kMaxBlock) return -1;
+  if (bytes < kMinBlock) bytes = kMinBlock;
+  const auto width = std::bit_width(bytes - 1);  // ceil(log2(bytes))
+  return static_cast<int>(width) - 4;            // class 0 == 16 bytes
+}
+
+void* SlabPool::Alloc(std::size_t bytes) {
+  const int cls = ClassOf(bytes);
+  if (cls < 0) {
+    ++fallback_allocs_;
+    return ::operator new(bytes);
+  }
+  if (classes_.size() <= static_cast<std::size_t>(cls)) {
+    classes_.resize(static_cast<std::size_t>(cls) + 1);
+  }
+  auto& slab = classes_[static_cast<std::size_t>(cls)];
+  if (!slab) {
+    slab = std::make_unique<Slab>(std::size_t{1} << (cls + 4));
+  }
+  return slab->Alloc();
+}
+
+void SlabPool::Free(void* p, std::size_t bytes) {
+  const int cls = ClassOf(bytes);
+  if (cls < 0) {
+    ++fallback_frees_;
+    ::operator delete(p);
+    return;
+  }
+  classes_[static_cast<std::size_t>(cls)]->Free(p);
+}
+
+SlabPool::Totals SlabPool::totals() const {
+  Totals t;
+  for (const auto& slab : classes_) {
+    if (slab) t.Accumulate(slab->stats());
+  }
+  t.fallback_allocs = fallback_allocs_;
+  t.allocs += fallback_allocs_;
+  t.frees += fallback_frees_;
+  t.live += fallback_allocs_ - fallback_frees_;
+  return t;
+}
+
+}  // namespace mermaid::base

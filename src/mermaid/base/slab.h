@@ -1,0 +1,94 @@
+// Slab allocation for the simulator hot path.
+//
+// A Slab hands out fixed-size blocks from chunked arenas through an
+// intrusive free list: Alloc/Free are a pointer pop/push, freed blocks are
+// recycled without touching the system allocator, and the chunks themselves
+// are only released when the Slab dies. SlabPool layers power-of-two size
+// classes on top for variably sized records (channel items) and falls back
+// to operator new above the largest class.
+//
+// Neither type is thread-safe; callers that can race (the engine's channel
+// item path) wrap a Slab in their own mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mermaid::base {
+
+class Slab {
+ public:
+  struct Stats {
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t live = 0;        // allocs - frees
+    std::uint64_t high_water = 0;  // max simultaneous live blocks
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes_reserved = 0;  // total arena bytes held
+
+    void Accumulate(const Stats& o) {
+      allocs += o.allocs;
+      frees += o.frees;
+      live += o.live;
+      high_water += o.high_water;
+      chunks += o.chunks;
+      bytes_reserved += o.bytes_reserved;
+    }
+  };
+
+  explicit Slab(std::size_t block_bytes, std::size_t blocks_per_chunk = 256);
+
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  void* Alloc();
+  void Free(void* p);
+
+  std::size_t block_bytes() const { return block_; }
+  const Stats& stats() const { return st_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  void Refill();
+
+  std::size_t block_;
+  std::size_t per_chunk_;
+  FreeNode* free_ = nullptr;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  Stats st_;
+};
+
+class SlabPool {
+ public:
+  SlabPool() = default;
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  // Blocks above kMaxBlock bypass the pool (counted as fallback allocs).
+  static constexpr std::size_t kMinBlock = 16;
+  static constexpr std::size_t kMaxBlock = 4096;
+
+  void* Alloc(std::size_t bytes);
+  void Free(void* p, std::size_t bytes);
+
+  // Sum over all size classes; `allocs` includes fallbacks.
+  struct Totals : Slab::Stats {
+    std::uint64_t fallback_allocs = 0;
+  };
+  Totals totals() const;
+
+ private:
+  static int ClassOf(std::size_t bytes);
+
+  std::vector<std::unique_ptr<Slab>> classes_;
+  std::uint64_t fallback_allocs_ = 0;
+  std::uint64_t fallback_frees_ = 0;
+};
+
+}  // namespace mermaid::base

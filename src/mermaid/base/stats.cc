@@ -122,12 +122,12 @@ Distribution StatsRegistry::DistCopy(const std::string& name) const {
 
 std::map<std::string, std::int64_t> StatsRegistry::Counters() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return counters_;
+  return {counters_.begin(), counters_.end()};
 }
 
 std::map<std::string, Distribution> StatsRegistry::Dists() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return dists_;
+  return {dists_.begin(), dists_.end()};
 }
 
 Histogram StatsRegistry::HistCopy(const std::string& name) const {
@@ -138,7 +138,7 @@ Histogram StatsRegistry::HistCopy(const std::string& name) const {
 
 std::map<std::string, Histogram> StatsRegistry::Hists() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return hists_;
+  return {hists_.begin(), hists_.end()};
 }
 
 void StatsRegistry::Clear() {
@@ -172,7 +172,7 @@ std::int64_t StatsRegistry::CountSinceEpoch(const std::string& name) const {
 std::map<std::string, std::int64_t> StatsRegistry::CountersSinceEpoch()
     const {
   std::lock_guard<std::mutex> lk(mu_);
-  std::map<std::string, std::int64_t> out = counters_;
+  std::map<std::string, std::int64_t> out(counters_.begin(), counters_.end());
   for (const auto& [name, base] : epoch_base_) {
     auto it = out.find(name);
     if (it != out.end()) {
@@ -194,14 +194,17 @@ void StatsRegistry::Merge(const StatsRegistry& other) {
 }
 
 std::string StatsRegistry::ToString() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  // Via the sorted snapshots: output order must not depend on hash layout.
+  const auto counters = Counters();
+  const auto dists = Dists();
+  const auto hists = Hists();
   std::ostringstream os;
-  for (const auto& [name, v] : counters_) os << name << ": " << v << "\n";
-  for (const auto& [name, d] : dists_) {
+  for (const auto& [name, v] : counters) os << name << ": " << v << "\n";
+  for (const auto& [name, d] : dists) {
     os << name << ": count=" << d.count() << " mean=" << d.mean()
        << " min=" << d.min() << " max=" << d.max() << "\n";
   }
-  for (const auto& [name, h] : hists_) {
+  for (const auto& [name, h] : hists) {
     os << name << ": count=" << h.count() << " mean=" << h.mean()
        << " p50=" << h.Percentile(50) << " p90=" << h.Percentile(90)
        << " p99=" << h.Percentile(99) << " max=" << h.max() << "\n";

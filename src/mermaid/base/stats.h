@@ -11,6 +11,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace mermaid::base {
 
@@ -88,7 +89,9 @@ class StatsRegistry {
   Distribution DistCopy(const std::string& name) const;
   Histogram HistCopy(const std::string& name) const;
 
-  // Snapshots of the full maps, for reporting.
+  // Snapshots of the full maps, for reporting. Always name-sorted (the
+  // internal storage is hashed for hot-path speed; sorting happens only
+  // here), so report text and merge order are independent of hash layout.
   std::map<std::string, std::int64_t> Counters() const;
   std::map<std::string, Distribution> Dists() const;
   std::map<std::string, Histogram> Hists() const;
@@ -113,10 +116,12 @@ class StatsRegistry {
  private:
   mutable std::mutex mu_;
   std::uint64_t epoch_ = 0;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, std::int64_t> epoch_base_;
-  std::map<std::string, Distribution> dists_;
-  std::map<std::string, Histogram> hists_;
+  // Hashed, not ordered: Inc/Sample/Hist are on the per-message hot path
+  // (several lookups per simulated packet). Every external view sorts.
+  std::unordered_map<std::string, std::int64_t> counters_;
+  std::unordered_map<std::string, std::int64_t> epoch_base_;
+  std::unordered_map<std::string, Distribution> dists_;
+  std::unordered_map<std::string, Histogram> hists_;
 };
 
 }  // namespace mermaid::base

@@ -128,8 +128,8 @@ void Host::Start() {
   // lease-revokes grants whose requester has been unreachable past the
   // grant lease. Blocks on a never-written channel so engine shutdown
   // unwinds it.
-  rt_.Spawn(
-      "dsm-janitor-" + std::to_string(self_),
+  rt_.SpawnOn(
+      self_, "dsm-janitor-" + std::to_string(self_),
       [this] {
         sim::Chan<bool> never(rt_);
         for (;;) {

@@ -97,7 +97,8 @@ void System::Start() {
   }
   for (auto& host : hosts_) host->Start();
 
-  rt_.Spawn("dsm-alloc-worker", [this] { AllocWorker(); }, /*daemon=*/true);
+  rt_.SpawnOn(0, "dsm-alloc-worker", [this] { AllocWorker(); },
+              /*daemon=*/true);
 }
 
 void System::AllocWorker() {
@@ -166,7 +167,7 @@ GlobalAddr System::Alloc(net::HostId h, arch::TypeId type,
 void System::SpawnThread(net::HostId h, const std::string& name,
                          std::function<void(Host&)> fn) {
   Host* host = hosts_.at(h).get();
-  rt_.Spawn(name, [host, fn = std::move(fn)] { fn(*host); });
+  rt_.SpawnOn(h, name, [host, fn = std::move(fn)] { fn(*host); });
 }
 
 Host& System::host(net::HostId h) { return *hosts_.at(h); }
@@ -240,7 +241,7 @@ void System::CrashAndRestartHost(net::HostId h, SimDuration down_for) {
   CrashHostAmnesia(h);
   // Non-daemon: the engine must not declare the run finished while the
   // restart (and the recovery rebuild) is still pending.
-  rt_.Spawn("dsm-recovery-" + std::to_string(h), [this, h, down_for] {
+  rt_.SpawnOn(h, "dsm-recovery-" + std::to_string(h), [this, h, down_for] {
     rt_.Delay(down_for);
     RestartHostRecover(h);
   });
@@ -391,6 +392,10 @@ std::string System::ReportStats() {
                   tracer_->capacity());
     out += line;
   }
+  // Scheduler/allocator internals (switch counts, timer-wheel and slab
+  // stats). Deliberately last and never part of GatherStats: the report is
+  // allowed to vary with scheduler knobs, the protocol stats are not.
+  out += rt_.SchedulerReport();
   return out;
 }
 

@@ -119,6 +119,15 @@ struct SystemConfig {
   // page to zeroes at version 0 and counts it under dsm.recovery_pages_lost.
   enum class LostPagePolicy : std::uint8_t { kFatal = 0, kReinitZero = 1 };
   LostPagePolicy lost_page_policy = LostPagePolicy::kFatal;
+
+  // --- scheduler (default OFF: legacy engine, whose event order defines
+  // every table) ---
+  //
+  // System never reads this itself; drivers that own the Engine construct
+  // it from here (`sim::Engine eng(cfg.engine);`) so one config struct
+  // carries the whole experiment, scheduler included. Any combination is
+  // proven bit-identical to legacy by the determinism regression suite.
+  sim::EngineOptions engine;
 };
 
 // Protocol opcodes (one Endpoint per host, shared with the sync module).

@@ -61,8 +61,8 @@ void Network::SetFaultPlan(FaultPlan plan) {
   if (firings.empty()) return;
   std::sort(firings.begin(), firings.end(),
             [](const Firing& a, const Firing& b) { return a.at < b.at; });
-  rt_.Spawn(
-      "net-chaos",
+  rt_.SpawnOn(
+      0, "net-chaos",
       [this, firings = std::move(firings)] {
         sim::Chan<bool> never(rt_);
         for (const Firing& f : firings) {

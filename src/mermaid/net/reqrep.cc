@@ -70,14 +70,15 @@ void Endpoint::Start() {
   // messages die with it immediately instead of lingering until the TTL
   // sweeper ages them out.
   net_.SetCrashHook(self_, [this] { reassembler_.PurgeAll(); });
-  rt_.Spawn("reqrep-rx-" + std::to_string(self_), [this] { RxLoop(); },
-            /*daemon=*/true);
+  rt_.SpawnOn(self_, "reqrep-rx-" + std::to_string(self_),
+              [this] { RxLoop(); },
+              /*daemon=*/true);
   // Stale-reassembly sweeper. OnPacket purges expired partials only when a
   // packet arrives; a host that stops receiving (partitioned, or the sender
   // gave up after its tail fragments were dropped) would otherwise hold its
   // partially reassembled messages — and their page-sized buffers — forever.
-  rt_.Spawn(
-      "frag-sweep-" + std::to_string(self_),
+  rt_.SpawnOn(
+      self_, "frag-sweep-" + std::to_string(self_),
       [this] {
         sim::Chan<int> never(rt_);
         const SimDuration period =

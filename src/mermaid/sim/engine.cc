@@ -1,24 +1,91 @@
 #include "mermaid/sim/engine.h"
 
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <queue>
 
 #include "mermaid/base/check.h"
 #include "mermaid/trace/trace.h"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define MERMAID_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MERMAID_HAS_ASAN 1
+#endif
+#endif
+
+#ifdef MERMAID_HAS_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+#ifndef MAP_STACK
+#define MAP_STACK 0
+#endif
+
 namespace mermaid::sim {
 
 namespace {
 // Identifies the process the current OS thread is running, to catch misuse
-// of process-only calls from the wrong thread.
+// of process-only calls from the wrong thread. In fiber mode every process
+// runs on the Run() thread, so the scheduler sets/clears this around each
+// fiber swap instead of each process thread setting it once.
 thread_local void* tls_proc = nullptr;
+
+// Ungrouped Spawn calls are spread round-robin over this many sub-queues.
+constexpr std::uint32_t kDefaultGroups = 16;
+
+EngineOptions Normalize(EngineOptions o) {
+  // The timer wheel feeds the sub-queue pick path; it cannot run under the
+  // legacy scan (which reads proc fields, not queues).
+  if (o.timer_wheel) o.subqueues = true;
+  return o;
+}
+
+// ASan must be told about every stack switch or it poisons/unpoisons the
+// wrong frames and reports false stack-use-after-return. No-ops elsewhere.
+inline void AsanStartSwitch(void** fake_save, const void* stack_lo,
+                            std::size_t stack_sz) {
+#ifdef MERMAID_HAS_ASAN
+  __sanitizer_start_switch_fiber(fake_save, stack_lo, stack_sz);
+#else
+  (void)fake_save;
+  (void)stack_lo;
+  (void)stack_sz;
+#endif
+}
+
+inline void AsanFinishSwitch(void* fake_restore, const void** old_lo,
+                             std::size_t* old_sz) {
+#ifdef MERMAID_HAS_ASAN
+  __sanitizer_finish_switch_fiber(fake_restore, old_lo, old_sz);
+#else
+  (void)fake_restore;
+  (void)old_lo;
+  (void)old_sz;
+#endif
+}
 }  // namespace
 
+EngineOptions EngineOptions::FromEnv() {
+  const char* v = std::getenv("MERMAID_ENGINE");
+  if (v == nullptr) return {};
+  const std::string s(v);
+  if (s == "opt" || s == "all" || s == "fast") return AllOn();
+  return {};
+}
+
 struct Engine::Proc {
+  Engine* eng = nullptr;
   std::string name;
   std::thread thread;
   std::condition_variable cv;
+  std::function<void()> fn;  // fiber mode only; threads capture it instead
   bool daemon = false;
   bool done = false;
   // Earliest virtual time at which this process may resume; kNever while it
@@ -26,6 +93,27 @@ struct Engine::Proc {
   SimTime wake_time = 0;
   std::uint64_t seq = 0;
   bool running = false;
+  // Scheduler affinity group (sub-queue index); unused in legacy mode.
+  std::uint32_t group = 0;
+  // True when the current (wake_time, seq) is a receive deadline rather
+  // than a pending delivery/delay: deadline waits park on the timer wheel.
+  bool wake_is_deadline = false;
+  TimerWheel::Timer* timer = nullptr;  // wheel node while parked there
+  // Fiber mode: context plus an mmapped stack with a guard page at the low
+  // end. asan_fake is ASan's fake-stack handle for this fiber.
+  ucontext_t uctx = {};
+  void* stack_base = nullptr;
+  std::size_t stack_total = 0;
+  void* stack_lo = nullptr;
+  std::size_t stack_usable = 0;
+  void* asan_fake = nullptr;
+};
+
+struct Engine::FiberState {
+  ucontext_t sched_ctx = {};
+  void* sched_fake = nullptr;  // ASan handle for the Run() thread's stack
+  const void* sched_lo = nullptr;
+  std::size_t sched_sz = 0;
 };
 
 class Engine::SimChan final : public ChanCore {
@@ -46,7 +134,7 @@ class Engine::SimChan final : public ChanCore {
       deleter_(item);
       return;
     }
-    deliver_time = std::max(deliver_time, eng_->now_);
+    deliver_time = std::max(deliver_time, eng_->now_rel());
     items_.push(Item{deliver_time, ++eng_->push_seq_, item});
     for (Proc* w : waiters_) eng_->MakeReadyLocked(w, deliver_time);
   }
@@ -59,19 +147,27 @@ class Engine::SimChan final : public ChanCore {
                       "Chan::Recv called outside a simulated process");
     for (;;) {
       if (eng_->shutting_down_) return nullptr;
-      if (!items_.empty() && items_.top().deliver <= eng_->now_) {
+      if (!items_.empty() && items_.top().deliver <= eng_->now_rel()) {
         void* item = items_.top().item;
         items_.pop();
         return item;
       }
-      if (deadline >= 0 && eng_->now_ >= deadline) {
+      if (deadline >= 0 && eng_->now_rel() >= deadline) {
         if (timed_out != nullptr) *timed_out = true;
         return nullptr;
       }
       SimTime wake = kNever;
       if (!items_.empty()) wake = items_.top().deliver;
-      if (deadline >= 0) wake = std::min(wake, deadline);
+      // Deadline-bound iff the deadline is strictly the earliest reason to
+      // wake; on a tie the pending delivery wins the classification (the
+      // (time, seq) key is the same either way, so the schedule is too).
+      bool deadline_bound = false;
+      if (deadline >= 0 && deadline < wake) {
+        wake = deadline;
+        deadline_bound = true;
+      }
       self->wake_time = wake;
+      self->wake_is_deadline = deadline_bound;
       self->seq = ++eng_->ready_seq_;
       waiters_.push_back(self);
       eng_->SwitchOutLocked(lk, self);
@@ -81,7 +177,7 @@ class Engine::SimChan final : public ChanCore {
 
   void* TryPop() override {
     std::unique_lock<std::mutex> lk(eng_->mu_);
-    if (!items_.empty() && items_.top().deliver <= eng_->now_) {
+    if (!items_.empty() && items_.top().deliver <= eng_->now_rel()) {
       void* item = items_.top().item;
       items_.pop();
       return item;
@@ -105,23 +201,48 @@ class Engine::SimChan final : public ChanCore {
   std::vector<Proc*> waiters_;
 };
 
-Engine::Engine() = default;
+Engine::Engine(EngineOptions opts) : opts_(Normalize(opts)) {
+  if (opts_.subqueues) subqueues_.resize(kDefaultGroups);
+  if (opts_.slab) {
+    proc_slab_ = std::make_unique<base::Slab>(sizeof(Proc), /*per_chunk=*/64);
+    item_slab_ = std::make_unique<base::SlabPool>();
+  }
+  if (opts_.fast_handoff) fibers_ = std::make_unique<FiberState>();
+}
 
 Engine::~Engine() {
   if (!run_called_ && live_total_ > 0) {
     // Processes were spawned but never driven; run them to completion so
-    // their threads can be joined.
+    // their threads/fibers can be reaped.
     Run();
   }
-  for (auto& p : procs_) {
-    if (p->thread.joinable()) p->thread.join();
-  }
+  DestroyProcs();
 }
 
-SimTime Engine::Now() {
-  std::unique_lock<std::mutex> lk(mu_);
-  return now_;
+Engine::Proc* Engine::NewProcLocked() {
+  if (proc_slab_) return new (proc_slab_->Alloc()) Proc();
+  return new Proc();
 }
+
+void Engine::DestroyProcs() {
+  for (Proc* p : procs_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+  for (Proc* p : procs_) {
+    void* stack = p->stack_base;
+    const std::size_t total = p->stack_total;
+    if (proc_slab_) {
+      p->~Proc();
+      proc_slab_->Free(p);
+    } else {
+      delete p;
+    }
+    if (stack != nullptr) munmap(stack, total);
+  }
+  procs_.clear();
+}
+
+SimTime Engine::Now() { return now_.load(std::memory_order_acquire); }
 
 void Engine::Delay(SimDuration d) {
   MERMAID_CHECK(d >= 0);
@@ -129,28 +250,52 @@ void Engine::Delay(SimDuration d) {
   Proc* self = current_;
   MERMAID_CHECK_MSG(self != nullptr && tls_proc == self,
                     "Delay called outside a simulated process");
-  self->wake_time = now_ + d;
+  self->wake_time = now_rel() + d;
+  self->wake_is_deadline = false;
   self->seq = ++ready_seq_;
   SwitchOutLocked(lk, self);
 }
 
 void Engine::Spawn(std::string name, std::function<void()> fn, bool daemon) {
+  SpawnInternal(-1, std::move(name), std::move(fn), daemon);
+}
+
+void Engine::SpawnOn(std::uint32_t group, std::string name,
+                     std::function<void()> fn, bool daemon) {
+  SpawnInternal(static_cast<std::int64_t>(group), std::move(name),
+                std::move(fn), daemon);
+}
+
+void Engine::SpawnInternal(std::int64_t group, std::string name,
+                           std::function<void()> fn, bool daemon) {
   std::unique_lock<std::mutex> lk(mu_);
   MERMAID_CHECK_MSG(!run_done_, "Spawn after Run completed");
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->Record(trace::EventKind::kProcSpawn, trace::kNoHost, now_,
+    tracer_->Record(trace::EventKind::kProcSpawn, trace::kNoHost, now_rel(),
                     trace::kNoPage, static_cast<std::uint64_t>(procs_.size()),
                     0, daemon ? 1 : 0);
   }
-  auto proc = std::make_unique<Proc>();
-  Proc* p = proc.get();
+  Proc* p = NewProcLocked();
+  p->eng = this;
   p->name = std::move(name);
   p->daemon = daemon;
-  p->wake_time = now_;
+  p->wake_time = now_rel();
+  p->wake_is_deadline = false;
   p->seq = ++ready_seq_;
+  if (opts_.subqueues) {
+    p->group = group >= 0 ? static_cast<std::uint32_t>(group)
+                          : (rr_group_++ & (kDefaultGroups - 1));
+    if (subqueues_.size() <= p->group) subqueues_.resize(p->group + 1);
+  }
   ++live_total_;
   if (!daemon) ++live_nondaemon_;
-  procs_.push_back(std::move(proc));
+  procs_.push_back(p);
+  EnqueueLocked(p);
+  if (fibers_) {
+    p->fn = std::move(fn);
+    CreateFiber(p);
+    return;
+  }
   p->thread = std::thread([this, p, fn = std::move(fn)]() {
     {
       std::unique_lock<std::mutex> lk2(mu_);
@@ -173,8 +318,40 @@ std::shared_ptr<ChanCore> Engine::MakeChan(
     std::function<void(void*)> deleter) {
   auto ch = std::make_shared<SimChan>(this, std::move(deleter));
   std::unique_lock<std::mutex> lk(mu_);
+  ++chans_created_;
+  if (chans_.size() >= chan_prune_at_) PruneChansLocked();
   chans_.push_back(ch);
   return ch;
+}
+
+void Engine::PruneChansLocked() {
+  std::erase_if(chans_,
+                [](const std::weak_ptr<SimChan>& w) { return w.expired(); });
+  chan_prune_at_ = std::max<std::size_t>(64, 2 * chans_.size());
+}
+
+std::size_t Engine::live_chan_count() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& w : chans_) {
+    if (!w.expired()) ++n;
+  }
+  return n;
+}
+
+void* Engine::AllocItem(std::size_t bytes) {
+  if (!item_slab_) return ::operator new(bytes);
+  std::lock_guard<std::mutex> lk(slab_mu_);
+  return item_slab_->Alloc(bytes);
+}
+
+void Engine::FreeItem(void* p, std::size_t bytes) {
+  if (!item_slab_) {
+    ::operator delete(p);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(slab_mu_);
+  item_slab_->Free(p, bytes);
 }
 
 SimTime Engine::Run() {
@@ -183,26 +360,109 @@ SimTime Engine::Run() {
   run_called_ = true;
   if (live_total_ == 0) {
     run_done_ = true;
-    return now_;
+    return now_rel();
   }
-  ScheduleLocked();
-  while (!run_done_) run_cv_.wait(lk);
-  return now_;
+  if (fibers_) {
+    RunFiberLoop(lk);
+  } else {
+    ScheduleLocked();
+    while (!run_done_) run_cv_.wait(lk);
+  }
+  return now_rel();
 }
 
 void Engine::MakeReadyLocked(Proc* p, SimTime t) {
   if (t < p->wake_time) {
     p->wake_time = t;
+    p->wake_is_deadline = false;
     p->seq = ++ready_seq_;
+    if (opts_.subqueues) {
+      CancelTimerLocked(p);
+      EnqueueLocked(p);
+    }
   }
 }
 
-void Engine::ScheduleLocked() {
-  MERMAID_CHECK(current_ == nullptr);
+void Engine::EnqueueLocked(Proc* p) {
+  if (!opts_.subqueues) return;
+  if (p->done || p->running || p->wake_time == kNever) return;
+  if (opts_.timer_wheel && p->wake_is_deadline) {
+    p->timer = wheel_.Arm(p->wake_time, p->seq, p);
+    return;
+  }
+  MinQ& q = subqueues_[p->group];
+  q.push(QEntry{p->wake_time, p->seq, p});
+  // Maintain the merge invariant (an entry with key <= each sub-queue's
+  // true min): only a new sub-queue minimum needs advertising.
+  if (q.top().seq == p->seq) {
+    merge_.push(MergeEntry{p->wake_time, p->seq, p->group});
+  }
+}
+
+void Engine::CancelTimerLocked(Proc* p) {
+  if (p->timer != nullptr) {
+    wheel_.Cancel(p->timer);
+    p->timer = nullptr;
+  }
+}
+
+void Engine::PruneSubLocked(MinQ& q) {
+  while (!q.empty()) {
+    const QEntry& e = q.top();
+    if (!e.p->done && !e.p->running && e.seq == e.p->seq) return;
+    q.pop();  // stale: the process was rescheduled under a newer seq
+  }
+}
+
+Engine::Proc* Engine::PeekSubLocked(SimTime* t, std::uint64_t* seq) {
   for (;;) {
+    if (merge_.empty()) return nullptr;
+    const MergeEntry m = merge_.top();
+    MinQ& q = subqueues_[m.group];
+    PruneSubLocked(q);
+    if (q.empty()) {
+      merge_.pop();
+      continue;
+    }
+    const QEntry& top = q.top();
+    if (top.t != m.t || top.seq != m.seq) {
+      // Stale advertisement; replace it with the queue's current min.
+      merge_.pop();
+      merge_.push(MergeEntry{top.t, top.seq, m.group});
+      continue;
+    }
+    *t = top.t;
+    *seq = top.seq;
+    return top.p;
+  }
+}
+
+bool Engine::PeekNextLocked(SimTime* t, std::uint64_t* seq) {
+  SimTime st;
+  std::uint64_t ss;
+  Proc* sub = PeekSubLocked(&st, &ss);
+  bool have = sub != nullptr;
+  if (have) {
+    *t = st;
+    *seq = ss;
+  }
+  SimTime wt;
+  std::uint64_t ws;
+  if (opts_.timer_wheel && wheel_.PeekMin(now_rel(), &wt, &ws)) {
+    if (!have || wt < *t || (wt == *t && ws < *seq)) {
+      *t = wt;
+      *seq = ws;
+      have = true;
+    }
+  }
+  return have;
+}
+
+Engine::Proc* Engine::PickNextLocked() {
+  if (!opts_.subqueues) {
+    // Legacy reference scheduler: linear scan, O(processes) per switch.
     Proc* best = nullptr;
-    for (auto& up : procs_) {
-      Proc* p = up.get();
+    for (Proc* p : procs_) {
       if (p->done || p->running) continue;
       if (p->wake_time == kNever) continue;
       if (best == nullptr || p->wake_time < best->wake_time ||
@@ -210,11 +470,45 @@ void Engine::ScheduleLocked() {
         best = p;
       }
     }
+    return best;
+  }
+  SimTime st = 0;
+  std::uint64_t ss = 0;
+  Proc* sub = PeekSubLocked(&st, &ss);
+  SimTime wt;
+  std::uint64_t ws;
+  if (opts_.timer_wheel && wheel_.PeekMin(now_rel(), &wt, &ws)) {
+    if (sub == nullptr || wt < st || (wt == st && ws < ss)) {
+      Proc* p = static_cast<Proc*>(wheel_.PopMin(now_rel()));
+      p->timer = nullptr;
+      return p;
+    }
+  }
+  if (sub == nullptr) return nullptr;
+  const std::uint32_t g = merge_.top().group;
+  subqueues_[g].pop();
+  merge_.pop();
+  PruneSubLocked(subqueues_[g]);
+  if (!subqueues_[g].empty()) {
+    const QEntry& next = subqueues_[g].top();
+    merge_.push(MergeEntry{next.t, next.seq, g});
+  }
+  return sub;
+}
+
+void Engine::DispatchLocked(Proc* p) {
+  now_.store(std::max(now_rel(), p->wake_time), std::memory_order_release);
+  current_ = p;
+  p->running = true;
+  ++switch_count_;
+}
+
+void Engine::ScheduleLocked() {
+  MERMAID_CHECK(current_ == nullptr);
+  for (;;) {
+    Proc* best = PickNextLocked();
     if (best != nullptr) {
-      now_ = std::max(now_, best->wake_time);
-      current_ = best;
-      best->running = true;
-      ++switch_count_;
+      DispatchLocked(best);
       best->cv.notify_one();
       return;
     }
@@ -233,23 +527,54 @@ void Engine::ScheduleLocked() {
 
 void Engine::SwitchOutLocked(std::unique_lock<std::mutex>& lk, Proc* self) {
   MERMAID_CHECK(current_ == self);
-  // Fast path: if this process is still the best candidate, resume it
-  // immediately without a thread handoff.
+  if (opts_.subqueues && self->wake_time != kNever) {
+    // Fast resume: if this process's new (wake, seq) is still the global
+    // minimum, the legacy scheduler would pick it right back — skip the
+    // enqueue/pick round-trip (and, in thread mode, the OS handoff).
+    SimTime bt;
+    std::uint64_t bs;
+    if (!PeekNextLocked(&bt, &bs) || self->wake_time < bt ||
+        (self->wake_time == bt && self->seq < bs)) {
+      now_.store(std::max(now_rel(), self->wake_time),
+                 std::memory_order_release);
+      ++switch_count_;  // the legacy scheduler counts this pick too
+      ++fast_resume_count_;
+      return;
+    }
+  }
   self->running = false;
+  EnqueueLocked(self);
   current_ = nullptr;
+  if (fibers_) {
+    // The scheduler loop owns the lock discipline; a fiber must release the
+    // mutex before swapping (the Run() thread re-acquires it).
+    lk.unlock();
+    SwitchToScheduler(self, /*final_exit=*/false);
+    lk.lock();
+    return;
+  }
   ScheduleLocked();
-  while (!self->running) self->cv.wait(lk);
+  bool waited = false;
+  while (!self->running) {
+    waited = true;
+    self->cv.wait(lk);
+  }
+  if (waited) ++handoff_count_;
 }
 
 void Engine::InitiateShutdownLocked() {
   shutting_down_ = true;
   // Wake every blocked process so channel receives observe shutdown.
-  for (auto& up : procs_) {
-    Proc* p = up.get();
+  for (Proc* p : procs_) {
     if (p->done || p->running) continue;
-    if (p->wake_time > now_) {
-      p->wake_time = now_;
+    if (p->wake_time > now_rel()) {
+      p->wake_time = now_rel();
+      p->wake_is_deadline = false;
       p->seq = ++ready_seq_;
+      if (opts_.subqueues) {
+        CancelTimerLocked(p);
+        EnqueueLocked(p);
+      }
     }
   }
 }
@@ -258,13 +583,164 @@ void Engine::DeadlockLocked() {
   std::fprintf(stderr,
                "sim::Engine deadlock at t=%lld ns: all %d live processes "
                "blocked with no pending event\n",
-               static_cast<long long>(now_), live_total_);
-  for (auto& up : procs_) {
-    if (!up->done) {
-      std::fprintf(stderr, "  blocked: %s\n", up->name.c_str());
+               static_cast<long long>(now_rel()), live_total_);
+  for (Proc* p : procs_) {
+    if (!p->done) {
+      std::fprintf(stderr, "  blocked: %s\n", p->name.c_str());
     }
   }
   std::abort();
+}
+
+// ---------------------------------------------------------------------------
+// Fiber (fast_handoff) machinery.
+
+void Engine::FiberTrampoline(unsigned hi, unsigned lo) {
+  auto* p = reinterpret_cast<Proc*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                    static_cast<std::uintptr_t>(lo));
+  p->eng->FiberMain(p);
+}
+
+void Engine::CreateFiber(Proc* p) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  std::size_t usable = opts_.fiber_stack_bytes;
+  usable = (usable + page - 1) & ~(page - 1);
+  const std::size_t total = usable + page;  // + guard page at the low end
+  void* base = mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  MERMAID_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+  MERMAID_CHECK(mprotect(base, page, PROT_NONE) == 0);
+  p->stack_base = base;
+  p->stack_total = total;
+  p->stack_lo = static_cast<char*>(base) + page;
+  p->stack_usable = usable;
+  MERMAID_CHECK(getcontext(&p->uctx) == 0);
+  p->uctx.uc_stack.ss_sp = p->stack_lo;
+  p->uctx.uc_stack.ss_size = usable;
+  p->uctx.uc_link = nullptr;
+  // makecontext only forwards ints; split the pointer across two.
+  const auto ptr = reinterpret_cast<std::uintptr_t>(p);
+  makecontext(&p->uctx, reinterpret_cast<void (*)()>(&Engine::FiberTrampoline),
+              2, static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+}
+
+void Engine::RunFiberLoop(std::unique_lock<std::mutex>& lk) {
+  for (;;) {
+    MERMAID_CHECK(current_ == nullptr);
+    Proc* best = PickNextLocked();
+    if (best == nullptr) {
+      if (live_total_ == 0) {
+        run_done_ = true;
+        return;
+      }
+      if (!shutting_down_ && live_nondaemon_ == 0) {
+        InitiateShutdownLocked();
+        continue;
+      }
+      DeadlockLocked();
+    }
+    DispatchLocked(best);
+    lk.unlock();
+    SwitchToFiber(best);
+    lk.lock();
+  }
+}
+
+void Engine::SwitchToFiber(Proc* p) {
+  tls_proc = p;
+  AsanStartSwitch(&fibers_->sched_fake, p->stack_lo, p->stack_usable);
+  swapcontext(&fibers_->sched_ctx, &p->uctx);
+  AsanFinishSwitch(fibers_->sched_fake, nullptr, nullptr);
+  tls_proc = nullptr;
+}
+
+void Engine::SwitchToScheduler(Proc* p, bool final_exit) {
+  // On final exit pass nullptr so ASan releases this fiber's fake stack.
+  AsanStartSwitch(final_exit ? nullptr : &p->asan_fake, fibers_->sched_lo,
+                  fibers_->sched_sz);
+  swapcontext(&p->uctx, &fibers_->sched_ctx);
+  AsanFinishSwitch(p->asan_fake, &fibers_->sched_lo, &fibers_->sched_sz);
+}
+
+void Engine::FiberMain(Proc* p) {
+  // First entry: no fake stack to restore; record the scheduler thread's
+  // stack bounds for the return switch.
+  AsanFinishSwitch(nullptr, &fibers_->sched_lo, &fibers_->sched_sz);
+  p->fn();
+  p->fn = nullptr;  // release captures on the fiber, like a thread would
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    p->done = true;
+    p->running = false;
+    p->wake_time = kNever;
+    --live_total_;
+    if (!p->daemon && --live_nondaemon_ == 0) InitiateShutdownLocked();
+    current_ = nullptr;
+  }
+  SwitchToScheduler(p, /*final_exit=*/true);
+  std::abort();  // a finished fiber is never resumed
+}
+
+// ---------------------------------------------------------------------------
+
+std::string Engine::SchedulerReport() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // All knobs off: stay silent so legacy reports are byte-identical to what
+  // they always printed.
+  if (!opts_.subqueues && !opts_.slab && !opts_.fast_handoff) return {};
+  char line[320];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "engine: subqueues=%d timer_wheel=%d slab=%d fast_handoff=%d\n",
+                opts_.subqueues ? 1 : 0, opts_.timer_wheel ? 1 : 0,
+                opts_.slab ? 1 : 0, opts_.fast_handoff ? 1 : 0);
+  out += line;
+  std::size_t live_chans = 0;
+  for (const auto& w : chans_) {
+    if (!w.expired()) ++live_chans;
+  }
+  std::snprintf(
+      line, sizeof(line),
+      "engine: switches=%llu os_handoffs=%llu fast_resumes=%llu procs=%zu "
+      "chans_live=%zu chans_created=%llu\n",
+      static_cast<unsigned long long>(switch_count_),
+      static_cast<unsigned long long>(handoff_count_),
+      static_cast<unsigned long long>(fast_resume_count_), procs_.size(),
+      live_chans, static_cast<unsigned long long>(chans_created_));
+  out += line;
+  if (opts_.timer_wheel) {
+    const TimerWheel::Stats& ws = wheel_.stats();
+    std::snprintf(line, sizeof(line),
+                  "engine: wheel arms=%llu cancels=%llu fires=%llu "
+                  "cascades=%llu pending=%zu\n",
+                  static_cast<unsigned long long>(ws.arms),
+                  static_cast<unsigned long long>(ws.cancels),
+                  static_cast<unsigned long long>(ws.fires),
+                  static_cast<unsigned long long>(ws.cascades), wheel_.size());
+    out += line;
+  }
+  if (item_slab_) {
+    base::SlabPool::Totals t;
+    {
+      std::lock_guard<std::mutex> slk(slab_mu_);
+      t = item_slab_->totals();
+    }
+    const base::Slab::Stats& ps = proc_slab_->stats();
+    std::snprintf(line, sizeof(line),
+                  "engine: item slab allocs=%llu frees=%llu high_water=%llu "
+                  "reserved=%llu fallback=%llu; proc slab allocs=%llu "
+                  "reserved=%llu\n",
+                  static_cast<unsigned long long>(t.allocs),
+                  static_cast<unsigned long long>(t.frees),
+                  static_cast<unsigned long long>(t.high_water),
+                  static_cast<unsigned long long>(t.bytes_reserved),
+                  static_cast<unsigned long long>(t.fallback_allocs),
+                  static_cast<unsigned long long>(ps.allocs),
+                  static_cast<unsigned long long>(ps.bytes_reserved));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace mermaid::sim

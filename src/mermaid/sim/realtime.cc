@@ -150,6 +150,12 @@ std::shared_ptr<ChanCore> RealTimeRuntime::MakeChan(
     std::function<void(void*)> deleter) {
   auto ch = std::make_shared<RtChan>(this, std::move(deleter));
   std::lock_guard<std::mutex> lk(shared_->mu);
+  if (shared_->chans.size() >= shared_->chan_prune_at) {
+    std::erase_if(shared_->chans,
+                  [](const std::weak_ptr<RtChan>& w) { return w.expired(); });
+    shared_->chan_prune_at =
+        std::max<std::size_t>(64, 2 * shared_->chans.size());
+  }
   shared_->chans.push_back(ch);
   return ch;
 }

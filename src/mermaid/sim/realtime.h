@@ -56,6 +56,9 @@ class RealTimeRuntime final : public Runtime {
     bool shutting_down = false;
     int live_nondaemon = 0;
     std::vector<std::weak_ptr<RtChan>> chans;
+    // Expired entries are swept once the vector doubles past this mark, so
+    // long-lived runtimes creating transient channels stay bounded.
+    std::size_t chan_prune_at = 64;
   };
 
   double time_scale_;

@@ -9,9 +9,11 @@
 //                     the protocol code is not simulation-bound.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <optional>
 #include <string>
 #include <utility>
@@ -23,6 +25,39 @@ class Tracer;
 }  // namespace mermaid::trace
 
 namespace mermaid::sim {
+
+// Scheduler options for the virtual-time Engine binding (sim/engine.h);
+// other Runtime bindings ignore them. Everything defaults off, so a
+// default-constructed Engine is the legacy reference scheduler whose event
+// order calibrates every table — each knob is proven bit-identical to it by
+// the determinism regression suite (see DESIGN.md "Engine internals").
+struct EngineOptions {
+  // Per-group ready heaps merged by a (time, seq) heap, replacing the
+  // O(processes) scheduler scan. Groups come from Runtime::SpawnOn (one per
+  // simulated host); ungrouped processes are spread round-robin.
+  bool subqueues = false;
+  // Hierarchical timer wheel for deadline waits (RecvUntil): O(1) arm and
+  // O(1) cancel-before-fire. Requires subqueues (implied when set).
+  bool timer_wheel = false;
+  // Slab allocation for process records and channel items.
+  bool slab = false;
+  // Fast handoff: processes run as user-level fibers driven by the Run()
+  // thread instead of one OS thread each, so a scheduler switch is a
+  // user-space context swap — OS handoffs per simulated event drop to ~0.
+  bool fast_handoff = false;
+  // Usable stack per fiber (only with fast_handoff). Each fiber maps this
+  // plus a guard page; memory is committed on touch.
+  std::size_t fiber_stack_bytes = 512 * 1024;
+
+  static EngineOptions AllOn() {
+    EngineOptions o;
+    o.subqueues = o.timer_wheel = o.slab = o.fast_handoff = true;
+    return o;
+  }
+  // MERMAID_ENGINE=opt|all|fast -> AllOn(); unset/legacy -> defaults.
+  // Lets soak drivers (longchaos) opt in without a flag change.
+  static EngineOptions FromEnv();
+};
 
 // Type-erased channel core. Items are heap-allocated by the typed wrapper;
 // the core owns them until popped and destroys leftovers with the deleter.
@@ -60,9 +95,34 @@ class Runtime {
   virtual void Spawn(std::string name, std::function<void()> fn,
                      bool daemon = false) = 0;
 
-  // Creates a channel core; `deleter` destroys unclaimed items.
+  // As Spawn, but tags the process with a scheduler affinity group (per-host
+  // daemons and workers pass their host id). Purely a performance hint for
+  // runtimes with per-group ready queues; the default forwards to Spawn and
+  // scheduling semantics never depend on the group.
+  virtual void SpawnOn(std::uint32_t group, std::string name,
+                       std::function<void()> fn, bool daemon = false) {
+    (void)group;
+    Spawn(std::move(name), std::move(fn), daemon);
+  }
+
+  // Creates a channel core; `deleter` destroys unclaimed items. Channels
+  // must not outlive the runtime that created them.
   virtual std::shared_ptr<ChanCore> MakeChan(
       std::function<void(void*)> deleter) = 0;
+
+  // Allocation hooks for channel items (every Chan<T>::Send allocates one
+  // record per message). The engine overrides these with a slab when its
+  // slab knob is on; the defaults are plain operator new/delete.
+  virtual void* AllocItem(std::size_t bytes) { return ::operator new(bytes); }
+  virtual void FreeItem(void* p, std::size_t bytes) {
+    (void)bytes;
+    ::operator delete(p);
+  }
+
+  // Human-readable scheduler/allocator internals (switch counts, wheel and
+  // slab stats). Folded into System::ReportStats; never part of
+  // GatherStats, whose output must not depend on scheduler knobs.
+  virtual std::string SchedulerReport() { return {}; }
 
   // Attaches a protocol tracer so the runtime can record scheduling events
   // (process spawns). Optional: the default binding ignores it. The tracer
@@ -76,14 +136,17 @@ class Chan {
  public:
   Chan() = default;
   explicit Chan(Runtime& rt)
-      : rt_(&rt),
-        core_(rt.MakeChan([](void* p) { delete static_cast<T*>(p); })) {}
+      : rt_(&rt), core_(rt.MakeChan([&rt](void* p) {
+          static_cast<T*>(p)->~T();
+          rt.FreeItem(p, sizeof(T));
+        })) {}
 
   bool valid() const { return core_ != nullptr; }
 
   // Sends `v`, deliverable after `delay` of channel latency.
   void Send(T v, SimDuration delay = 0) {
-    core_->Push(new T(std::move(v)), rt_->Now() + delay);
+    void* slot = rt_->AllocItem(sizeof(T));
+    core_->Push(new (slot) T(std::move(v)), rt_->Now() + delay);
   }
 
   // Blocks until a message arrives; nullopt means the runtime is shutting
@@ -106,8 +169,11 @@ class Chan {
  private:
   std::optional<T> Claim(void* p) {
     if (p == nullptr) return std::nullopt;
-    std::unique_ptr<T> owned(static_cast<T*>(p));
-    return std::optional<T>(std::move(*owned));
+    T* item = static_cast<T*>(p);
+    std::optional<T> out(std::move(*item));
+    item->~T();
+    rt_->FreeItem(item, sizeof(T));
+    return out;
   }
 
   Runtime* rt_ = nullptr;

@@ -1,0 +1,178 @@
+#include "mermaid/sim/timer_wheel.h"
+
+#include <bit>
+
+#include "mermaid/base/check.h"
+
+namespace mermaid::sim {
+
+struct TimerWheel::Timer {
+  Timer* prev;
+  Timer* next;
+  SimTime when;
+  std::uint64_t seq;
+  void* payload;
+  int level;  // -1 while on the overflow list
+  int slot;
+};
+
+namespace {
+inline bool KeyLess(SimTime t1, std::uint64_t s1, SimTime t2,
+                    std::uint64_t s2) {
+  return t1 != t2 ? t1 < t2 : s1 < s2;
+}
+}  // namespace
+
+TimerWheel::TimerWheel() : node_slab_(sizeof(Timer)) {}
+
+TimerWheel::~TimerWheel() = default;
+
+TimerWheel::Timer* TimerWheel::Arm(SimTime when, std::uint64_t seq,
+                                   void* payload) {
+  auto* n = static_cast<Timer*>(node_slab_.Alloc());
+  n->when = when;
+  n->seq = seq;
+  n->payload = payload;
+  Place(n);
+  ++st_.arms;
+  ++size_;
+  if (cached_min_ == nullptr) {
+    if (size_ == 1) cached_min_ = n;
+  } else if (KeyLess(when, seq, cached_min_->when, cached_min_->seq)) {
+    cached_min_ = n;
+  }
+  return n;
+}
+
+void TimerWheel::Place(Timer* n) {
+  for (int k = 0; k < kLevels; ++k) {
+    const std::uint64_t idx = SlotIndex(n->when, k);
+    if (idx < cur_[k] + kSlots) {
+      const int slot = static_cast<int>(idx & (kSlots - 1));
+      n->level = k;
+      n->slot = slot;
+      n->prev = nullptr;
+      n->next = heads_[k][slot];
+      if (n->next != nullptr) n->next->prev = n;
+      heads_[k][slot] = n;
+      occupied_[k] |= std::uint64_t{1} << slot;
+      return;
+    }
+  }
+  n->level = -1;
+  n->slot = 0;
+  n->prev = nullptr;
+  n->next = overflow_;
+  if (n->next != nullptr) n->next->prev = n;
+  overflow_ = n;
+}
+
+void TimerWheel::Unlink(Timer* n) {
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else if (n->level >= 0) {
+    heads_[n->level][n->slot] = n->next;
+    if (n->next == nullptr) {
+      occupied_[n->level] &= ~(std::uint64_t{1} << n->slot);
+    }
+  } else {
+    overflow_ = n->next;
+  }
+  if (n->next != nullptr) n->next->prev = n->prev;
+}
+
+void TimerWheel::Cancel(Timer* t) {
+  if (t == nullptr) return;
+  Unlink(t);
+  if (t == cached_min_) cached_min_ = nullptr;
+  ++st_.cancels;
+  --size_;
+  node_slab_.Free(t);
+}
+
+void TimerWheel::AdvanceTo(SimTime now) {
+  bool top_moved = false;
+  for (int k = 0; k < kLevels; ++k) {
+    const std::uint64_t nc = SlotIndex(now, k);
+    if (nc == cur_[k]) break;  // lower level unchanged => all above too
+    cur_[k] = nc;
+    if (k == kLevels - 1) top_moved = true;
+    if (k == 0) continue;  // level-0 slots fire directly, never cascade
+    // The slot that just became current spans part of the lower level's
+    // window; re-file its nodes downward. Slots passed entirely cannot be
+    // occupied: their whole window is < now, and the engine never advances
+    // past a pending timer.
+    const int slot = static_cast<int>(nc & (kSlots - 1));
+    Timer* n = heads_[k][slot];
+    heads_[k][slot] = nullptr;
+    occupied_[k] &= ~(std::uint64_t{1} << slot);
+    while (n != nullptr) {
+      Timer* next = n->next;
+      Place(n);  // lands at a level < k (cur_ below is already advanced)
+      ++st_.cascades;
+      n = next;
+    }
+  }
+  if (top_moved && overflow_ != nullptr) {
+    Timer* n = overflow_;
+    while (n != nullptr) {
+      Timer* next = n->next;
+      if (SlotIndex(n->when, kLevels - 1) < cur_[kLevels - 1] + kSlots) {
+        Unlink(n);
+        Place(n);
+        ++st_.cascades;
+      }
+      n = next;
+    }
+  }
+}
+
+void TimerWheel::EnsureMin(SimTime now) {
+  AdvanceTo(now);
+  if (cached_min_ != nullptr || size_ == 0) return;
+  Timer* best = nullptr;
+  for (int k = 0; k < kLevels; ++k) {
+    if (occupied_[k] == 0) continue;
+    // First occupied slot in absolute order: slots at this level hold
+    // indices in [cur, cur+64), so rotating the bitmap by cur's position
+    // turns "first set bit" into "earliest window".
+    const int start = static_cast<int>(cur_[k] & (kSlots - 1));
+    const int off = std::countr_zero(std::rotr(occupied_[k], start));
+    const int pos = (start + off) & (kSlots - 1);
+    for (Timer* n = heads_[k][pos]; n != nullptr; n = n->next) {
+      if (best == nullptr ||
+          KeyLess(n->when, n->seq, best->when, best->seq)) {
+        best = n;
+      }
+    }
+  }
+  for (Timer* n = overflow_; n != nullptr; n = n->next) {
+    if (best == nullptr || KeyLess(n->when, n->seq, best->when, best->seq)) {
+      best = n;
+    }
+  }
+  cached_min_ = best;
+}
+
+bool TimerWheel::PeekMin(SimTime now, SimTime* when, std::uint64_t* seq) {
+  if (size_ == 0) return false;
+  EnsureMin(now);
+  *when = cached_min_->when;
+  *seq = cached_min_->seq;
+  return true;
+}
+
+void* TimerWheel::PopMin(SimTime now) {
+  MERMAID_CHECK(size_ != 0);
+  EnsureMin(now);
+  Timer* n = cached_min_;
+  Unlink(n);
+  cached_min_ = nullptr;
+  ++st_.fires;
+  --size_;
+  void* payload = n->payload;
+  node_slab_.Free(n);
+  return payload;
+}
+
+}  // namespace mermaid::sim

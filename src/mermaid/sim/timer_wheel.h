@@ -1,0 +1,106 @@
+// Hierarchical timer wheel with exact (time, seq) ordering.
+//
+// Purpose-built for the engine's high-churn cancellable timers: reqrep
+// retransmit deadlines, lease/TTL expiries, and reassembly sweeps arm a
+// deadline, then usually cancel it when the awaited reply lands first. Arm
+// and Cancel are O(1) (an intrusive doubly-linked insert/unlink into a
+// slab-recycled node), so the common cancel-before-fire case costs no heap
+// traffic and no deferred tombstone pops — the failure mode of a lazy
+// binary heap.
+//
+// Unlike a classic tick-rounded wheel, every node stores its exact
+// (deadline, seq) key and PeekMin/PopMin return the exact global minimum,
+// so a scheduler that interleaves wheel timers with other event sources by
+// (time, seq) produces *bit-identical* order to a single totally ordered
+// queue. Slots only bound where a node is filed, never when it fires.
+//
+// Geometry: kLevels levels of 64 slots over a tick of 2^12 ns (~4.1 us).
+// Level k spans tick * 64^(k+1); six levels cover ~9 simulated years, and
+// anything beyond that sits in an overflow list that re-files as time
+// approaches. A per-level occupancy bitmap makes the min scan O(levels),
+// and a cached-min pointer makes the typical PeekMin O(1).
+//
+// Precondition shared with the engine: `now` passed to PeekMin/PopMin never
+// exceeds the earliest armed deadline (the engine only advances virtual
+// time to the minimum pending event), so cascading never has to fire
+// overdue timers while re-filing.
+//
+// Not thread-safe; the engine calls it under its scheduler lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mermaid/base/slab.h"
+#include "mermaid/base/time.h"
+
+namespace mermaid::sim {
+
+class TimerWheel {
+ public:
+  struct Stats {
+    std::uint64_t arms = 0;
+    std::uint64_t cancels = 0;
+    std::uint64_t fires = 0;
+    std::uint64_t cascades = 0;  // node re-files during time advance
+  };
+
+  // Opaque handle, valid from Arm until the timer fires or is cancelled.
+  struct Timer;
+
+  TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+  ~TimerWheel();
+
+  // Arms a timer at absolute time `when` with tie-break `seq` (callers use
+  // a globally unique sequence so ordering is total). O(1).
+  Timer* Arm(SimTime when, std::uint64_t seq, void* payload);
+
+  // O(1) unlink; the node is recycled. nullptr is a no-op so callers can
+  // blindly cancel a handle they null out on fire (cancel-after-fire safe).
+  void Cancel(Timer* t);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Exact earliest (when, seq) armed; false when empty. Advances the
+  // internal cascade position to `now` first.
+  bool PeekMin(SimTime now, SimTime* when, std::uint64_t* seq);
+
+  // Removes the earliest timer and returns its payload. Must not be called
+  // empty.
+  void* PopMin(SimTime now);
+
+  const Stats& stats() const { return st_; }
+
+ private:
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;  // 64: one occupancy word
+  static constexpr int kLevels = 6;
+  static constexpr int kTickBits = 12;  // tick = 4096 ns
+
+  // Absolute slot index of `t` at `level` (monotonic, never wraps within a
+  // SimTime range: 63 - 12 - 6*5 > 0 bits survive at the top level).
+  static std::uint64_t SlotIndex(SimTime t, int level) {
+    return static_cast<std::uint64_t>(t) >>
+           (kTickBits + kSlotBits * level);
+  }
+
+  void AdvanceTo(SimTime now);
+  void Place(Timer* n);  // files `n` by its deadline relative to cur_[]
+  void Unlink(Timer* n);
+  void EnsureMin(SimTime now);
+
+  Timer* heads_[kLevels][kSlots] = {};
+  std::uint64_t occupied_[kLevels] = {};  // bit s: heads_[level][s] != null
+  std::uint64_t cur_[kLevels] = {};       // absolute slot index of `now`
+  Timer* overflow_ = nullptr;             // beyond the top level's horizon
+  Timer* cached_min_ = nullptr;           // null = recompute on next peek
+  std::size_t size_ = 0;
+  base::Slab node_slab_;
+  Stats st_;
+};
+
+}  // namespace mermaid::sim

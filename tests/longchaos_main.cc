@@ -75,7 +75,9 @@ void DumpTraceOnAbort(int) {
 }  // namespace
 
 int Run(std::uint64_t seed, double sim_seconds) {
-  sim::Engine eng;
+  // MERMAID_ENGINE=opt turns on the scale-out scheduler; protocol behavior
+  // (and the soak's invariant checks) are bit-identical either way.
+  sim::Engine eng(sim::EngineOptions::FromEnv());
   dsm::System sys(eng, SoakConfig(seed),
                   {&arch::Sun3Profile(), &arch::FireflyProfile(),
                    &arch::FireflyProfile(), &arch::Sun3Profile()});

@@ -1,5 +1,6 @@
 #include <atomic>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -224,6 +225,149 @@ TEST(SimEngine, ManyProcessesStress) {
   });
   eng.Run();
   EXPECT_EQ(sum, kProcs * kMsgs);
+}
+
+// --- scale-out scheduler parity ------------------------------------------
+//
+// The legacy scan is the reference; every knob combination must reproduce
+// its interleaving, final time, and switch count exactly. The workload is
+// built to stress each optimized structure: SpawnOn groups (sub-queues),
+// request/reply with deadlines that sometimes fire and sometimes get beaten
+// (timer-wheel arm/cancel churn), bursts of sends (slab item traffic), and
+// tight ping-pong (fast-resume and fiber handoff).
+
+std::string KnobName(const EngineOptions& o) {
+  std::string s;
+  if (o.subqueues) s += "subqueues,";
+  if (o.timer_wheel) s += "wheel,";
+  if (o.slab) s += "slab,";
+  if (o.fast_handoff) s += "fibers,";
+  return s.empty() ? "legacy" : s;
+}
+
+struct ParityResult {
+  std::vector<std::string> trace;
+  SimTime end = 0;
+  std::uint64_t switches = 0;
+};
+
+ParityResult RunChurnWorkload(const EngineOptions& opts) {
+  ParityResult r;
+  Engine eng(opts);
+  constexpr int kWorkers = 6;
+  constexpr int kRounds = 25;
+  Chan<int> req(eng);
+  std::vector<Chan<int>> replies;
+  replies.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) replies.emplace_back(eng);
+  // Server answers fast or slow; slow replies lose to the caller deadline,
+  // so the armed timer actually fires (wheel pop), while fast ones cancel
+  // it (wheel unlink).
+  eng.SpawnOn(
+      0, "server",
+      [&] {
+        for (;;) {
+          auto m = req.Recv();
+          if (!m) return;
+          const int who = *m % kWorkers;
+          const int k = *m / kWorkers;
+          eng.Delay(Microseconds(k % 5 == 0 ? 300 : 20));
+          replies[static_cast<std::size_t>(who)].Send(k, Microseconds(10));
+        }
+      },
+      /*daemon=*/true);
+  for (int i = 0; i < kWorkers; ++i) {
+    eng.SpawnOn(static_cast<std::uint32_t>(1 + i % 3),
+                "w" + std::to_string(i), [&, i] {
+                  for (int k = 0; k < kRounds; ++k) {
+                    eng.Delay(Microseconds(13 * (i + 1) + k));
+                    req.Send(k * kWorkers + i);
+                    bool timed_out = false;
+                    auto v = replies[static_cast<std::size_t>(i)].RecvUntil(
+                        eng.Now() + Microseconds(150), &timed_out);
+                    r.trace.push_back(std::to_string(i) + "/" +
+                                      std::to_string(k) + "@" +
+                                      std::to_string(eng.Now()) +
+                                      (v ? ":ok" : ":to"));
+                    if (timed_out) {
+                      // Drain the late reply so the next round's reply
+                      // isn't misattributed.
+                      replies[static_cast<std::size_t>(i)].Recv();
+                    }
+                  }
+                });
+  }
+  // Ungrouped spawn exercising the round-robin path and plain delays.
+  eng.Spawn("ticker", [&] {
+    for (int k = 0; k < 40; ++k) {
+      eng.Delay(Microseconds(90));
+      r.trace.push_back("tick@" + std::to_string(eng.Now()));
+    }
+  });
+  r.end = eng.Run();
+  r.switches = eng.switch_count();
+  return r;
+}
+
+TEST(SimEngineParity, EveryKnobComboMatchesLegacyBitForBit) {
+  const ParityResult ref = RunChurnWorkload(EngineOptions{});
+  ASSERT_GT(ref.trace.size(), 100u);
+  for (int bits = 1; bits < 16; ++bits) {
+    EngineOptions o;
+    o.subqueues = (bits & 1) != 0;
+    o.timer_wheel = (bits & 2) != 0;
+    o.slab = (bits & 4) != 0;
+    o.fast_handoff = (bits & 8) != 0;
+    const ParityResult got = RunChurnWorkload(o);
+    EXPECT_EQ(got.trace, ref.trace) << KnobName(o);
+    EXPECT_EQ(got.end, ref.end) << KnobName(o);
+    EXPECT_EQ(got.switches, ref.switches) << KnobName(o);
+  }
+}
+
+TEST(SimEngineParity, FastResumeEngagesWithoutChangingSwitchCount) {
+  auto ping_pong = [](EngineOptions o) {
+    Engine eng(o);
+    Chan<int> a(eng), b(eng);
+    eng.Spawn("ping", [&] {
+      for (int i = 0; i < 200; ++i) {
+        a.Send(i, Microseconds(1));
+        b.Recv();
+      }
+    });
+    eng.Spawn("pong", [&] {
+      for (int i = 0; i < 200; ++i) {
+        a.Recv();
+        b.Send(i, Microseconds(1));
+      }
+    });
+    eng.Run();
+    return std::pair<std::uint64_t, std::uint64_t>(eng.switch_count(),
+                                                   eng.fast_resume_count());
+  };
+  const auto legacy = ping_pong(EngineOptions{});
+  const auto opt = ping_pong(EngineOptions::AllOn());
+  EXPECT_EQ(legacy.first, opt.first);
+  EXPECT_EQ(legacy.second, 0u);
+  EXPECT_GT(opt.second, 0u);  // the hot path actually engages
+}
+
+// Regression for the MakeChan retention leak: the engine used to keep a
+// shared_ptr to every channel ever created, so transient channels (one per
+// RPC in reqrep) accumulated for the whole run. It now holds weak refs and
+// prunes; after a churn soak the live count must return to baseline.
+TEST(SimEngine, TransientChannelsDoNotAccumulate) {
+  Engine eng;
+  Chan<int> keep(eng);  // the one deliberately long-lived channel
+  eng.Spawn("churn", [&] {
+    for (int i = 0; i < 5000; ++i) {
+      Chan<int> tmp(eng);
+      tmp.Send(i);
+      EXPECT_EQ(*tmp.Recv(), i);
+    }
+  });
+  eng.Run();
+  EXPECT_EQ(eng.live_chan_count(), 1u);
 }
 
 TEST(RealTimeRuntime, ChannelAndDelayWork) {
