@@ -1,0 +1,192 @@
+// §3.3 "Thrashing", fixed — sequential consistency vs. release consistency
+// on the write-sharing workloads.
+//
+// MM2 with the large page-size algorithm is the paper's pathological case:
+// an 8 KB result page holds 8 rows, rows are dealt round-robin, and every
+// element store under write-invalidate ping-pongs the whole page between
+// Fireflies. With SystemConfig::release_consistency on, each writer twins
+// the page and keeps writing locally; the done-semaphore V (a release)
+// ships only the byte-range diffs to the page's home, and the master's P
+// (an acquire) pulls the write notices. Same program, same synchronization,
+// a fraction of the wire traffic.
+//
+// This bench runs the identical workload under both modes and FAILS (exit
+// 1) unless RC cuts write-sharing wire bytes by at least 2x AND completes
+// faster — it is the CI gate for the RC mode, not just a report.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace mermaid;
+
+struct WireRun {
+  double seconds = 0;
+  bool correct = false;
+  std::int64_t wire_bytes = 0;
+  std::int64_t packets = 0;
+  std::int64_t pages_transferred = 0;
+  std::int64_t rc_flushes = 0;
+  std::int64_t rc_flush_bytes = 0;
+};
+
+// Like benchutil::RunMatMulOnce, but captures total wire bytes (every
+// packet the network carried, invalidations and sync included — the
+// number the thrash fix is supposed to shrink).
+WireRun RunMm(const dsm::SystemConfig& sys_cfg,
+              const std::vector<const arch::ArchProfile*>& hosts,
+              const apps::MatMulConfig& mm_cfg) {
+  base::BulkCopyReset();
+  sim::Engine eng;
+  dsm::SystemConfig cfg = sys_cfg;
+  benchutil::ApplyTraceEnv(cfg);
+  dsm::System sys(eng, cfg, hosts);
+  sys.Start();
+  apps::MatMulResult result;
+  apps::SetupMatMul(sys, mm_cfg, &result);
+  eng.Run();
+  auto& st = sys.GatherStats();
+  WireRun run;
+  run.seconds = ToSeconds(result.elapsed);
+  run.correct = result.done && result.correct;
+  run.wire_bytes = st.Count("net.bytes_sent");
+  run.packets = st.Count("net.packets_sent");
+  run.pages_transferred = st.Count("dsm.pages_in");
+  run.rc_flushes = st.Count("dsm.rc_flushes");
+  run.rc_flush_bytes = st.Count("dsm.rc_flush_bytes");
+  benchutil::WriteTraceArtifacts(sys, cfg.release_consistency ? "rc_mm"
+                                                              : "sc_mm");
+  return run;
+}
+
+WireRun RunPcb(const dsm::SystemConfig& sys_cfg,
+               const std::vector<const arch::ArchProfile*>& hosts,
+               const apps::PcbConfig& pcb_cfg) {
+  base::BulkCopyReset();
+  sim::Engine eng;
+  dsm::SystemConfig cfg = sys_cfg;
+  benchutil::ApplyTraceEnv(cfg);
+  dsm::System sys(eng, cfg, hosts);
+  arch::TypeId stats_type = apps::RegisterPcbTypes(sys.registry());
+  sys.Start();
+  apps::PcbResult result;
+  apps::SetupPcb(sys, stats_type, pcb_cfg, &result);
+  eng.Run();
+  auto& st = sys.GatherStats();
+  WireRun run;
+  run.seconds = ToSeconds(result.elapsed);
+  run.correct = result.done && result.correct;
+  run.wire_bytes = st.Count("net.bytes_sent");
+  run.packets = st.Count("net.packets_sent");
+  run.pages_transferred = st.Count("dsm.pages_in");
+  run.rc_flushes = st.Count("dsm.rc_flushes");
+  run.rc_flush_bytes = st.Count("dsm.rc_flush_bytes");
+  return run;
+}
+
+void PrintPair(const char* what, const WireRun& sc, const WireRun& rc) {
+  std::printf("%-28s %10s %14s %12s %10s\n", what, "time (s)", "wire bytes",
+              "transfers", "correct");
+  std::printf("%-28s %10.2f %14lld %12lld %10s\n", "  sequential consistency",
+              sc.seconds, static_cast<long long>(sc.wire_bytes),
+              static_cast<long long>(sc.pages_transferred),
+              sc.correct ? "yes" : "NO");
+  std::printf("%-28s %10.2f %14lld %12lld %10s\n", "  release consistency",
+              rc.seconds, static_cast<long long>(rc.wire_bytes),
+              static_cast<long long>(rc.pages_transferred),
+              rc.correct ? "yes" : "NO");
+  std::printf("  -> %.2fx fewer wire bytes, %.2fx time (%lld diffs, "
+              "%lld diff bytes)\n\n",
+              static_cast<double>(sc.wire_bytes) /
+                  static_cast<double>(rc.wire_bytes > 0 ? rc.wire_bytes : 1),
+              rc.seconds / (sc.seconds > 0 ? sc.seconds : 1),
+              static_cast<long long>(rc.rc_flushes),
+              static_cast<long long>(rc.rc_flush_bytes));
+}
+
+}  // namespace
+
+int main() {
+  using benchutil::Sun;
+  benchutil::JsonReport report("rc");
+  benchutil::PrintHeader(
+      "Write-sharing thrash: SC (write-invalidate) vs RC (twin/diff)");
+
+  // MM2, the paper's thrash case: 8 threads on 3 Fireflies, rows dealt
+  // round-robin so every 8 KB result page is write-shared, each element
+  // stored as it is computed.
+  apps::MatMulConfig mm;
+  mm.n = 256;
+  mm.master_host = 0;
+  mm.verify = true;  // the master's acquire must see every diffed element
+  mm.element_writes = true;
+  mm.round_robin_rows = true;
+  mm.num_threads = 8;
+  mm.worker_hosts = benchutil::WorkerIds(3);
+
+  dsm::SystemConfig cfg;
+  cfg.region_bytes = 4u << 20;
+  cfg.page_policy = dsm::PageSizePolicy::kLargest;
+  cfg.net.seed = 1990;
+
+  const auto hosts = benchutil::MasterPlusFireflies(Sun(), 3);
+  cfg.release_consistency = false;
+  const WireRun mm_sc = RunMm(cfg, hosts, mm);
+  cfg.release_consistency = true;
+  const WireRun mm_rc = RunMm(cfg, hosts, mm);
+  PrintPair("MM2 256x256, 8 thr / 3 Ffly", mm_sc, mm_rc);
+  report.Add("mm2.sc_s", mm_sc.seconds);
+  report.Add("mm2.rc_s", mm_rc.seconds);
+  report.Add("mm2.sc_wire_bytes", mm_sc.wire_bytes);
+  report.Add("mm2.rc_wire_bytes", mm_rc.wire_bytes);
+  report.Add("mm2.sc_transfers", mm_sc.pages_transferred);
+  report.Add("mm2.rc_transfers", mm_rc.pages_transferred);
+  report.Add("mm2.rc_flushes", mm_rc.rc_flushes);
+  report.Add("mm2.rc_flush_bytes", mm_rc.rc_flush_bytes);
+
+  // PCB inspection at the paper's sizes: stripes overlap, so neighbouring
+  // workers write-share the boundary pages and the per-worker stats page.
+  apps::PcbConfig pcb;
+  pcb.num_threads = 6;
+  pcb.master_host = 0;
+  pcb.worker_hosts = benchutil::WorkerIds(3);
+  cfg.release_consistency = false;
+  const WireRun pcb_sc = RunPcb(cfg, hosts, pcb);
+  cfg.release_consistency = true;
+  const WireRun pcb_rc = RunPcb(cfg, hosts, pcb);
+  PrintPair("PCB 200x1600, 6 thr / 3 Ffly", pcb_sc, pcb_rc);
+  report.Add("pcb.sc_s", pcb_sc.seconds);
+  report.Add("pcb.rc_s", pcb_rc.seconds);
+  report.Add("pcb.sc_wire_bytes", pcb_sc.wire_bytes);
+  report.Add("pcb.rc_wire_bytes", pcb_rc.wire_bytes);
+  report.Write();
+
+  // CI gate: on the write-sharing workload RC must at least halve the wire
+  // bytes AND finish sooner — and both modes must compute the right answer.
+  int status = 0;
+  if (!mm_sc.correct || !mm_rc.correct || !pcb_sc.correct ||
+      !pcb_rc.correct) {
+    std::fprintf(stderr, "FAIL: a run produced incorrect results\n");
+    status = 1;
+  }
+  if (mm_rc.wire_bytes * 2 > mm_sc.wire_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: RC wire bytes %lld not at least 2x below SC %lld\n",
+                 static_cast<long long>(mm_rc.wire_bytes),
+                 static_cast<long long>(mm_sc.wire_bytes));
+    status = 1;
+  }
+  if (mm_rc.seconds >= mm_sc.seconds) {
+    std::fprintf(stderr, "FAIL: RC time %.2fs not below SC %.2fs\n",
+                 mm_rc.seconds, mm_sc.seconds);
+    status = 1;
+  }
+  if (status == 0) {
+    std::printf("gate passed: RC cut MM2 wire bytes %.2fx and time %.2fx\n",
+                static_cast<double>(mm_sc.wire_bytes) /
+                    static_cast<double>(mm_rc.wire_bytes),
+                mm_sc.seconds / mm_rc.seconds);
+  }
+  return status;
+}

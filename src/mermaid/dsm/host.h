@@ -32,6 +32,8 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "mermaid/arch/arch.h"
@@ -44,6 +46,7 @@
 #include "mermaid/dsm/types.h"
 #include "mermaid/net/reqrep.h"
 #include "mermaid/sim/runtime.h"
+#include "mermaid/sync/sync.h"
 
 namespace mermaid::dsm {
 
@@ -64,25 +67,36 @@ class Host {
   // the page (group) transparently when access is insufficient.
   template <typename T>
   T Read(GlobalAddr addr) {
-    EnsureAccess(PageOf(addr), Access::kRead);
-    std::lock_guard<std::mutex> lk(state_mu_);
-    if (cfg_.referee_check_access && referee_ != nullptr) {
-      const PageNum p = PageOf(addr);
-      referee_->CheckAccess(self_, p, ptable_.Local(p).version, Access::kRead);
+    const PageNum p = PageOf(addr);
+    for (;;) {
+      EnsureAccess(p, Access::kRead);
+      std::lock_guard<std::mutex> lk(state_mu_);
+      // Access can be lost between EnsureAccess and this lock (an
+      // invalidation, or a release-consistency flush demoting the page);
+      // loading without it would read through a revoked mapping.
+      if (ptable_.Local(p).access < Access::kRead) continue;
+      if (cfg_.referee_check_access && referee_ != nullptr) {
+        referee_->CheckAccess(self_, p, ptable_.Local(p).version,
+                              Access::kRead);
+      }
+      return arch::LoadScalar<T>(*profile_, mem_.data() + addr);
     }
-    return arch::LoadScalar<T>(*profile_, mem_.data() + addr);
   }
 
   template <typename T>
   void Write(GlobalAddr addr, T value) {
-    EnsureAccess(PageOf(addr), Access::kWrite);
-    std::lock_guard<std::mutex> lk(state_mu_);
-    if (cfg_.referee_check_access && referee_ != nullptr) {
-      const PageNum p = PageOf(addr);
-      referee_->CheckAccess(self_, p, ptable_.Local(p).version,
-                            Access::kWrite);
+    const PageNum p = PageOf(addr);
+    for (;;) {
+      EnsureAccess(p, Access::kWrite);
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (ptable_.Local(p).access < Access::kWrite) continue;
+      if (cfg_.referee_check_access && referee_ != nullptr) {
+        referee_->CheckAccess(self_, p, ptable_.Local(p).version,
+                              Access::kWrite);
+      }
+      arch::StoreScalar<T>(*profile_, mem_.data() + addr, value);
+      return;
     }
-    arch::StoreScalar<T>(*profile_, mem_.data() + addr, value);
   }
 
   // Bulk typed access: semantically identical to element-wise Read/Write
@@ -102,6 +116,7 @@ class Host {
           std::min<std::size_t>(count, (page_end - addr) / sizeof(T));
       {
         std::lock_guard<std::mutex> lk(state_mu_);
+        if (ptable_.Local(p).access < Access::kRead) continue;  // refault
         if (cfg_.referee_check_access && referee_ != nullptr) {
           referee_->CheckAccess(self_, p, ptable_.Local(p).version,
                                 Access::kRead);
@@ -128,6 +143,7 @@ class Host {
           std::min<std::size_t>(count, (page_end - addr) / sizeof(T));
       {
         std::lock_guard<std::mutex> lk(state_mu_);
+        if (ptable_.Local(p).access < Access::kWrite) continue;  // refault
         if (cfg_.referee_check_access && referee_ != nullptr) {
           referee_->CheckAccess(self_, p, ptable_.Local(p).version,
                                 Access::kWrite);
@@ -172,6 +188,22 @@ class Host {
 
   // Test hooks.
   LocalPageEntry LocalEntrySnapshot(PageNum p);
+  // Release-consistency test hooks: live twin count / probable-owner hint.
+  std::size_t RcTwinCount();
+  net::HostId HintSnapshot(PageNum p);
+
+  // --- release consistency (System wires these as the sync client's
+  // --- release/acquire hooks; see SystemConfig::release_consistency) ------
+
+  // Release point: flushes every twin (and home-dirty page) to its home and
+  // returns the accumulated write notices to publish with the sync op.
+  std::vector<sync::WriteNotice> RcDrainNotices();
+  // Acquire point: invalidates the local read copies made stale by the
+  // notices. `reset` means the server's bounded notice log was truncated
+  // past this client's cursor — every non-twinned, non-home read copy is
+  // dropped conservatively.
+  void RcApplyNotices(const std::vector<sync::WriteNotice>& notices,
+                      bool reset);
 
   // Used by the System's allocation worker to push authoritative type and
   // extent information to this host in its manager role.
@@ -290,6 +322,34 @@ class Host {
   // this invalidation round).
   bool InvalidateCopies(PageNum p, const std::vector<net::HostId>& hosts,
                         std::uint64_t op_id, std::uint64_t parent_ev);
+
+  // --- release consistency ------------------------------------------------
+  // Outcome of RcTwinPage: kOk = twin made (or home page marked dirty) and
+  // write access granted locally; kNoCopy = the read copy vanished between
+  // the read fault and the twin attempt (caller refaults); kCapacity = the
+  // twin cap is reached (caller flushes and retries).
+  enum class RcTwinResult { kOk, kNoCopy, kCapacity };
+  // Write fault under release consistency: instead of a global invalidate,
+  // snapshot the page into a twin (or, when this host IS the page's home,
+  // mark it home-dirty — the working copy is the master, no buffer needed)
+  // and take write access locally. Requires a valid read copy.
+  RcTwinResult RcTwinPage(PageNum p);
+  // Release: diffs every twin against the working copy, ships the dirty
+  // ranges to each page's home (kOpDiffFlush), commits home-dirty pages in
+  // place, demotes the pages back to read access, and appends the resulting
+  // write notices to rc_pending_notices_.
+  void RcFlushTwins();
+  // Commits one flush at the home: bumps the manager + local version, drops
+  // stale cached conversions, notifies the referee. Caller holds state_mu_
+  // and has verified the entry is not busy. Returns {new, prev} versions.
+  std::pair<std::uint64_t, std::uint64_t> RcCommitFlushLocked(
+      PageNum p, net::HostId origin);
+  // Home-side handler for a remote kOpDiffFlush (rx daemon; never blocks):
+  // busy-rejects while a transfer is in flight (the writer backs off and
+  // retries), deduplicates retransmitted flushes by (origin, flush seq),
+  // converts the diff payload when the writer's representation differs,
+  // and applies the ranges to the master copy.
+  void HandleDiffFlush(net::RequestContext ctx);
 
   // --- manager role -------------------------------------------------------
   ManagerGrant BuildGrantLocked(PageNum p, net::HostId requester,
@@ -526,6 +586,32 @@ class Host {
   std::map<PageNum, std::set<net::HostId>> hinted_pending_;
   std::map<PageNum, bool> hint_poison_;
   std::set<PageNum> write_pending_;
+  // Release-consistency state (guarded by state_mu_):
+  //  - rc_twins_: pages this host is write-buffering; `base` is the page
+  //    image at twin time, diffed against the working copy at release.
+  //  - rc_home_dirty_: pages managed here that this host wrote in place
+  //    (the home's working copy IS the master; release commits a version
+  //    bump with zero wire bytes).
+  //  - rc_pending_notices_: write notices produced by flushes, awaiting the
+  //    next sync op (capacity-triggered flushes have no sync op to ride).
+  //  - rc_applied_: home-side flush idempotence — a release re-issued as a
+  //    fresh call after a timeout must not double-apply its diffs. Keyed
+  //    (page, origin, flush seq), bounded FIFO.
+  struct RcTwin {
+    std::vector<std::uint8_t> base;
+    std::uint64_t base_version = 0;
+  };
+  std::map<PageNum, RcTwin> rc_twins_;
+  std::set<PageNum> rc_home_dirty_;
+  std::vector<sync::WriteNotice> rc_pending_notices_;
+  std::uint64_t rc_flush_seq_ = 0;
+  struct RcApplied {
+    std::uint64_t new_version = 0;
+    std::uint64_t prev_version = 0;
+  };
+  using RcFlushKey = std::tuple<PageNum, net::HostId, std::uint64_t>;
+  std::map<RcFlushKey, RcApplied> rc_applied_;
+  std::deque<RcFlushKey> rc_applied_order_;
   // Earliest-free times of this host's CPUs (application Compute calls).
   std::vector<SimTime> cpu_busy_until_;
 

@@ -114,6 +114,20 @@ class PageTable {
   std::uint32_t HintIncOf(PageNum p) const {
     return p < hint_inc_.size() ? hint_inc_[p] : 0;
   }
+  // Drops every hint naming host `h` (returns how many were cleared). Called
+  // when `h` is observed to have reincarnated: its new life has amnesia, so
+  // chasing a hint at it would only burn a retry round per repeat fault.
+  std::size_t ClearHintsForHost(net::HostId h) {
+    std::size_t cleared = 0;
+    for (PageNum p = 0; p < hints_.size(); ++p) {
+      if (hints_[p] == h) {
+        hints_[p] = kNoHint;
+        hint_inc_[p] = 0;
+        ++cleared;
+      }
+    }
+    return cleared;
+  }
 
   // Crash-with-amnesia: forgets everything — every local copy, every
   // probable-owner hint, and all manager-side owner/copyset/transfer state

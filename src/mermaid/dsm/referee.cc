@@ -6,6 +6,40 @@
 
 namespace mermaid::dsm {
 
+void CoherenceReferee::SetRelaxed(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  relaxed_ = on;
+}
+
+void CoherenceReferee::OnRcTwin(net::HostId h, PageNum page) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MERMAID_CHECK_MSG(relaxed_, "twin created outside release-consistency mode");
+  PageState& st = pages_[page];
+  MERMAID_CHECK_MSG(st.holders.count(h) == 1,
+                    "twin created on a host without a valid copy");
+  st.rc_writers.insert(h);
+}
+
+void CoherenceReferee::OnRcFlush(net::HostId h, PageNum page,
+                                 std::uint64_t version) {
+  (void)h;
+  std::lock_guard<std::mutex> lk(mu_);
+  MERMAID_CHECK_MSG(relaxed_, "diff flushed outside release-consistency mode");
+  PageState& st = pages_[page];
+  MERMAID_CHECK_MSG(version >= st.version,
+                    "diff flush moved the committed version backwards");
+  st.version = version;
+}
+
+void CoherenceReferee::OnRcRelease(net::HostId h, PageNum page,
+                                   bool kept_copy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MERMAID_CHECK_MSG(relaxed_, "twin released outside release-consistency mode");
+  PageState& st = pages_[page];
+  st.rc_writers.erase(h);
+  if (!kept_copy) st.holders.erase(h);
+}
+
 void CoherenceReferee::OnInstall(net::HostId h, PageNum page,
                                  std::uint64_t version, Access access) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -58,6 +92,7 @@ void CoherenceReferee::OnInvalidate(net::HostId h, PageNum page) {
   PageState& st = pages_[page];
   st.holders.erase(h);
   if (st.writer.has_value() && *st.writer == h) st.writer.reset();
+  st.rc_writers.erase(h);
 }
 
 void CoherenceReferee::OnHostCrash(net::HostId h) {
@@ -65,6 +100,7 @@ void CoherenceReferee::OnHostCrash(net::HostId h) {
   for (auto& [page, st] : pages_) {
     const bool held = st.holders.erase(h) != 0;
     if (st.writer.has_value() && *st.writer == h) st.writer.reset();
+    st.rc_writers.erase(h);
     if (held && st.holders.empty()) st.orphaned = true;
   }
 }
@@ -103,6 +139,18 @@ void CoherenceReferee::CheckAccess(net::HostId h, PageNum page,
   const PageState& st = it->second;
   MERMAID_CHECK_MSG(st.holders.count(h) == 1,
                     "access on a host without a valid copy");
+  if (relaxed_) {
+    // Release consistency: a copy may legally trail the committed version
+    // until the next acquire pulls the write notice; writes are legal on
+    // any live twin.
+    MERMAID_CHECK_MSG(local_version <= st.version,
+                      "access through a copy newer than the committed page");
+    if (access == Access::kWrite) {
+      MERMAID_CHECK_MSG(st.rc_writers.count(h) == 1,
+                        "write access without a live twin");
+    }
+    return;
+  }
   MERMAID_CHECK_MSG(local_version == st.version,
                     "access through a stale copy");
   if (access == Access::kWrite) {

@@ -24,6 +24,23 @@ namespace mermaid::dsm {
 
 class CoherenceReferee {
  public:
+  // Switches the referee to release-consistency legality rules
+  // (SystemConfig::release_consistency): reads are legal through any valid
+  // copy at or below the committed version (staleness is resolved lazily at
+  // acquire), and writes are legal on any host holding a live twin
+  // (registered via OnRcTwin) — writes between acquire and release are
+  // locally visible and remotely deferred, so the sole-writer and
+  // exact-version checks of the SC mode do not apply. Install, crash, and
+  // reinit invariants are unchanged.
+  void SetRelaxed(bool on);
+  // Host `h` twinned `page` for deferred writes (h must hold a valid copy).
+  void OnRcTwin(net::HostId h, PageNum page);
+  // The home applied a flushed diff: the committed version advances.
+  void OnRcFlush(net::HostId h, PageNum page, std::uint64_t version);
+  // Host `h` released its twin on `page` (flush complete); if `kept_copy`
+  // it retains a read copy, otherwise it no longer holds the page.
+  void OnRcRelease(net::HostId h, PageNum page, bool kept_copy);
+
   // Host `h` installed (or refreshed) a copy at `version` with `access`.
   void OnInstall(net::HostId h, PageNum page, std::uint64_t version,
                  Access access);
@@ -53,9 +70,12 @@ class CoherenceReferee {
     // older) image carries, so the version-monotonicity check is suspended
     // for exactly that install.
     bool orphaned = false;
+    // Relaxed mode: hosts with a live twin (write-legal until release).
+    std::set<net::HostId> rc_writers;
   };
 
   mutable std::mutex mu_;
+  bool relaxed_ = false;
   std::map<PageNum, PageState> pages_;
 };
 

@@ -34,6 +34,10 @@ System::System(sim::Runtime& rt, SystemConfig cfg,
       page_bytes_(ResolvePageBytes(cfg, host_profiles)) {
   MERMAID_CHECK(!host_profiles.empty());
   MERMAID_CHECK(cfg_.region_bytes % page_bytes_ == 0);
+  // Under release consistency the legality rules change (multiple deferred
+  // writers, reads through older-but-committed copies): the referee judges
+  // with the relaxed rule set.
+  referee_.SetRelaxed(cfg_.release_consistency);
   tracer_->Enable(cfg_.trace);
   rt_.SetTracer(tracer_.get());
   network_ = std::make_unique<net::Network>(rt, cfg_.net);
@@ -52,12 +56,24 @@ System::System(sim::Runtime& rt, SystemConfig cfg,
                                            page_bytes_);
   alloc_chan_ = sim::Chan<AllocRequest>(rt);
   sync_server_ = std::make_unique<sync::SyncServer>(rt);
+  sync_server_->SetReleaseConsistency(cfg_.release_consistency);
   central_server_ = std::make_unique<CentralServer>(rt, host_profiles[0],
                                                     cfg_.region_bytes);
   for (std::uint16_t i = 0; i < num_hosts; ++i) {
     sync_clients_.emplace_back(&hosts_[i]->endpoint(), /*server_host=*/0,
                                i == 0 ? sync_server_.get() : nullptr);
     sync_clients_.back().SetTracer(tracer_.get());
+    if (cfg_.release_consistency) {
+      // Every sync op is a release point (flush twins, publish notices) and
+      // every P/EventWait/Barrier an acquire point (pull notices, drop
+      // stale copies).
+      Host* h = hosts_[i].get();
+      sync_clients_.back().SetRcHooks(
+          [h] { return h->RcDrainNotices(); },
+          [h](const std::vector<sync::WriteNotice>& ns, bool reset) {
+            h->RcApplyNotices(ns, reset);
+          });
+    }
     central_clients_.emplace_back(&hosts_[i]->endpoint(), /*server_host=*/0,
                                   host_profiles[0],
                                   i == 0 ? central_server_.get() : nullptr);

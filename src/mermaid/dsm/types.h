@@ -120,6 +120,30 @@ struct SystemConfig {
   enum class LostPagePolicy : std::uint8_t { kFatal = 0, kReinitZero = 1 };
   LostPagePolicy lost_page_policy = LostPagePolicy::kFatal;
 
+  // --- release consistency (default OFF: the paper's sequentially-
+  // consistent write-invalidate protocol, Tables 2–4 bit-identical; see
+  // DESIGN.md "Release consistency") --------------------------------------
+  //
+  // When on, write faults no longer invalidate the copyset: the faulting
+  // host makes a local *twin* of the page and keeps writing. Every sync
+  // operation is a release point — the host diffs each twin against its
+  // working copy, ships the byte ranges to the page's home (its fixed
+  // manager, which under RC is always the owner) as one kOpDiffFlush, and
+  // publishes a write notice piggybacked on the kOpSync request. Acquiring
+  // sync operations (P / EventWait / Barrier) return the notices recorded
+  // since the client last looked, and the acquirer lazily invalidates its
+  // stale read copies. Writes between acquire and release are locally
+  // visible and remotely deferred.
+  bool release_consistency = false;
+  // Twins held concurrently per host; a write fault past the cap flushes
+  // every existing twin first (an early release of the dirty data only —
+  // no sync notice is published until the next sync op).
+  std::size_t rc_max_twins = 128;
+  // When a twin's dirty bytes reach this percentage of the transferred
+  // extent, the flush sends one whole-extent range instead of per-run
+  // diffs (the range-header overhead would exceed the savings).
+  int rc_diff_crossover_pct = 50;
+
   // --- scheduler (default OFF: legacy engine, whose event order defines
   // every table) ---
   //
@@ -162,8 +186,13 @@ inline constexpr std::uint8_t kOpHintCovered = 15;  // manager -> owner (notify)
 inline constexpr std::uint8_t kOpRecoveryQuery = 16;  // manager -> all hosts
 inline constexpr std::uint8_t kOpPageLost = 17;       // requester -> manager
 inline constexpr std::uint8_t kOpRecoveryDemote = 18; // manager -> holder (notify)
+// Release-consistency diff flush (only sent when
+// SystemConfig::release_consistency is on): a releasing writer ships its
+// twin-vs-page byte-range diffs to the page's home for application to the
+// master copy.
+inline constexpr std::uint8_t kOpDiffFlush = 19;      // writer -> home
 // Highest opcode, for per-class stats iteration.
-inline constexpr std::uint8_t kOpMax = kOpRecoveryDemote;
+inline constexpr std::uint8_t kOpMax = kOpDiffFlush;
 
 // Role byte inside kOpReadReq/kOpWriteReq/kOpGroupFetch bodies: the same
 // opcode serves the requester->manager leg, the forwarded manager->owner
@@ -195,6 +224,7 @@ inline const char* OpName(std::uint8_t op) {
     case kOpRecoveryQuery: return "recovery_query";
     case kOpPageLost: return "page_lost";
     case kOpRecoveryDemote: return "recovery_demote";
+    case kOpDiffFlush: return "diff_flush";
     default: return "other";
   }
 }

@@ -139,7 +139,8 @@ std::uint32_t Endpoint::PeerIncarnation(HostId peer) const {
   return it == peer_inc_.end() ? 0 : it->second;
 }
 
-bool Endpoint::FencePeerIncLocked(HostId peer, std::uint32_t inc) {
+bool Endpoint::FencePeerIncLocked(HostId peer, std::uint32_t inc,
+                                  bool* reincarnated) {
   std::uint32_t& known = peer_inc_[peer];
   if (inc < known) {
     stats_.Inc("reqrep.fenced_stale_inc");
@@ -147,6 +148,7 @@ bool Endpoint::FencePeerIncLocked(HostId peer, std::uint32_t inc) {
   }
   if (inc > known) {
     known = inc;
+    if (reincarnated != nullptr) *reincarnated = true;
     // The peer's previous life's dedup entries describe requests that its
     // new life has no memory of issuing; replaying their cached replies to
     // the reincarnated peer would resurrect pre-crash protocol state.
@@ -213,8 +215,12 @@ void Endpoint::RxLoop() {
           break;
         }
         sim::Chan<ReplyMsg> target;
+        bool have_target = false;
+        bool bumped = false;
+        std::uint32_t sender_inc = 0;
         {
           std::lock_guard<std::mutex> lk(maps_mu_);
+          bool dropped = false;
           if (cfg_.carry_incarnation) {
             // A reply stamped with a pre-crash incarnation of the sender
             // describes state from its previous life — fence it before it
@@ -222,20 +228,28 @@ void Endpoint::RxLoop() {
             base::WireReader rr(head.span());
             rr.U8();
             rr.U64();
-            const std::uint32_t sender_inc = rr.U32();
+            sender_inc = rr.U32();
             if (!rr.ok()) {
               stats_.Inc("reqrep.malformed");
-              break;
+              dropped = true;
+            } else if (FencePeerIncLocked(msg->src, sender_inc, &bumped)) {
+              dropped = true;
             }
-            if (FencePeerIncLocked(msg->src, sender_inc)) break;
           }
-          auto it = pending_.find(req_id);
-          if (it == pending_.end()) {
-            stats_.Inc("reqrep.orphan_replies");  // caller gave up already
-            break;
+          if (!dropped) {
+            auto it = pending_.find(req_id);
+            if (it == pending_.end()) {
+              stats_.Inc("reqrep.orphan_replies");  // caller gave up already
+            } else {
+              target = it->second;
+              have_target = true;
+            }
           }
-          target = it->second;
         }
+        if (bumped && peer_inc_observer_) {
+          peer_inc_observer_(msg->src, sender_inc);
+        }
+        if (!have_target) break;
         ReplyMsg reply;
         reply.req_id = req_id;
         reply.body = msg->payload.Slice(ReplyFramingBytes());
@@ -263,11 +277,17 @@ void Endpoint::DispatchRequest(Message msg) {
     return;
   }
   if (cfg_.carry_incarnation) {
-    std::lock_guard<std::mutex> lk(maps_mu_);
-    // Requests from a previous life of the origin (zombie retransmissions,
-    // packets delayed across its crash) must not reach handlers: the new
-    // life has no record of them and their effects would be stale.
-    if (FencePeerIncLocked(origin, origin_inc)) return;
+    bool fenced = false;
+    bool bumped = false;
+    {
+      std::lock_guard<std::mutex> lk(maps_mu_);
+      // Requests from a previous life of the origin (zombie retransmissions,
+      // packets delayed across its crash) must not reach handlers: the new
+      // life has no record of them and their effects would be stale.
+      fenced = FencePeerIncLocked(origin, origin_inc, &bumped);
+    }
+    if (bumped && peer_inc_observer_) peer_inc_observer_(origin, origin_inc);
+    if (fenced) return;
   }
 
   if (type == WireType::kRequest) {

@@ -8,14 +8,11 @@ namespace mermaid::sync {
 
 namespace {
 
-std::vector<std::uint8_t> EncodeOp(std::uint8_t subop, SyncId id,
-                                   std::int64_t arg) {
-  base::WireWriter w;
-  w.U8(subop);
-  w.U64(id);
-  w.I64(arg);
-  return std::move(w).Take();
-}
+// (origin, release_seq) pairs remembered for release idempotence.
+constexpr std::size_t kMaxSeenReleases = 8192;
+// Write notices retained for late acquirers; a client whose cursor falls
+// off the front gets the reset flag and conservatively invalidates.
+constexpr std::size_t kNoticeLogCapacity = 8192;
 
 }  // namespace
 
@@ -27,11 +24,71 @@ void SyncServer::Attach(net::Endpoint& ep) {
 }
 
 void SyncServer::Wake(Waiter& w) {
-  if (w.remote.has_value()) {
-    w.remote->Reply({});
-  } else {
+  if (!w.remote.has_value()) {
     w.local.Send(true);
+    return;
   }
+  if (!rc_ || !w.acquire) {
+    w.remote->Reply({});
+    return;
+  }
+  // Acquire reply: every notice recorded since the client's cursor — built
+  // at wake time, so a P that parked through several releases returns with
+  // all of them.
+  std::vector<WriteNotice> notices;
+  bool reset = false;
+  const std::uint64_t latest = NoticesSince(w.last_seen, &notices, &reset);
+  base::WireWriter wr;
+  wr.U64(latest);
+  wr.U8(reset ? 1 : 0);
+  wr.U16(static_cast<std::uint16_t>(notices.size()));
+  for (const auto& n : notices) {
+    wr.U32(n.page);
+    wr.U64(n.version);
+    wr.U16(n.origin);
+  }
+  w.remote->Reply(std::move(wr).Take());
+}
+
+void SyncServer::RecordNotices(net::HostId origin, std::uint64_t release_seq,
+                               const std::vector<WriteNotice>& notices) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!seen_releases_.insert({origin, release_seq}).second) {
+    stats_.Inc("sync.rc_dup_releases");
+    return;
+  }
+  seen_release_order_.emplace_back(origin, release_seq);
+  while (seen_release_order_.size() > kMaxSeenReleases) {
+    seen_releases_.erase(seen_release_order_.front());
+    seen_release_order_.pop_front();
+  }
+  for (const auto& n : notices) {
+    if (notice_log_.size() >= kNoticeLogCapacity) {
+      notice_log_.pop_front();
+      stats_.Inc("sync.rc_notice_log_truncated");
+    }
+    notice_log_.push_back(n);
+    ++next_notice_seq_;
+  }
+  if (!notices.empty()) {
+    stats_.Inc("sync.rc_notices_recorded",
+               static_cast<std::int64_t>(notices.size()));
+  }
+}
+
+std::uint64_t SyncServer::NoticesSince(std::uint64_t last_seen,
+                                       std::vector<WriteNotice>* out,
+                                       bool* reset) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t first = next_notice_seq_ - notice_log_.size();
+  if (last_seen < first) {
+    *reset = true;
+    last_seen = first;
+  }
+  for (std::uint64_t s = last_seen; s < next_notice_seq_; ++s) {
+    out->push_back(notice_log_[static_cast<std::size_t>(s - first)]);
+  }
+  return next_notice_seq_;
 }
 
 void SyncServer::Handle(net::RequestContext ctx) {
@@ -43,6 +100,28 @@ void SyncServer::Handle(net::RequestContext ctx) {
 
   Waiter self;
   self.origin = ctx.origin();
+  if (rc_) {
+    // Release block (present on every RC client's request): cursor, release
+    // seq, and the notices of this release. Recorded before ApplyLocked so
+    // any waiter this op wakes sees them in its acquire reply.
+    const std::uint64_t last_seen = r.U64();
+    const std::uint64_t release_seq = r.U64();
+    const std::uint16_t n = r.U16();
+    std::vector<WriteNotice> notices;
+    notices.reserve(n);
+    for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+      WriteNotice wn;
+      wn.page = r.U32();
+      wn.version = r.U64();
+      wn.origin = r.U16();
+      notices.push_back(wn);
+    }
+    if (!r.ok()) return;
+    self.last_seen = last_seen;
+    self.acquire =
+        subop == kSemP || subop == kEventWait || subop == kBarrier;
+    RecordNotices(self.origin, release_seq, notices);
+  }
   self.remote = std::move(ctx);
   std::vector<Waiter> release;
   {
@@ -231,14 +310,70 @@ void Client::Trace(std::uint8_t subop, SyncId id) {
                   server_host_);
 }
 
-void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg) {
+void Client::Op(std::uint8_t subop, SyncId id, std::int64_t arg) {
+  Trace(subop, id);
+  const bool rc = static_cast<bool>(rc_flush_);
+  const bool acquire = subop == SyncServer::kSemP ||
+                       subop == SyncServer::kEventWait ||
+                       subop == SyncServer::kBarrier;
+  std::vector<WriteNotice> notices;
+  std::uint64_t release_seq = 0;
+  if (rc) {
+    // Every sync op is a release point: the host's deferred writes must be
+    // visible at their homes before any party this op unblocks acquires.
+    notices = rc_flush_();
+    release_seq = ++release_seq_;
+  }
+  if (local_ != nullptr) {
+    if (rc) local_->RecordNotices(ep_->self(), release_seq, notices);
+    switch (subop) {
+      case SyncServer::kSemInit: local_->LocalSemInit(id, arg); break;
+      case SyncServer::kSemP: local_->LocalP(id); break;
+      case SyncServer::kSemV: local_->LocalV(id); break;
+      case SyncServer::kEventSet: local_->LocalEventSet(id); break;
+      case SyncServer::kEventClear: local_->LocalEventClear(id); break;
+      case SyncServer::kEventWait: local_->LocalEventWait(id); break;
+      case SyncServer::kBarrier: local_->LocalBarrier(id, arg); break;
+      default: MERMAID_CHECK_MSG(false, "unknown sync subop");
+    }
+    if (rc && acquire) {
+      // Read the log only after the wait: a waiter woken by a V must see
+      // the releaser's notices, which were recorded before the wake.
+      std::vector<WriteNotice> pending;
+      bool reset = false;
+      last_seen_ = local_->NoticesSince(last_seen_, &pending, &reset);
+      rc_apply_(pending, reset);
+    }
+    return;
+  }
+  Issue(subop, id, arg, rc && acquire, release_seq, notices);
+}
+
+void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg,
+                   bool acquire, std::uint64_t release_seq,
+                   const std::vector<WriteNotice>& notices) {
   MERMAID_CHECK(ep_ != nullptr);
   net::Endpoint::CallOpts opts;
   opts.timeout = Milliseconds(500);
   opts.max_attempts = 1 << 20;  // a parked P may wait arbitrarily long
+  base::WireWriter w;
+  w.U8(subop);
+  w.U64(id);
+  w.I64(arg);
+  if (rc_flush_) {
+    MERMAID_CHECK(notices.size() <= 0xFFFF);
+    w.U64(last_seen_);
+    w.U64(release_seq);
+    w.U16(static_cast<std::uint16_t>(notices.size()));
+    for (const auto& n : notices) {
+      w.U32(n.page);
+      w.U64(n.version);
+      w.U16(n.origin);
+    }
+  }
   const std::uint32_t inc0 = ep_->incarnation();
   auto r = ep_->CallWithStatus(server_host_, dsm::kOpSync,
-                               EncodeOp(subop, id, arg),
+                               std::move(w).Take(),
                                net::MsgKind::kControl, opts);
   // A call fenced by this host's own crash-with-amnesia is abandoned, not
   // an error: the issuing life is gone, and the server either applied the
@@ -250,42 +385,39 @@ void Client::Issue(std::uint8_t subop, SyncId id, std::int64_t arg) {
   // the application's synchronization invariants, so fail loudly.
   MERMAID_CHECK_MSG(r.status != net::CallStatus::kTimedOut,
                     "sync operation timed out: sync server unreachable");
+  if (r.ok() && acquire) {
+    const std::vector<std::uint8_t> body = r.body.ToVector();
+    base::WireReader rr(body);
+    const std::uint64_t latest = rr.U64();
+    const bool reset = rr.U8() != 0;
+    const std::uint16_t n = rr.U16();
+    std::vector<WriteNotice> pending;
+    pending.reserve(n);
+    for (std::uint16_t i = 0; i < n && rr.ok(); ++i) {
+      WriteNotice wn;
+      wn.page = rr.U32();
+      wn.version = rr.U64();
+      wn.origin = rr.U16();
+      pending.push_back(wn);
+    }
+    MERMAID_CHECK_MSG(rr.ok(), "malformed sync acquire reply");
+    // A deduplicated retransmit replays the original reply; the cursor only
+    // ever moves forward.
+    if (latest > last_seen_) last_seen_ = latest;
+    rc_apply_(pending, reset);
+  }
 }
 
 void Client::SemInit(SyncId id, std::int64_t value) {
-  Trace(SyncServer::kSemInit, id);
-  if (local_ != nullptr) return local_->LocalSemInit(id, value);
-  Issue(SyncServer::kSemInit, id, value);
+  Op(SyncServer::kSemInit, id, value);
 }
-void Client::P(SyncId id) {
-  Trace(SyncServer::kSemP, id);
-  if (local_ != nullptr) return local_->LocalP(id);
-  Issue(SyncServer::kSemP, id, 0);
-}
-void Client::V(SyncId id) {
-  Trace(SyncServer::kSemV, id);
-  if (local_ != nullptr) return local_->LocalV(id);
-  Issue(SyncServer::kSemV, id, 0);
-}
-void Client::EventSet(SyncId id) {
-  Trace(SyncServer::kEventSet, id);
-  if (local_ != nullptr) return local_->LocalEventSet(id);
-  Issue(SyncServer::kEventSet, id, 0);
-}
-void Client::EventClear(SyncId id) {
-  Trace(SyncServer::kEventClear, id);
-  if (local_ != nullptr) return local_->LocalEventClear(id);
-  Issue(SyncServer::kEventClear, id, 0);
-}
-void Client::EventWait(SyncId id) {
-  Trace(SyncServer::kEventWait, id);
-  if (local_ != nullptr) return local_->LocalEventWait(id);
-  Issue(SyncServer::kEventWait, id, 0);
-}
+void Client::P(SyncId id) { Op(SyncServer::kSemP, id, 0); }
+void Client::V(SyncId id) { Op(SyncServer::kSemV, id, 0); }
+void Client::EventSet(SyncId id) { Op(SyncServer::kEventSet, id, 0); }
+void Client::EventClear(SyncId id) { Op(SyncServer::kEventClear, id, 0); }
+void Client::EventWait(SyncId id) { Op(SyncServer::kEventWait, id, 0); }
 void Client::Barrier(SyncId id, std::int64_t parties) {
-  Trace(SyncServer::kBarrier, id);
-  if (local_ != nullptr) return local_->LocalBarrier(id, parties);
-  Issue(SyncServer::kBarrier, id, parties);
+  Op(SyncServer::kBarrier, id, parties);
 }
 
 }  // namespace mermaid::sync

@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "mermaid/base/stats.h"
@@ -30,6 +32,17 @@
 namespace mermaid::sync {
 
 using SyncId = std::uint64_t;
+
+// One release-consistency write notice: host `origin` flushed its deferred
+// writes on `page`, committing it at `version`. Notices ride the existing
+// kOpSync wire — appended to requests at release points, returned on
+// acquire replies — only when SystemConfig::release_consistency is on, so
+// the knobs-off sync wire format is unchanged.
+struct WriteNotice {
+  std::uint32_t page = 0;
+  std::uint64_t version = 0;
+  std::uint16_t origin = 0;
+};
 
 // Lives on the server host; registers its handler on that host's endpoint
 // (call Attach before the endpoint starts).
@@ -57,6 +70,26 @@ class SyncServer {
   // non-crashing (see DESIGN.md).
   void BreakHost(net::HostId h);
 
+  // Release consistency: when on, every kOpSync request carries a release
+  // block (last-seen notice cursor, per-client release seq, write notices)
+  // and every acquiring reply (P / EventWait / Barrier) carries the notices
+  // recorded since that client last looked. Must match the clients'
+  // SetRcHooks state — both are wired from SystemConfig::release_consistency.
+  void SetReleaseConsistency(bool on) { rc_ = on; }
+
+  // Appends one release's notices to the global notice log. Idempotent per
+  // (origin, release_seq): the endpoint's dedup suppresses same-req-id
+  // retransmits, but a release re-issued as a fresh call after a timeout
+  // arrives with a new req_id and must still be applied exactly once.
+  void RecordNotices(net::HostId origin, std::uint64_t release_seq,
+                     const std::vector<WriteNotice>& notices);
+  // Copies every notice recorded after the `last_seen` cursor into *out
+  // (oldest first) and returns the new cursor. Sets *reset when the bounded
+  // log was truncated past last_seen — the caller missed notices and must
+  // treat every non-twinned copy as potentially stale.
+  std::uint64_t NoticesSince(std::uint64_t last_seen,
+                             std::vector<WriteNotice>* out, bool* reset);
+
   base::StatsRegistry& stats() { return stats_; }
 
  private:
@@ -81,6 +114,11 @@ class SyncServer {
     std::optional<net::RequestContext> remote;
     sim::Chan<bool> local;
     net::HostId origin = kLocalOrigin;
+    // Release consistency: the issuing client's notice cursor and whether
+    // the op is an acquire point. The acquire reply is built at wake time,
+    // so it carries every notice recorded while the waiter was parked.
+    std::uint64_t last_seen = 0;
+    bool acquire = false;
   };
 
   struct Sem {
@@ -104,13 +142,24 @@ class SyncServer {
   // the issuing party proceeds immediately.
   bool ApplyLocked(std::uint8_t subop, SyncId id, std::int64_t arg,
                    Waiter&& self, std::vector<Waiter>* release);
-  static void Wake(Waiter& w);
+  // Wakes one waiter. A remote acquire waiter under release consistency
+  // gets its notice-block reply built here (NoticesSince takes mu_; callers
+  // must not hold it).
+  void Wake(Waiter& w);
 
   sim::Runtime& rt_;
   std::mutex mu_;
   std::map<SyncId, Sem> sems_;
   std::map<SyncId, Event> events_;
   std::map<SyncId, Barrier> barriers_;
+  // Release-consistency state (guarded by mu_): a bounded global notice
+  // log — notice seq s lives at log index s - (next_notice_seq_ - size) —
+  // plus the (origin, release_seq) pairs already applied (bounded FIFO).
+  bool rc_ = false;
+  std::deque<WriteNotice> notice_log_;
+  std::uint64_t next_notice_seq_ = 0;
+  std::set<std::pair<net::HostId, std::uint64_t>> seen_releases_;
+  std::deque<std::pair<net::HostId, std::uint64_t>> seen_release_order_;
   base::StatsRegistry stats_;
 };
 
@@ -134,8 +183,30 @@ class Client {
 
   void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  // Release-consistency hooks (SystemConfig::release_consistency). `flush`
+  // runs before every sync op — every sync operation is a release point —
+  // flushing the host's twins to their homes and returning the write
+  // notices to publish; `apply` runs after every acquiring op (P /
+  // EventWait / Barrier) with the notices recorded since this client last
+  // looked, plus a reset flag when the server's bounded log was truncated
+  // past this client's cursor. Setting the hooks enables the release block
+  // on this client's sync wire; the server must have
+  // SetReleaseConsistency(true).
+  using RcFlushFn = std::function<std::vector<WriteNotice>()>;
+  using RcApplyFn =
+      std::function<void(const std::vector<WriteNotice>&, bool reset)>;
+  void SetRcHooks(RcFlushFn flush, RcApplyFn apply) {
+    rc_flush_ = std::move(flush);
+    rc_apply_ = std::move(apply);
+  }
+
  private:
-  void Issue(std::uint8_t subop, SyncId id, std::int64_t arg);
+  // Common path for every public op: trace, release-flush, dispatch
+  // (local short-circuit or protocol Call), acquire-apply.
+  void Op(std::uint8_t subop, SyncId id, std::int64_t arg);
+  void Issue(std::uint8_t subop, SyncId id, std::int64_t arg, bool acquire,
+             std::uint64_t release_seq,
+             const std::vector<WriteNotice>& notices);
   // Records a kSyncOp event (a0 = subop) when tracing is enabled.
   void Trace(std::uint8_t subop, SyncId id);
 
@@ -143,6 +214,14 @@ class Client {
   net::HostId server_host_ = 0;
   SyncServer* local_ = nullptr;  // non-null when this host runs the server
   trace::Tracer* tracer_ = nullptr;
+  RcFlushFn rc_flush_;
+  RcApplyFn rc_apply_;
+  // Notice cursor and release sequence. Shared by every thread on the host;
+  // per-release dedup at the server is keyed (host, release_seq), which the
+  // seen-set handles even when concurrent threads' releases arrive out of
+  // order.
+  std::uint64_t last_seen_ = 0;
+  std::uint64_t release_seq_ = 0;
 };
 
 }  // namespace mermaid::sync

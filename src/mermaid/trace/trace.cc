@@ -44,6 +44,9 @@ const char* KindName(EventKind k) {
     case EventKind::kRecoveryDone: return "RecoveryDone";
     case EventKind::kRecoveryDemote: return "RecoveryDemote";
     case EventKind::kOwnerLost: return "OwnerLost";
+    case EventKind::kTwinCreate: return "TwinCreate";
+    case EventKind::kDiffFlush: return "DiffFlush";
+    case EventKind::kWriteNotice: return "WriteNotice";
   }
   return "Unknown";
 }

@@ -81,6 +81,13 @@ enum class EventKind : std::uint8_t {
   kRecoveryDone,         // a0 = pages rebuilt, a1 = pages lost
   kRecoveryDemote,       // a0 = demoted host, a1 = kept owner
   kOwnerLost,            // requester saw an amnesiac owner; a0 = owner host
+  // Release consistency (SystemConfig::release_consistency; see DESIGN.md
+  // "Release consistency"). A full write-aggregation chain is
+  // kTwinCreate -> kDiffFlush -> kWriteNotice, linked through RcTwinKey
+  // (writer-local) and RcNoticeKey (cross-host).
+  kTwinCreate,           // a0 = twin base version, a1 = home-dirty flag
+  kDiffFlush,            // op = flush seq; a0 = diff bytes, a1 = range count
+  kWriteNotice,          // a0 = noticed version, a1 = originating writer
 };
 
 const char* KindName(EventKind k);
@@ -125,6 +132,16 @@ inline CausalKey HintKey(std::uint16_t host, std::uint32_t page) {
 // query/rebuild/lost/done event of that recovery links back through it.
 inline CausalKey RecoveryKey(std::uint16_t host) {
   return {(5ull << 32), host};
+}
+// A live twin on one host (release consistency): kTwinCreate binds here and
+// the twin's kDiffFlush at release links back through it.
+inline CausalKey RcTwinKey(std::uint16_t host, std::uint32_t page) {
+  return {(6ull << 32) | page, host};
+}
+// The latest flushed diff for a page: the releasing writer binds its
+// kDiffFlush here and every acquirer's kWriteNotice links back through it.
+inline CausalKey RcNoticeKey(std::uint32_t page) {
+  return {(7ull << 32) | page, 0};
 }
 
 class Tracer {
