@@ -7,21 +7,60 @@
 # never leave half-written or stale results behind, and the script's exit
 # status reflects any failure.
 #
-# Usage: bench/run_all.sh [build-dir] [output-dir]
-#   build-dir   defaults to ./build
-#   output-dir  defaults to <build-dir>/bench-results
+# After the run every per-bench BENCH_*.json is merged into one
+# BENCH_summary.json (a {"benches": [...]} array) so CI uploads a single
+# machine-readable artifact covering the whole sweep.
+#
+# Usage: bench/run_all.sh [--merge-only] [build-dir] [output-dir]
+#   --merge-only  skip running benches; just rebuild BENCH_summary.json
+#                 from the JSON already present in output-dir
+#   build-dir     defaults to ./build
+#   output-dir    defaults to <build-dir>/bench-results
 set -eu
+
+MERGE_ONLY=0
+if [ "${1:-}" = "--merge-only" ]; then
+    MERGE_ONLY=1
+    shift
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR/bench-results}"
+
+mkdir -p "$OUT_DIR"
+OUT_DIR=$(cd "$OUT_DIR" && pwd)
+
+# Concatenates every per-bench JSON object (each file is one complete
+# object) into BENCH_summary.json. Plain shell: no jq in the CI image.
+merge_summary() {
+    summary="$OUT_DIR/BENCH_summary.json"
+    tmp="$summary.tmp"
+    {
+        printf '{\n"benches": [\n'
+        first=1
+        for f in "$OUT_DIR"/BENCH_*.json; do
+            [ -f "$f" ] || continue
+            case "$f" in *BENCH_summary.json) continue ;; esac
+            [ "$first" = 1 ] || printf ',\n'
+            first=0
+            cat "$f"
+        done
+        printf ']\n}\n'
+    } > "$tmp"
+    mv "$tmp" "$summary"
+    echo "merged summary: $summary"
+}
+
+if [ "$MERGE_ONLY" = 1 ]; then
+    merge_summary
+    exit 0
+fi
+
 BENCH_DIR=$(cd "$BUILD_DIR/bench" 2>/dev/null && pwd) || {
     echo "no bench binaries under $BUILD_DIR/bench — build first:" >&2
     echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
     exit 1
 }
-
-mkdir -p "$OUT_DIR"
-OUT_DIR=$(cd "$OUT_DIR" && pwd)
 
 status=0
 for bin in "$BENCH_DIR"/bench_*; do
@@ -39,6 +78,8 @@ for bin in "$BENCH_DIR"/bench_*; do
     fi
     rm -rf "$workdir"
 done
+
+merge_summary
 
 echo
 echo "results in $OUT_DIR:"

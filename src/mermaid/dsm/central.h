@@ -33,8 +33,10 @@
 
 namespace mermaid::dsm {
 
-inline constexpr std::uint8_t kOpCentralRead = 20;
-inline constexpr std::uint8_t kOpCentralWrite = 21;
+// Past kOpMax: the central backend shares each host's endpoint with the DSM
+// opcode table and must never collide with it.
+inline constexpr std::uint8_t kOpCentralRead = kOpMax + 1;
+inline constexpr std::uint8_t kOpCentralWrite = kOpMax + 2;
 
 // Server side; lives on one host, attaches to that host's endpoint before
 // it starts. Thread-safe for the real-time runtime.

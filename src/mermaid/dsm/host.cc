@@ -55,15 +55,19 @@ Host::Host(sim::Runtime& rt, net::Network& net, const SystemConfig& cfg,
                   return c;
                 }()),
       mem_(cfg.region_bytes, 0),
-      ptable_(static_cast<PageNum>(cfg.region_bytes / page_bytes), self,
-              num_hosts),
+      ptable_(static_cast<PageNum>(cfg.region_bytes / page_bytes)),
+      dir_(cfg, self, num_hosts,
+           static_cast<PageNum>(cfg.region_bytes / page_bytes)),
+      migrate_chan_(rt),
       cpu_busy_until_(profile->cpu_count, 0) {
-  // Seed the referee with the initial ownership placement.
-  if (referee_ != nullptr) {
-    for (PageNum p = 0; p < ptable_.num_pages(); ++p) {
-      if (ptable_.ManagedHere(p)) {
-        referee_->OnInstall(self_, p, 0, Access::kRead);
-      }
+  // The base manager starts out owning every page it manages, holding the
+  // zero-filled read copy (the manager entries themselves are seeded by the
+  // Directory constructor).
+  for (PageNum p = 0; p < ptable_.num_pages(); ++p) {
+    if (dir_.BaseManagedHere(p)) {
+      ptable_.Local(p).access = Access::kRead;
+      ptable_.Local(p).owned = true;
+      if (referee_ != nullptr) referee_->OnInstall(self_, p, 0, Access::kRead);
     }
   }
 }
@@ -127,24 +131,48 @@ void Host::Start() {
   endpoint_.SetHandler(kOpDiffFlush, [this](net::RequestContext ctx) {
     HandleDiffFlush(std::move(ctx));
   });
-  if (cfg_.crash_recovery && cfg_.probable_owner) {
-    // A reincarnated peer lost every copy it ever owned: drop the hints
-    // naming it the moment its new incarnation is observed, instead of
-    // burning a fenced-hint retry round per repeat fault. The endpoint
-    // invokes the observer outside its own locks; state_mu_ is safe here.
+  endpoint_.SetHandler(kOpMgrMigrate, [this](net::RequestContext ctx) {
+    HandleMgrMigrate(std::move(ctx));
+  });
+  if (cfg_.crash_recovery && (cfg_.probable_owner || dir_.dynamic())) {
+    // A reincarnated peer lost every copy it ever owned — and, under the
+    // dynamic directory, every manager entry it ever adopted. Drop the
+    // hints and learned manager locations naming it the moment its new
+    // incarnation is observed, and queue a reclaim for any base-managed
+    // page whose forward points at the dead life. The endpoint invokes the
+    // observer outside its own locks; state_mu_ is safe here.
     endpoint_.SetPeerIncObserver([this](net::HostId h, std::uint32_t) {
       std::size_t cleared = 0;
+      std::size_t forgot = 0;
       {
         std::lock_guard<std::mutex> lk(state_mu_);
-        cleared = ptable_.ClearHintsForHost(h);
+        if (cfg_.probable_owner) cleared = ptable_.ClearHintsForHost(h);
+        if (dir_.dynamic()) {
+          forgot = dir_.ForgetManagersAt(h);
+          std::vector<PageNum> stale;
+          dir_.ForEachForward([&](PageNum p, const Directory::Forward& f) {
+            if (f.to == h) stale.push_back(p);
+          });
+          for (PageNum p : stale) QueueReclaimLocked(p);
+        }
       }
       if (cleared > 0) {
         stats_.Inc("dsm.hints_cleared_reincarnation",
                    static_cast<std::int64_t>(cleared));
       }
+      if (forgot > 0) {
+        stats_.Inc("dsm.mgr_learned_cleared_reincarnation",
+                   static_cast<std::int64_t>(forgot));
+      }
     });
   }
   endpoint_.Start();
+
+  if (dir_.dynamic()) {
+    rt_.SpawnOn(self_, "dsm-migrate-" + std::to_string(self_),
+                [this] { MigrationDaemon(); },
+                /*daemon=*/true);
+  }
 
   // Confirm-loss janitor: probes requesters of long-busy transfers and
   // lease-revokes grants whose requester has been unreachable past the
@@ -170,7 +198,7 @@ void Host::Start() {
             std::lock_guard<std::mutex> lk(state_mu_);
             if (recovering_) continue;  // entries are being rebuilt
             const SimTime now = rt_.Now();
-            ptable_.ForEachManaged([&](PageNum p, ManagerEntry& m2) {
+            dir_.ForEachManaged([&](PageNum p, ManagerEntry& m2) {
               // Local requesters recover in their own fault path (they
               // revoke their grant directly on a failed owner fetch); the
               // janitor only chases remote ones.
@@ -224,24 +252,38 @@ LocalPageEntry Host::LocalEntrySnapshot(PageNum p) {
   return ptable_.Local(p);
 }
 
-void Host::ApplyTypeSet(PageNum p, arch::TypeId type,
-                        std::uint32_t alloc_bytes) {
+std::optional<net::HostId> Host::ApplyTypeSet(PageNum p, arch::TypeId type,
+                                              std::uint32_t alloc_bytes) {
   std::lock_guard<std::mutex> lk(state_mu_);
-  MERMAID_CHECK(ptable_.ManagedHere(p));
-  ManagerEntry& m = ptable_.Manager(p);
-  m.type = type;
-  m.alloc_bytes = std::max(m.alloc_bytes, alloc_bytes);
+  ManagerEntry* m = dir_.FindManager(p);
+  if (m == nullptr) {
+    // The page's management migrated away (dynamic directory): tell the
+    // caller where, so the authoritative type reaches the live entry. With
+    // neither entry nor forward a reclaim is in flight; the rebuild restores
+    // the type from survivor claims, so there is nowhere to apply it now.
+    const Directory::Forward* fwd = dir_.ForwardOf(p);
+    if (fwd == nullptr) return std::nullopt;
+    return fwd->to;
+  }
+  m->type = type;
+  m->alloc_bytes = std::max(m->alloc_bytes, alloc_bytes);
   LocalPageEntry& e = ptable_.Local(p);
   if (e.access != Access::kNone) {
     e.type = type;
-    e.alloc_bytes = m.alloc_bytes;
+    e.alloc_bytes = m->alloc_bytes;
   }
+  return std::nullopt;
+}
+
+std::uint64_t Host::ManagerGrantsTotal() {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return mgr_grants_total_;
 }
 
 void Host::CountManagerLoad(std::uint64_t* busy, std::uint64_t* pending) {
   std::lock_guard<std::mutex> lk(state_mu_);
-  ptable_.ForEachManaged([&](PageNum, ManagerEntry& m) {
-    if (m.busy) ++*busy;
+  dir_.ForEachManaged([&](PageNum, ManagerEntry& m) {
+    if (m.busy || m.migrating) ++*busy;
     *pending += m.pending.size();
   });
 }
@@ -356,8 +398,13 @@ void Host::FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
     const std::uint64_t fault_ev =
         TraceEv(trace::EventKind::kFaultStart, p, 0, 0, is_write ? 1 : 0);
     TraceBind(trace::FaultKey(self_, p), fault_ev);
+    bool managed_here;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      managed_here = dir_.ManagedHere(p);
+    }
     const FaultOutcome outcome =
-        ptable_.ManagedHere(p)
+        managed_here
             ? FaultViaLocalManager(p, is_write, telem, deferred, life)
             : FaultViaRemoteManager(p, is_write, telem, deferred, life);
 
@@ -382,7 +429,7 @@ void Host::FaultOne(PageNum p, Access needed, FaultTelemetry* telem,
                        "exhausted %d retry rounds\n",
                        static_cast<unsigned>(self_), static_cast<unsigned>(p),
                        is_write ? "write" : "read",
-                       ptable_.ManagedHere(p) ? "here" : "remotely", retries);
+                       dir_.BaseManagedHere(p) ? "here" : "remotely", retries);
           MERMAID_CHECK_MSG(
               false, "DSM fault path exhausted retries; page unreachable");
         }
@@ -424,16 +471,22 @@ Host::FaultOutcome Host::FaultViaLocalManager(
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (recovering_) return FaultOutcome::kRetry;  // crashed again just now
-    ManagerEntry& m = ptable_.Manager(p);
+    ManagerEntry* mp = dir_.FindManager(p);
+    if (mp == nullptr) {
+      // The entry migrated away between the dispatch check and this lock
+      // (dynamic directory). The retry re-dispatches to the remote path.
+      return FaultOutcome::kRetry;
+    }
+    ManagerEntry& m = *mp;
     const bool has_copy = ptable_.Local(p).access != Access::kNone;
-    if (cfg_.crash_recovery && !m.busy && m.owner == self_ && !has_copy &&
-        !ptable_.Local(p).retained) {
+    if (cfg_.crash_recovery && !m.busy && !m.migrating && m.owner == self_ &&
+        !has_copy && !ptable_.Local(p).retained) {
       // The entry names this host as owner, but the copy is gone (a crash
       // of a copyset member left us promoted over a page we never held, or
       // our own amnesia outlived the record). Granting would produce a
       // dataless upgrade with nothing to upgrade; heal the entry first.
       ghost_owner = true;
-    } else if (!m.busy) {
+    } else if (!m.busy && !m.migrating) {
       grant = BuildGrantLocked(p, self_, is_write, has_copy);
       granted_inline = true;
     } else {
@@ -474,6 +527,7 @@ Host::FaultOutcome Host::FaultViaLocalManager(
     reply.to_invalidate = grant.to_invalidate;
     reply.has_data = false;
     reply.data_rep = arch::RepClassByte(*profile_);
+    reply.mgr = self_;
   } else {
     // Fetch from the owner directly (the R/M -> O pattern of Table 4).
     base::WireWriter w;
@@ -486,6 +540,7 @@ Host::FaultOutcome Host::FaultViaLocalManager(
     w.U32(grant.alloc_bytes);
     w.U16(static_cast<std::uint16_t>(grant.to_invalidate.size()));
     for (net::HostId h : grant.to_invalidate) w.U16(h);
+    if (dir_.dynamic()) w.U16(self_);  // granting manager, echoed in reply
     auto resp = endpoint_.CallWithStatus(grant.owner,
                                          is_write ? kOpWriteReq : kOpReadReq,
                                          std::move(w).Take(),
@@ -564,11 +619,20 @@ Host::FaultOutcome Host::FaultViaRemoteManager(
   base::WireWriter w;
   w.U8(kToManager);
   w.U32(p);
+  net::HostId mgr;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     w.U8(ptable_.Local(p).access != Access::kNone ? 1 : 0);  // has_copy
+    mgr = dir_.ManagerTarget(p);
+    if (mgr == self_) {
+      // We are the base manager but the entry migrated away and the learned
+      // location was forgotten: chase our own forward pointer instead.
+      const Directory::Forward* fwd = dir_.ForwardOf(p);
+      if (fwd == nullptr) return FaultOutcome::kRetry;  // reclaim in flight
+      mgr = fwd->to;
+    }
   }
-  const net::HostId mgr = ptable_.ManagerOf(p);
+  if (dir_.dynamic()) w.U8(0);  // forwarding hops ridden so far
   auto resp = endpoint_.CallWithStatus(mgr, is_write ? kOpWriteReq : kOpReadReq,
                                        std::move(w).Take(),
                                        net::MsgKind::kControl, DsmCallOpts());
@@ -578,10 +642,31 @@ Host::FaultOutcome Host::FaultViaRemoteManager(
     // channel is closed now, so a replayed grant can never be consumed; if
     // one was issued, the manager's probe/lease machinery reclaims it.
     stats_.Inc("dsm.manager_call_timeouts");
+    if (dir_.dynamic()) {
+      // A learned (migrated) location that stopped answering may have died;
+      // fall back to the base manager next round.
+      std::lock_guard<std::mutex> lk(state_mu_);
+      dir_.ForgetManager(p);
+    }
     return FaultOutcome::kRetry;
   }
   FetchReply reply = DecodeFetchReply(resp.body);
   if (telem != nullptr) telem->rtts += 1;
+  if (reply.mgr_redirect) {
+    // The addressed host no longer manages the page (stale location or an
+    // exhausted forwarding chain); re-route to its suggestion.
+    stats_.Inc("dsm.mgr_redirects");
+    std::lock_guard<std::mutex> lk(state_mu_);
+    dir_.ForgetManager(p);
+    if (reply.owner != mgr && reply.owner < num_hosts_) {
+      dir_.LearnManager(p, reply.owner, IncOf(reply.owner));
+    }
+    return FaultOutcome::kRetry;
+  }
+  // Under the dynamic directory the granting manager identifies itself in
+  // the reply (the request may have been forwarded along migration
+  // pointers); everything manager-directed below goes there.
+  if (dir_.dynamic()) mgr = reply.mgr;
   if (reply.owner_lost) {
     // The manager forwarded us to an owner that has since restarted with
     // amnesia. Report the loss so the manager repairs its entry (promotes a
@@ -626,6 +711,7 @@ Host::FaultOutcome Host::FaultViaRemoteManager(
       const net::HostId learned = is_write ? self_ : reply.owner;
       ptable_.SetHint(p, learned, IncOf(learned));
     }
+    if (dir_.dynamic()) dir_.LearnManager(p, mgr, IncOf(mgr));
   }
   // Hop count: served by the manager itself (or an upgrade) is request +
   // reply; a forward to the owner adds the third leg (R -> M -> O -> R).
@@ -729,7 +815,34 @@ std::optional<Host::FaultOutcome> Host::FaultViaHint(PageNum p,
     return std::nullopt;
   }
   FetchReply reply = DecodeFetchReply(resp.body);
-  const net::HostId mgr = ptable_.ManagerOf(p);
+  if (reply.mgr_redirect) {
+    // The hinted host bounced us toward the page's manager (dynamic
+    // directory, forwarding chain exhausted); re-route and refault.
+    stats_.Inc("dsm.mgr_redirects");
+    std::lock_guard<std::mutex> lk(state_mu_);
+    dir_.ForgetManager(p);
+    if (reply.owner < num_hosts_ && reply.owner != self_) {
+      dir_.LearnManager(p, reply.owner, IncOf(reply.owner));
+    }
+    return FaultOutcome::kRetry;
+  }
+  // The manager every manager-directed message below goes to: under the
+  // dynamic directory a real grant names its granting manager; a direct
+  // hint serve (op_id 0) has no manager leg, so fall back to the routed
+  // location.
+  net::HostId mgr;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (dir_.dynamic() && reply.op_id != 0) {
+      mgr = reply.mgr;
+    } else {
+      mgr = dir_.ManagerTarget(p);
+      if (mgr == self_) {
+        const Directory::Forward* fwd = dir_.ForwardOf(p);
+        mgr = fwd != nullptr ? fwd->to : self_;
+      }
+    }
+  }
   if (reply.op_id == 0) {
     // Hint hit: the hinted owner served directly (2 hops, no manager leg).
     if (poisoned) {
@@ -754,10 +867,14 @@ std::optional<Host::FaultOutcome> Host::FaultViaHint(PageNum p,
     }
     // Tell the manager we hold a copy so future writers invalidate us; the
     // owner keeps us in hinted_pending_ until the manager confirms coverage.
-    base::WireWriter cw;
-    cw.U32(p);
-    cw.U64(reply.data_version);
-    endpoint_.Notify(mgr, kOpHintConfirm, std::move(cw).Take());
+    // (Skipping the notify is safe — the owner's hinted_pending_ keeps us an
+    // invalidation target until a covering confirm lands somewhere.)
+    if (mgr != self_) {
+      base::WireWriter cw;
+      cw.U32(p);
+      cw.U64(reply.data_version);
+      endpoint_.Notify(mgr, kOpHintConfirm, std::move(cw).Take());
+    }
     stats_.Hist("dsm.fault_hops", 2.0);
     if (telem != nullptr) telem->hops += 2;
     return FaultOutcome::kDone;
@@ -795,6 +912,7 @@ std::optional<Host::FaultOutcome> Host::FaultViaHint(PageNum p,
     inflight_ops_[{p, reply.op_id}] =
         InflightOp{/*is_write=*/false, reply.new_version};
     ptable_.SetHint(p, reply.owner, IncOf(reply.owner));
+    if (dir_.dynamic()) dir_.LearnManager(p, mgr, IncOf(mgr));
   }
   switch (CompleteTransfer(p, /*is_write=*/false, reply, nullptr, life)) {
     case TransferResult::kShutdown: {
@@ -851,8 +969,9 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
     for (PageNum p = first; p < last; ++p) {
       if (ptable_.Local(p).access >= Access::kRead) continue;
       if (fault_inflight_[p]) continue;
-      if (ptable_.ManagedHere(p)) {
-        if (recovering_ || ptable_.Manager(p).busy) continue;
+      if (dir_.ManagedHere(p)) {
+        ManagerEntry* me = dir_.FindManager(p);
+        if (recovering_ || me->busy || me->migrating) continue;
         fault_inflight_[p] = true;
         claimed.push_back(p);
         const std::uint64_t fev =
@@ -873,9 +992,19 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
           e.data_needed = !g.requester_has_copy;
           e.type = g.type;
           e.alloc_bytes = g.alloc_bytes;
+          e.mgr = self_;
           calls[g.owner].push_back(e);
         }
       } else {
+        // Route through the directory; pages mid-reclaim (base placement
+        // with no forward) are left to the per-page fallback, which retries
+        // until the entry is rebuilt.
+        net::HostId tgt = dir_.ManagerTarget(p);
+        if (tgt == self_) {
+          const Directory::Forward* fwd = dir_.ForwardOf(p);
+          if (fwd == nullptr) continue;
+          tgt = fwd->to;
+        }
         fault_inflight_[p] = true;
         claimed.push_back(p);
         const std::uint64_t fev =
@@ -886,7 +1015,7 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
         e.role = kToManager;
         e.page = p;
         e.has_copy = ptable_.Local(p).access != Access::kNone;
-        calls[ptable_.ManagerOf(p)].push_back(e);
+        calls[tgt].push_back(e);
       }
     }
   }
@@ -942,15 +1071,16 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
   const auto reject_grants = [&](const std::vector<GroupReqEntry>& entries) {
     for (const GroupReqEntry& e : entries) {
       if (e.role != kToOwner) continue;
-      if (ptable_.ManagedHere(e.page)) {
+      const net::HostId gm =
+          dir_.dynamic() ? e.mgr : dir_.BaseManagerOf(e.page);
+      if (gm == self_) {
         ManagerRevoke(e.page, e.op_id);
       } else {
         base::WireWriter w;
         w.U32(e.page);
         w.U64(e.op_id);
         w.U8(0);  // abandonment only: says nothing about our copy state
-        endpoint_.Notify(ptable_.ManagerOf(e.page), kOpGrantReject,
-                         std::move(w).Take());
+        endpoint_.Notify(gm, kOpGrantReject, std::move(w).Take());
       }
     }
   };
@@ -1004,19 +1134,23 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
           // loss to the page's manager so it repairs the entry; the page
           // itself is swept up by the per-page fallback below.
           stats_.Inc("dsm.owner_lost_observed");
-          if (ptable_.ManagedHere(e.page)) {
+          const net::HostId gm = dir_.dynamic()
+                                     ? e.redirect.mgr
+                                     : dir_.BaseManagerOf(e.page);
+          if (gm == self_) {
             HandlePageLostLocal(e.page, e.redirect.op_id, e.redirect_owner);
           } else {
             base::WireWriter lw;
             lw.U32(e.page);
             lw.U64(e.redirect.op_id);
             lw.U16(e.redirect_owner);
-            endpoint_.Notify(ptable_.ManagerOf(e.page), kOpPageLost,
-                             std::move(lw).Take());
+            endpoint_.Notify(gm, kOpPageLost, std::move(lw).Take());
           }
           continue;
         }
-        const bool local_mgr = ptable_.ManagedHere(e.page);
+        const net::HostId grant_mgr =
+            dir_.dynamic() ? e.fr.mgr : dir_.BaseManagerOf(e.page);
+        const bool local_mgr = grant_mgr == self_;
         if (!local_mgr) {
           std::lock_guard<std::mutex> lk(state_mu_);
           if (fenced_.count({e.page, e.fr.op_id}) > 0) {
@@ -1030,8 +1164,7 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
             continue;
           }
           if (cfg_.crash_recovery &&
-              (e.fr.op_id >> 48) <
-                  endpoint_.PeerIncarnation(ptable_.ManagerOf(e.page))) {
+              (e.fr.op_id >> 48) < endpoint_.PeerIncarnation(grant_mgr)) {
             // Grant from a dead incarnation of the page's manager: the
             // rebuilt map does not know the op; installing would create a
             // holder invisible to the reconstruction.
@@ -1042,6 +1175,9 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
               InflightOp{/*is_write=*/false, e.fr.new_version};
           if (cfg_.probable_owner) {
             ptable_.SetHint(e.page, e.fr.owner, IncOf(e.fr.owner));
+          }
+          if (dir_.dynamic()) {
+            dir_.LearnManager(e.page, grant_mgr, IncOf(grant_mgr));
           }
         }
         switch (CompleteTransfer(e.page, /*is_write=*/false, e.fr, nullptr,
@@ -1061,7 +1197,7 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
               rw.U32(e.page);
               rw.U64(e.fr.op_id);
               rw.U8(1);  // no_copy
-              endpoint_.Notify(ptable_.ManagerOf(e.page), kOpGrantReject,
+              endpoint_.Notify(grant_mgr, kOpGrantReject,
                                std::move(rw).Take());
             }
             continue;
@@ -1072,9 +1208,8 @@ bool Host::FaultGroupFetch(PageNum first, PageNum last,
         if (local_mgr) {
           ManagerCommit(e.page, e.fr.op_id, self_, /*is_write=*/false);
         } else {
-          const net::HostId mgr = ptable_.ManagerOf(e.page);
-          RecordCompleted(e.page, e.fr.op_id, mgr, /*is_write=*/false);
-          confirms[mgr].push_back({e.page, e.fr.op_id});
+          RecordCompleted(e.page, e.fr.op_id, grant_mgr, /*is_write=*/false);
+          confirms[grant_mgr].push_back({e.page, e.fr.op_id});
         }
       }
     }
@@ -1240,7 +1375,9 @@ Host::TransferResult Host::CompleteTransfer(
         }
         MERMAID_CHECK(ptable_.Local(p).access != Access::kNone);
       }
-      deferred->push_back({p, reply, life});
+      const net::HostId manager =
+          dir_.dynamic() ? reply.mgr : dir_.BaseManagerOf(p);
+      deferred->push_back({p, reply, manager, life});
       stats_.Inc("dsm.deferred_writes");
       return TransferResult::kOk;
     }
@@ -1391,12 +1528,11 @@ bool Host::FlushDeferredWrites(std::vector<DeferredWrite> deferred,
   std::map<net::HostId, std::vector<const DeferredWrite*>> remote_confirms;
   for (const DeferredWrite& d : deferred) {
     if (!FinalizeWrite(d.page, d.reply, d.life)) continue;  // crash-fenced
-    if (ptable_.ManagedHere(d.page)) {
+    if (d.manager == self_) {
       ManagerCommit(d.page, d.reply.op_id, self_, /*is_write=*/true);
     } else {
-      const net::HostId mgr = ptable_.ManagerOf(d.page);
-      RecordCompleted(d.page, d.reply.op_id, mgr, /*is_write=*/true);
-      remote_confirms[mgr].push_back(&d);
+      RecordCompleted(d.page, d.reply.op_id, d.manager, /*is_write=*/true);
+      remote_confirms[d.manager].push_back(&d);
     }
   }
   for (const auto& [mgr, ds] : remote_confirms) {
@@ -1458,8 +1594,10 @@ bool Host::InvalidateBatchCall(const std::vector<PageNum>& pages,
 
 ManagerGrant Host::BuildGrantLocked(PageNum p, net::HostId requester,
                                     bool is_write, bool has_copy) {
-  ManagerEntry& m = ptable_.Manager(p);
+  ManagerEntry& m = dir_.Manager(p);
   MERMAID_CHECK(!m.busy);
+  MERMAID_CHECK(!m.migrating);
+  ++mgr_grants_total_;
   ManagerGrant g;
   g.owner = m.owner;
   // §2.3: "the number of necessary conversions can be kept to a minimum by
@@ -1515,7 +1653,7 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
     net::HostId owner;
     {
       std::lock_guard<std::mutex> lk(state_mu_);
-      owner = ptable_.Manager(p).owner;
+      owner = dir_.Manager(p).owner;
     }
     // Note: `t.has_copy` is NOT trusted here. It was serialized when the
     // request was created, and a request can spend many retransmit rounds
@@ -1550,7 +1688,7 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
   std::uint64_t data_version;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    data_version = ptable_.Manager(p).version;
+    data_version = dir_.Manager(p).version;
   }
   if (grant.owner == t.requester) {
     // Ownership upgrade: requester already owns the page; no data leg.
@@ -1559,6 +1697,7 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
     r.data_version = data_version;
     r.new_version = grant.new_version;
     r.owner = grant.owner;
+    r.mgr = self_;
     r.type = grant.type;
     r.alloc_bytes = grant.alloc_bytes;
     r.to_invalidate = grant.to_invalidate;
@@ -1573,7 +1712,8 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
     auto reply = EncodeServeReply(p, t.requester, t.is_write,
                                   !grant.requester_has_copy, grant.op_id,
                                   data_version, grant.new_version, grant.type,
-                                  grant.alloc_bytes, grant.to_invalidate);
+                                  grant.alloc_bytes, grant.to_invalidate,
+                                  self_);
     ctx.Reply(std::move(reply), net::MsgKind::kData);
     return;
   }
@@ -1593,18 +1733,21 @@ void Host::ManagerIssue(PageNum p, PendingTransfer t) {
   w.U32(grant.alloc_bytes);
   w.U16(static_cast<std::uint16_t>(grant.to_invalidate.size()));
   for (net::HostId h : grant.to_invalidate) w.U16(h);
+  if (dir_.dynamic()) w.U16(self_);  // granting manager, echoed in the reply
   ctx.Forward(grant.owner, std::move(w).Take());
 }
 
 void Host::ManagerCommit(PageNum p, std::uint64_t op_id,
                          net::HostId requester, bool is_write) {
+  bool migrate = false;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    ManagerEntry& m = ptable_.Manager(p);
-    if (!m.busy || m.busy_op_id != op_id) {
+    ManagerEntry* mp = dir_.FindManager(p);
+    if (mp == nullptr || !mp->busy || mp->busy_op_id != op_id) {
       stats_.Inc("dsm.stale_confirms");
       return;  // duplicate confirm of an already-committed transfer
     }
+    ManagerEntry& m = *mp;
     MERMAID_CHECK(m.busy_requester == requester);
     if (is_write) {
       m.owner = requester;
@@ -1615,20 +1758,60 @@ void Host::ManagerCommit(PageNum p, std::uint64_t op_id,
       m.copyset.insert(requester);
     }
     m.busy = false;
+    // Dynamic directory: management follows the writers. A committed remote
+    // write means the new owner will likely keep writing; hand the entry to
+    // it (always in pure dynamic mode, vote-gated in hot-page mode). The
+    // migrating flag freezes the entry — no grant may issue between this
+    // decision and the daemon's handshake — and RC is excluded: diff homes
+    // are placement-static.
+    if (is_write && requester != self_ && dir_.dynamic() &&
+        !cfg_.release_consistency && !recovering_ && !m.migrating &&
+        ShouldMigrateLocked(m, requester)) {
+      m.migrating = true;
+      migrate = true;
+    }
   }
   TraceEv(trace::EventKind::kManagerCommit, p, op_id,
           TraceParent(trace::OpKey(p, op_id)), is_write ? 1 : 0, requester);
+  if (migrate) {
+    migrate_chan_.Send(MigrateJob{p, requester, /*reclaim=*/false});
+    return;  // the entry is frozen; the daemon drains after the handshake
+  }
   ManagerDrain(p);
+}
+
+bool Host::ShouldMigrateLocked(ManagerEntry& m, net::HostId requester) {
+  if (!cfg_.hot_page_migration) return true;  // pure dynamic: every writer
+  // Boyer–Moore majority vote over the page's remote-write commits: a
+  // migration is only worth its handshake when one writer dominates.
+  ++m.hot_total;
+  if (m.hot_score == 0) {
+    m.hot_candidate = requester;
+    m.hot_score = 1;
+  } else if (m.hot_candidate == requester) {
+    ++m.hot_score;
+  } else {
+    --m.hot_score;
+  }
+  if (m.hot_candidate == requester &&
+      m.hot_score >= static_cast<int>(cfg_.hot_page_threshold)) {
+    m.hot_score = 0;  // restart the vote under the next manager
+    m.hot_total = 0;
+    return true;
+  }
+  return false;
 }
 
 void Host::ManagerDrain(PageNum p) {
   PendingTransfer next;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    ManagerEntry& m = ptable_.Manager(p);
-    if (m.busy || m.pending.empty()) return;
-    next = std::move(m.pending.front());
-    m.pending.pop_front();
+    ManagerEntry* m = dir_.FindManager(p);
+    if (m == nullptr || m->busy || m->migrating || m->pending.empty()) {
+      return;
+    }
+    next = std::move(m->pending.front());
+    m->pending.pop_front();
   }
   ManagerIssue(p, std::move(next));
 }
@@ -1636,9 +1819,11 @@ void Host::ManagerDrain(PageNum p) {
 void Host::ManagerRevoke(PageNum p, std::uint64_t op_id) {
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    ManagerEntry& m = ptable_.Manager(p);
-    if (!m.busy || m.busy_op_id != op_id) return;  // committed or re-granted
-    m.busy = false;  // owner/copyset/version deliberately unchanged
+    ManagerEntry* m = dir_.FindManager(p);
+    if (m == nullptr || !m->busy || m->busy_op_id != op_id) {
+      return;  // committed, re-granted, or migrated away
+    }
+    m->busy = false;  // owner/copyset/version deliberately unchanged
     stats_.Inc("dsm.grants_revoked");
   }
   TraceEv(trace::EventKind::kManagerRevoke, p, op_id,
@@ -1654,12 +1839,13 @@ net::Body Host::EncodeServeReply(
     PageNum p, net::HostId requester, bool is_write, bool data_needed,
     std::uint64_t op_id, std::uint64_t data_version,
     std::uint64_t new_version, arch::TypeId type, std::uint32_t alloc_bytes,
-    const std::vector<net::HostId>& to_invalidate) {
+    const std::vector<net::HostId>& to_invalidate, net::HostId mgr) {
   FetchReply r;
   r.op_id = op_id;
   r.data_version = data_version;
   r.new_version = new_version;
   r.owner = self_;
+  r.mgr = mgr;
   r.type = type;
   r.alloc_bytes = alloc_bytes;
   r.to_invalidate = to_invalidate;
@@ -1819,7 +2005,10 @@ void Host::HandleTransferReq(net::RequestContext ctx, bool is_write) {
   r.U8();  // role
   const PageNum p = r.U32();
   const bool has_copy = r.U8() != 0;
-  if (!r.ok() || !ptable_.ManagedHere(p)) {
+  std::uint8_t hops = 0;
+  if (dir_.dynamic()) hops = r.U8();
+  if (!r.ok() || p >= ptable_.num_pages() ||
+      (!dir_.dynamic() && !dir_.BaseManagedHere(p))) {
     stats_.Inc("dsm.malformed");
     return;
   }
@@ -1829,8 +2018,9 @@ void Host::HandleTransferReq(net::RequestContext ctx, bool is_write) {
   t.is_write = is_write;
   t.has_copy = has_copy;
   t.requester = ctx.origin();
-  t.remote = std::move(ctx);
   bool issue_now = false;
+  net::HostId fwd_to = self_;
+  net::HostId redirect_to = self_;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (recovering_) {
@@ -1840,14 +2030,70 @@ void Host::HandleTransferReq(net::RequestContext ctx, bool is_write) {
       stats_.Inc("dsm.recovery_dropped_reqs");
       return;
     }
-    ManagerEntry& m = ptable_.Manager(p);
-    if (m.busy) {
-      m.pending.push_back(std::move(t));
+    ManagerEntry* m = dir_.FindManager(p);
+    if (m == nullptr) {
+      // Dynamic mode only (a fixed/sharded misroute is malformed above):
+      // the entry migrated away. Chase our forward pointer while the hop
+      // budget lasts; past it, bounce the requester a redirect so the chain
+      // cannot grow without limit.
+      const Directory::Forward* fwd = dir_.ForwardOf(p);
+      if (fwd != nullptr && cfg_.crash_recovery &&
+          net_.HostDown(fwd->to, rt_.Now())) {
+        // The manager this page migrated to died with its state: reclaim
+        // the entry here (we are the forward holder) and let the requester
+        // retry into the rebuilt entry.
+        QueueReclaimLocked(p);
+        return;
+      }
+      if (fwd != nullptr) {
+        if (hops < cfg_.directory_forward_limit) {
+          fwd_to = fwd->to;
+        } else {
+          redirect_to = fwd->to;
+        }
+      } else if (dir_.BaseManagedHere(p)) {
+        // Base placement with neither entry nor forward: a reclaim is (or
+        // is now) in flight. Drop; the requester retries into the rebuilt
+        // entry.
+        QueueReclaimLocked(p);
+        return;
+      } else {
+        // Misrouted (stale learned manager): point the requester at the
+        // base placement, which either manages the page or holds the start
+        // of the live forward chain.
+        redirect_to = dir_.BaseManagerOf(p);
+      }
     } else {
+      if (m->busy || m->migrating) {
+        t.remote = std::move(ctx);
+        m->pending.push_back(std::move(t));
+        return;
+      }
+      t.remote = std::move(ctx);
       issue_now = true;
     }
   }
-  if (issue_now) ManagerIssue(p, std::move(t));
+  if (issue_now) {
+    ManagerIssue(p, std::move(t));
+    return;
+  }
+  if (fwd_to != self_) {
+    stats_.Inc("dsm.mgr_forwards");
+    base::WireWriter w;
+    w.U8(kToManager);
+    w.U32(p);
+    w.U8(has_copy ? 1 : 0);
+    w.U8(static_cast<std::uint8_t>(hops + 1));
+    ctx.Forward(fwd_to, std::move(w).Take());
+    return;
+  }
+  MERMAID_CHECK(redirect_to != self_);
+  stats_.Inc("dsm.mgr_redirects_sent");
+  FetchReply rr;
+  rr.mgr_redirect = true;
+  rr.owner = redirect_to;  // suggestion, not an owner
+  rr.mgr = self_;
+  ctx.Reply(EncodeFetchReply(rr));
 }
 
 void Host::HandleOwnerFetch(net::RequestContext ctx, bool is_write) {
@@ -1862,6 +2108,8 @@ void Host::HandleOwnerFetch(net::RequestContext ctx, bool is_write) {
   const std::uint16_t n_inv = r.U16();
   std::vector<net::HostId> to_invalidate(n_inv);
   for (auto& h : to_invalidate) h = r.U16();
+  net::HostId mgr = 0;
+  if (dir_.dynamic()) mgr = r.U16();  // granting manager, echoed back
   if (!r.ok()) {
     stats_.Inc("dsm.malformed");
     return;
@@ -1889,13 +2137,14 @@ void Host::HandleOwnerFetch(net::RequestContext ctx, bool is_write) {
     FetchReply fr;
     fr.op_id = op_id;
     fr.owner = self_;
+    fr.mgr = mgr;
     fr.owner_lost = true;
     ctx.Reply(EncodeFetchReply(fr));
     return;
   }
   auto reply = EncodeServeReply(p, ctx.origin(), is_write, data_needed, op_id,
                                 data_version, new_version, type, alloc_bytes,
-                                to_invalidate);
+                                to_invalidate, mgr);
   ctx.Reply(std::move(reply),
             data_needed ? net::MsgKind::kData : net::MsgKind::kControl);
 }
@@ -1941,7 +2190,8 @@ void Host::HandleHintedFetch(net::RequestContext ctx) {
     // data and "new" version since nothing changes.
     auto reply = EncodeServeReply(p, ctx.origin(), /*is_write=*/false,
                                   /*data_needed=*/!has_copy, /*op_id=*/0,
-                                  version, version, type, alloc_bytes, {});
+                                  version, version, type, alloc_bytes, {},
+                                  /*mgr=*/0);
     ctx.Reply(std::move(reply), net::MsgKind::kData);
     return;
   }
@@ -1953,47 +2203,61 @@ void Host::HandleHintedFetch(net::RequestContext ctx) {
   const std::uint64_t stale_ev =
       TraceEv(trace::EventKind::kHintStale, p, 0,
               TraceParent(trace::HintKey(ctx.origin(), p)),
-              ptable_.ManagerOf(p));
+              dir_.BaseManagerOf(p));
   // Bind under the requester's fault key so the manager's grant chains
   // through the stale-forward event.
   TraceBind(trace::FaultKey(ctx.origin(), p), stale_ev);
-  if (ptable_.ManagedHere(p)) {
-    PendingTransfer t;
-    t.is_write = false;
-    t.has_copy = has_copy;
-    t.requester = ctx.origin();
-    t.remote = std::move(ctx);
-    bool issue_now = false;
-    {
-      std::lock_guard<std::mutex> lk(state_mu_);
+  PendingTransfer t;
+  t.is_write = false;
+  t.has_copy = has_copy;
+  t.requester = ctx.origin();
+  bool issue_now = false;
+  net::HostId fwd_tgt = self_;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry* m = dir_.FindManager(p);
+    if (m != nullptr) {
       if (recovering_) {
         // Same as HandleTransferReq: no reply while rebuilding, the
         // requester times out and retries.
         stats_.Inc("dsm.recovery_dropped_reqs");
         return;
       }
-      ManagerEntry& m = ptable_.Manager(p);
-      if (m.busy) {
-        m.pending.push_back(std::move(t));
-      } else {
-        issue_now = true;
+      t.remote = std::move(ctx);
+      if (m->busy || m->migrating) {
+        m->pending.push_back(std::move(t));
+        return;
+      }
+      issue_now = true;
+    } else {
+      fwd_tgt = dir_.ManagerTarget(p);
+      if (fwd_tgt == self_) {
+        const Directory::Forward* fwd = dir_.ForwardOf(p);
+        // No forward either: a reclaim is in flight; drop so the
+        // requester's call times out and retries the rebuilt entry.
+        fwd_tgt = fwd != nullptr ? fwd->to : self_;
       }
     }
-    if (issue_now) ManagerIssue(p, std::move(t));
+  }
+  if (issue_now) {
+    ManagerIssue(p, std::move(t));
     return;
   }
+  if (fwd_tgt == self_) return;
   base::WireWriter w;
   w.U8(kToManager);
   w.U32(p);
   w.U8(has_copy ? 1 : 0);
-  ctx.Forward(ptable_.ManagerOf(p), std::move(w).Take());
+  if (dir_.dynamic()) w.U8(0);  // forwarding-hop budget starts fresh
+  ctx.Forward(fwd_tgt, std::move(w).Take());
 }
 
 void Host::HandleHintConfirm(net::RequestContext ctx) {
   base::WireReader r(ctx.body());
   const PageNum p = r.U32();
   const std::uint64_t version = r.U64();
-  if (!r.ok() || !ptable_.ManagedHere(p)) {
+  if (!r.ok() || p >= ptable_.num_pages() ||
+      (!dir_.dynamic() && !dir_.BaseManagedHere(p))) {
     stats_.Inc("dsm.malformed");
     return;
   }
@@ -2001,14 +2265,24 @@ void Host::HandleHintConfirm(net::RequestContext ctx) {
   net::HostId owner = 0;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    ManagerEntry& m = ptable_.Manager(p);
+    ManagerEntry* mp = dir_.FindManager(p);
+    if (mp == nullptr) {
+      // Dynamic: the entry migrated away. Chase the forward once; a dropped
+      // confirm is safe either way (the owner's hinted_pending_ keeps the
+      // reader an invalidation target).
+      if (!ForwardNotifyLocked(p, kOpHintConfirm, ctx.body())) {
+        stats_.Inc("dsm.hint_confirms_dropped");
+      }
+      return;
+    }
+    ManagerEntry& m = *mp;
     // Only a quiescent entry at the served version can absorb the reader: a
     // busy entry means a transfer (possibly a write) is in flight, and a
     // version mismatch means the serve predates a committed write. Either
     // way the owner keeps the reader in hinted_pending_ and every write
     // serve covers it until this confirm eventually lands. A recovering
     // manager also drops it: the entry is about to be rebuilt from claims.
-    if (!recovering_ && !m.busy && m.version == version) {
+    if (!recovering_ && !m.busy && !m.migrating && m.version == version) {
       m.copyset.insert(ctx.origin());
       covered = true;
       owner = m.owner;
@@ -2085,14 +2359,16 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
         pr.data_version = e.version;
         continue;
       }
-      if (!ptable_.ManagedHere(req.page) || recovering_ ||
-          ptable_.Manager(req.page).busy) {
+      ManagerEntry* m = dir_.FindManager(req.page);
+      if (m == nullptr || recovering_ || m->busy || m->migrating) {
+        // Absent entries (migrated away under the dynamic directory) fall
+        // back to the per-page path, which chases the forward chain.
         pr.busy = true;
         continue;
       }
       pr.g = BuildGrantLocked(req.page, ctx.origin(), /*is_write=*/false,
                               req.has_copy);
-      pr.data_version = ptable_.Manager(req.page).version;
+      pr.data_version = m->version;
       pr.granted = true;
     }
   }
@@ -2118,6 +2394,7 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
         // the requester can report the loss to the manager.
         e.status = 3;
         e.redirect.op_id = req.op_id;
+        e.redirect.mgr = req.mgr;  // echoed so the loss report finds it
         e.redirect_owner = self_;
         all_redirect = false;
         stats_.Inc("dsm.owner_lost_detected");
@@ -2129,7 +2406,7 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
       bodies.push_back(EncodeServeReply(
           req.page, ctx.origin(), /*is_write=*/false, req.data_needed,
           req.op_id, pr.data_version, req.new_version, req.type,
-          req.alloc_bytes, {}));
+          req.alloc_bytes, {}, req.mgr));
       all_redirect = false;
       continue;
     }
@@ -2140,6 +2417,7 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
       fr.data_version = pr.data_version;
       fr.new_version = pr.g.new_version;
       fr.owner = pr.g.owner;
+      fr.mgr = self_;
       fr.type = pr.g.type;
       fr.alloc_bytes = pr.g.alloc_bytes;
       fr.has_data = false;
@@ -2153,7 +2431,7 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
       bodies.push_back(EncodeServeReply(
           req.page, ctx.origin(), /*is_write=*/false,
           !pr.g.requester_has_copy, pr.g.op_id, pr.data_version,
-          pr.g.new_version, pr.g.type, pr.g.alloc_bytes, {}));
+          pr.g.new_version, pr.g.type, pr.g.alloc_bytes, {}, self_));
       all_redirect = false;
     } else {
       // Third-party owner: hand the grant parameters back so the requester
@@ -2168,6 +2446,7 @@ void Host::HandleGroupFetch(net::RequestContext ctx) {
       e.redirect.data_needed = !pr.g.requester_has_copy;
       e.redirect.type = pr.g.type;
       e.redirect.alloc_bytes = pr.g.alloc_bytes;
+      e.redirect.mgr = self_;
       if (!any_redirect) {
         redirect_owner = pr.g.owner;
         any_redirect = true;
@@ -2220,7 +2499,9 @@ void Host::HandleGroupConfirm(net::RequestContext ctx) {
     return;
   }
   for (const Confirm& c : cs) {
-    if (c.page < ptable_.num_pages() && ptable_.ManagedHere(c.page)) {
+    // ManagerCommit tolerates absent entries (migrated or rebuilt): a
+    // misdelivered confirm lands in the stale-confirms bucket.
+    if (c.page < ptable_.num_pages()) {
       ManagerCommit(c.page, c.op_id, ctx.origin(), c.is_write);
     }
   }
@@ -2265,6 +2546,11 @@ bool Host::ApplyInvalidateLocked(PageNum p, net::HostId writer) {
       it->second = true;
     }
   }
+  if (dir_.dynamic() && !cfg_.hot_page_migration && writer != self_) {
+    // Pure dynamic mode migrates management to every committing writer:
+    // the invalidating writer is about to both own and manage this page.
+    dir_.LearnManager(p, writer, IncOf(writer));
+  }
   return dropped;
 }
 
@@ -2301,10 +2587,14 @@ void Host::HandleConfirm(net::RequestContext ctx) {
   const std::uint64_t op_id = r.U64();
   const net::HostId requester = r.U16();
   const bool is_write = r.U8() != 0;
-  if (!r.ok() || !ptable_.ManagedHere(p)) {
+  if (!r.ok() || p >= ptable_.num_pages() ||
+      (!dir_.dynamic() && !dir_.BaseManagedHere(p))) {
     stats_.Inc("dsm.malformed");
     return;
   }
+  // Confirms target the granting manager directly (the requester learned it
+  // from the grant), so the entry is normally here; ManagerCommit tolerates
+  // absence after a recovery rebuild.
   ManagerCommit(p, op_id, requester, is_write);
 }
 
@@ -2361,19 +2651,20 @@ void Host::HandleGrantReject(net::RequestContext ctx) {
   // and I verifiably hold nothing"), no_copy=0 is mere abandonment (group
   // timeout, probe disown) that says nothing about the sender's copy.
   const bool no_copy = r.U8() != 0;
-  if (!r.ok() || !ptable_.ManagedHere(p)) {
+  if (!r.ok() || p >= ptable_.num_pages() ||
+      (!dir_.dynamic() && !dir_.BaseManagedHere(p))) {
     stats_.Inc("dsm.malformed");
     return;
   }
   bool owner_disclaimed = false;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    ManagerEntry& m = ptable_.Manager(p);
-    if (!m.busy || m.busy_op_id != op_id ||
-        m.busy_requester != ctx.origin()) {
-      return;  // stale reject of a committed or re-granted transfer
+    ManagerEntry* mp = dir_.FindManager(p);
+    if (mp == nullptr || !mp->busy || mp->busy_op_id != op_id ||
+        mp->busy_requester != ctx.origin()) {
+      return;  // stale reject of a committed, re-granted, or migrated entry
     }
-    owner_disclaimed = no_copy && m.owner == ctx.origin();
+    owner_disclaimed = no_copy && mp->owner == ctx.origin();
   }
   stats_.Inc("dsm.grant_rejects");
   if (owner_disclaimed) {
@@ -2392,15 +2683,16 @@ void Host::HandleGrantExtend(net::RequestContext ctx) {
   base::WireReader r(ctx.body());
   const PageNum p = r.U32();
   const std::uint64_t op_id = r.U64();
-  if (!r.ok() || !ptable_.ManagedHere(p)) {
+  if (!r.ok() || p >= ptable_.num_pages() ||
+      (!dir_.dynamic() && !dir_.BaseManagedHere(p))) {
     stats_.Inc("dsm.malformed");
     return;
   }
   std::lock_guard<std::mutex> lk(state_mu_);
-  ManagerEntry& m = ptable_.Manager(p);
-  if (m.busy && m.busy_op_id == op_id &&
-      m.busy_requester == ctx.origin()) {
-    m.busy_since = rt_.Now();  // requester is alive and mid-transfer
+  ManagerEntry* m = dir_.FindManager(p);
+  if (m != nullptr && m->busy && m->busy_op_id == op_id &&
+      m->busy_requester == ctx.origin()) {
+    m->busy_since = rt_.Now();  // requester is alive and mid-transfer
     stats_.Inc("dsm.grant_extends");
   }
 }
@@ -2428,7 +2720,7 @@ Host::RcTwinResult Host::RcTwinPage(PageNum p) {
   LocalPageEntry& e = ptable_.Local(p);
   if (e.access >= Access::kWrite) return RcTwinResult::kOk;  // already live
   if (e.access < Access::kRead) return RcTwinResult::kNoCopy;
-  if (ptable_.ManagedHere(p)) {
+  if (dir_.BaseManagedHere(p)) {
     // The home writes its master copy in place: there is nothing to diff
     // against later (release just commits a version bump), so no twin
     // buffer and zero wire bytes.
@@ -2576,7 +2868,7 @@ void Host::RcFlushTwins() {
         {
           std::lock_guard<std::mutex> lk(state_mu_);
           if (life != life_) break;  // crashed mid-release: state is gone
-          ManagerEntry& m = ptable_.Manager(f.page);
+          ManagerEntry& m = dir_.Manager(f.page);
           if (m.busy) {
             busy = true;
           } else {
@@ -2612,7 +2904,7 @@ void Host::RcFlushTwins() {
       }
       w.Raw(f.bytes);
       const net::Body body(std::move(w).Take());
-      const net::HostId home = ptable_.ManagerOf(f.page);
+      const net::HostId home = dir_.BaseManagerOf(f.page);
       for (int round = 0;; ++round) {
         {
           std::lock_guard<std::mutex> lk(state_mu_);
@@ -2688,18 +2980,72 @@ void Host::RcFlushTwins() {
 }
 
 std::pair<std::uint64_t, std::uint64_t> Host::RcCommitFlushLocked(
-    PageNum p, net::HostId origin) {
-  ManagerEntry& m = ptable_.Manager(p);
+    PageNum p, net::HostId origin, bool drop_cache) {
+  ManagerEntry& m = dir_.Manager(p);
   const std::uint64_t prev = m.version;
   ++m.version;
   // The home's master copy tracks the committed version, and — the
   // "write bumps the version" invariant — every cached converted image of
-  // this page is unservable the instant a diff mutates it.
+  // this page is unservable the instant a diff mutates it. A remote diff
+  // flush knows exactly which byte ranges changed, so its caller patches
+  // the cached images in place instead of dropping them (drop_cache=false).
   LocalPageEntry& e = ptable_.Local(p);
   e.version = m.version;
-  DropConvertCacheLocked(p);
+  if (drop_cache) DropConvertCacheLocked(p);
   if (referee_ != nullptr) referee_->OnRcFlush(origin, p, m.version);
   return {m.version, prev};
+}
+
+void Host::PatchConvertCacheLocked(
+    PageNum p, std::uint64_t prev_version, std::uint64_t new_version,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges) {
+  // A diff flush is a partial write: whole-page converted images cached at
+  // the pre-flush version stay correct outside the flushed ranges. Re-run
+  // the codec on just those ranges (slot-aligned by construction) and
+  // re-key the image to the committed version, instead of throwing the
+  // whole conversion away.
+  std::vector<ConvertCacheKey> keys;
+  for (const auto& [k, img] : convert_cache_) {
+    if (k.page == p && k.version == prev_version) keys.push_back(k);
+  }
+  const GlobalAddr base = static_cast<GlobalAddr>(p) * page_bytes_;
+  const arch::TypeId type = ptable_.Local(p).type;
+  for (const ConvertCacheKey& key : keys) {
+    const arch::ArchProfile* target = nullptr;
+    for (net::HostId h = 0; h < num_hosts_; ++h) {
+      if (arch::RepClassByte(net_.ProfileOf(h)) == key.rep) {
+        target = &net_.ProfileOf(h);
+        break;
+      }
+    }
+    if (target == nullptr) continue;  // no such architecture anymore
+    base::Buffer& cached = convert_cache_[key];
+    const std::uint32_t extent = static_cast<std::uint32_t>(cached.size());
+    // Copy-on-write: the cached buffer may back an in-flight reply chain.
+    std::vector<std::uint8_t> img(cached.span().begin(), cached.span().end());
+    for (const auto& [off, len] : ranges) {
+      if (off >= extent) continue;
+      const std::uint32_t n = std::min(len, extent - off);
+      std::copy(mem_.begin() + base + off, mem_.begin() + base + off + n,
+                img.begin() + off);
+      if (key.rep != arch::RepClassByte(*profile_)) {
+        arch::ConvertStats cstats;
+        arch::ConvertContext cctx;
+        cctx.src = profile_;
+        cctx.dst = target;
+        cctx.stats = &cstats;
+        ConvertSlots(registry_, type,
+                     std::span<std::uint8_t>(img.data() + off, n), n, cctx);
+      }
+    }
+    const ConvertCacheKey new_key{p, new_version, key.rep};
+    convert_cache_.erase(key);
+    convert_cache_[new_key] = base::Buffer(std::move(img));
+    for (auto& k : convert_cache_order_) {
+      if (k == key) k = new_key;
+    }
+    stats_.Inc("dsm.convert_cache_patched");
+  }
 }
 
 std::vector<sync::WriteNotice> Host::RcDrainNotices() {
@@ -2719,7 +3065,7 @@ void Host::RcApplyNotices(const std::vector<sync::WriteNotice>& notices,
     // neither twinned nor the master here is conservatively stale.
     stats_.Inc("dsm.rc_notice_resets");
     for (PageNum p = 0; p < ptable_.num_pages(); ++p) {
-      if (ptable_.ManagedHere(p) || rc_twins_.count(p) != 0) continue;
+      if (dir_.BaseManagedHere(p) || rc_twins_.count(p) != 0) continue;
       LocalPageEntry& e = ptable_.Local(p);
       e.retained = false;
       if (e.access == Access::kNone) continue;
@@ -2734,7 +3080,7 @@ void Host::RcApplyNotices(const std::vector<sync::WriteNotice>& notices,
     const PageNum p = n.page;
     if (p >= ptable_.num_pages()) continue;
     if (n.origin == self_) continue;          // our own flush
-    if (ptable_.ManagedHere(p)) continue;     // the master is always fresh
+    if (dir_.BaseManagedHere(p)) continue;    // the master is always fresh
     if (rc_twins_.count(p) != 0) continue;    // flushed at our next release
     LocalPageEntry& e = ptable_.Local(p);
     if (e.access == Access::kNone || e.version >= n.version) continue;
@@ -2770,7 +3116,7 @@ void Host::HandleDiffFlush(net::RequestContext ctx) {
   }
   const std::span<const std::uint8_t> raw = r.Raw(total);
   if (!r.ok() || !sane || !cfg_.release_consistency ||
-      !ptable_.ManagedHere(p)) {
+      !dir_.BaseManagedHere(p)) {
     stats_.Inc("dsm.malformed");
     return;
   }
@@ -2807,7 +3153,7 @@ void Host::HandleDiffFlush(net::RequestContext ctx) {
       reply_ok(it->second.new_version, it->second.prev_version);
       return;
     }
-    if (ptable_.Manager(p).busy) {
+    if (dir_.Manager(p).busy) {
       // A transfer is in flight at the pre-flush version; applying now
       // would let its reply install bytes newer than their label. The
       // writer backs off and retries.
@@ -2839,7 +3185,7 @@ void Host::HandleDiffFlush(net::RequestContext ctx) {
       reply_ok(it->second.new_version, it->second.prev_version);
       return;
     }
-    if (ptable_.Manager(p).busy) {  // went busy during the conversion
+    if (dir_.Manager(p).busy) {  // went busy during the conversion
       stats_.Inc("dsm.rc_flush_busy_rejects");
       reply_busy();
       return;
@@ -2852,9 +3198,10 @@ void Host::HandleDiffFlush(net::RequestContext ctx) {
       pos += len;
     }
     base::BulkCopyRecord(payload.size());
-    const auto nv = RcCommitFlushLocked(p, origin);
+    const auto nv = RcCommitFlushLocked(p, origin, /*drop_cache=*/false);
     new_version = nv.first;
     prev_version = nv.second;
+    PatchConvertCacheLocked(p, prev_version, new_version, ranges);
     while (rc_applied_order_.size() >= 8192) {
       rc_applied_.erase(rc_applied_order_.front());
       rc_applied_order_.pop_front();
@@ -2945,12 +3292,16 @@ void Host::RecordCompleted(PageNum p, std::uint64_t op_id,
   completed_[{p, op_id}] = CompletedOp{manager, is_write};
 }
 
-net::Body Host::EncodeFetchReply(const FetchReply& r) {
+net::Body Host::EncodeFetchReply(const FetchReply& r) const {
   base::WireWriter w;
   w.U64(r.op_id);
   w.U64(r.data_version);
   w.U64(r.new_version);
   w.U16(r.owner);
+  // Wire fields gated on the governing knob (house rule): the granting
+  // manager's identity only exists on the wire under the dynamic directory,
+  // so knobs-off byte images are unchanged.
+  if (dir_.dynamic()) w.U16(r.mgr);
   w.U16(r.type);
   w.U32(r.alloc_bytes);
   w.U16(static_cast<std::uint16_t>(r.to_invalidate.size()));
@@ -2959,13 +3310,14 @@ net::Body Host::EncodeFetchReply(const FetchReply& r) {
   w.U8(r.data_rep);
   w.U8(static_cast<std::uint8_t>((r.sender_converted ? 1 : 0) |
                                  (r.from_cache ? 2 : 0) |
-                                 (r.owner_lost ? 4 : 0)));
+                                 (r.owner_lost ? 4 : 0) |
+                                 (r.mgr_redirect ? 8 : 0)));
   // The page data rides as a shared buffer chain behind the metadata — the
   // endpoint and fragment layers never copy it.
   return net::Body(std::move(w).Take(), r.data);
 }
 
-Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) {
+Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) const {
   // Metadata sits in the first chunk by construction (the sender serializes
   // framing + metadata into one buffer); fall back to flattening if a
   // degenerate MTU split it.
@@ -2979,6 +3331,7 @@ Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) {
     out.data_version = r.U64();
     out.new_version = r.U64();
     out.owner = r.U16();
+    if (dir_.dynamic()) out.mgr = r.U16();
     out.type = r.U16();
     out.alloc_bytes = r.U32();
     const std::uint16_t n = r.U16();
@@ -2990,6 +3343,7 @@ Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) {
     out.sender_converted = (flags & 1) != 0;
     out.from_cache = (flags & 2) != 0;
     out.owner_lost = (flags & 4) != 0;
+    out.mgr_redirect = (flags & 8) != 0;
     if (r.ok()) {
       if (out.has_data) {
         const std::size_t consumed = meta.size() - r.remaining();
@@ -3005,7 +3359,8 @@ Host::FetchReply Host::DecodeFetchReply(const base::BufferChain& body) {
   }
 }
 
-net::Body Host::EncodeGroupRequest(const std::vector<GroupReqEntry>& es) {
+net::Body Host::EncodeGroupRequest(
+    const std::vector<GroupReqEntry>& es) const {
   base::WireWriter w;
   w.U16(static_cast<std::uint16_t>(es.size()));
   for (const GroupReqEntry& e : es) {
@@ -3019,13 +3374,16 @@ net::Body Host::EncodeGroupRequest(const std::vector<GroupReqEntry>& es) {
       w.U8(e.data_needed ? 1 : 0);
       w.U16(e.type);
       w.U32(e.alloc_bytes);
+      // Granting manager (dynamic only): the owner echoes it back so the
+      // requester confirms to the host that actually holds the busy entry.
+      if (dir_.dynamic()) w.U16(e.mgr);
     }
   }
   return std::move(w).Take();
 }
 
 std::vector<Host::GroupReqEntry> Host::DecodeGroupRequest(
-    std::span<const std::uint8_t> body, bool* ok) {
+    std::span<const std::uint8_t> body, bool* ok) const {
   base::WireReader r(body);
   const std::uint16_t n = r.U16();
   std::vector<GroupReqEntry> es;
@@ -3042,6 +3400,7 @@ std::vector<Host::GroupReqEntry> Host::DecodeGroupRequest(
       e.data_needed = r.U8() != 0;
       e.type = r.U16();
       e.alloc_bytes = r.U32();
+      if (dir_.dynamic()) e.mgr = r.U16();
     } else {
       *ok = false;
       return {};
@@ -3053,7 +3412,7 @@ std::vector<Host::GroupReqEntry> Host::DecodeGroupRequest(
 }
 
 net::Body Host::EncodeGroupReply(std::vector<GroupReplyEntry> es,
-                                 std::vector<net::Body> grant_bodies) {
+                                 std::vector<net::Body> grant_bodies) const {
   // Head: per-entry metadata with, for grants, the length of the embedded
   // FetchReply head and of its data slice. The data slices are concatenated
   // behind the head as a shared chain — like EncodeFetchReply, nothing is
@@ -3078,17 +3437,19 @@ net::Body Host::EncodeGroupReply(std::vector<GroupReplyEntry> es,
       w.U8(e.redirect.data_needed ? 1 : 0);
       w.U16(e.redirect.type);
       w.U32(e.redirect.alloc_bytes);
+      if (dir_.dynamic()) w.U16(e.redirect.mgr);
     } else if (e.status == 3) {
       // Owner lost: just the grant id and the amnesiac owner.
       w.U64(e.redirect.op_id);
       w.U16(e.redirect_owner);
+      if (dir_.dynamic()) w.U16(e.redirect.mgr);
     }
   }
   return net::Body(std::move(w).Take(), std::move(data));
 }
 
 std::vector<Host::GroupReplyEntry> Host::DecodeGroupReply(
-    const base::BufferChain& body) {
+    const base::BufferChain& body) const {
   // Same chunk(0)-first pattern as DecodeFetchReply: metadata sits in the
   // first chunk by construction; flatten only if a degenerate MTU split it.
   // Data offsets computed against the flattened bytes are equally valid on
@@ -3122,10 +3483,12 @@ std::vector<Host::GroupReplyEntry> Host::DecodeGroupReply(
         e.redirect.data_needed = r.U8() != 0;
         e.redirect.type = r.U16();
         e.redirect.alloc_bytes = r.U32();
+        if (dir_.dynamic()) e.redirect.mgr = r.U16();
       } else if (e.status == 3) {
         e.redirect.page = e.page;
         e.redirect.op_id = r.U64();
         e.redirect_owner = r.U16();
+        if (dir_.dynamic()) e.redirect.mgr = r.U16();
       } else if (e.status != 0) {
         ok = false;
       }
@@ -3184,12 +3547,14 @@ void Host::CrashWipe() {
     // Local fault threads parked on a grant channel would wedge forever
     // once their queue entries are wiped: collect the channels and wake
     // them with the op_id==0 crash sentinel after the lock drops.
-    ptable_.ForEachManaged([&](PageNum, ManagerEntry& m) {
+    dir_.ForEachManaged([&](PageNum, ManagerEntry& m) {
       for (PendingTransfer& t : m.pending) {
         if (!t.remote.has_value()) local_grants.push_back(t.local_grant);
       }
     });
     ptable_.WipeForCrash();
+    dir_.WipeForCrash();
+    reclaiming_.clear();
     std::fill(mem_.begin(), mem_.end(), 0);
     for (auto& [p, chans] : fault_waiters_) {
       for (auto& c : chans) waiters.push_back(std::move(c));
@@ -3222,7 +3587,8 @@ void Host::HandlePageLost(net::RequestContext ctx) {
   const PageNum p = r.U32();
   const std::uint64_t op_id = r.U64();
   const net::HostId dead_owner = r.U16();
-  if (!r.ok() || !ptable_.ManagedHere(p)) {
+  if (!r.ok() || p >= ptable_.num_pages() ||
+      (!dir_.dynamic() && !dir_.BaseManagedHere(p))) {
     stats_.Inc("dsm.malformed");
     return;
   }
@@ -3251,7 +3617,9 @@ void Host::HandlePageLostLocal(PageNum p, std::uint64_t op_id,
     // A report carrying a grant id from a previous life of this manager is
     // a pre-crash zombie: the entry was rebuilt since. Drop it.
     if (op_id != 0 && (op_id >> 48) != op_epoch_) return;
-    ManagerEntry& m = ptable_.Manager(p);
+    ManagerEntry* mp = dir_.FindManager(p);
+    if (mp == nullptr) return;  // migrated away: the new manager re-detects
+    ManagerEntry& m = *mp;
     if (m.owner != dead_owner) return;  // stale report: already healed
     stats_.Inc("dsm.owner_lost_reports");
     m.copyset.erase(dead_owner);
@@ -3313,6 +3681,20 @@ void Host::HandlePageLostLocal(PageNum p, std::uint64_t op_id,
 void Host::HandleRecoveryQuery(net::RequestContext ctx) {
   const net::HostId mgr = ctx.origin();
   rt_.Delay(profile_->server_op_cost);
+  // An empty body is the full sweep (every page whose base placement is the
+  // querying host). A non-empty body lists explicit pages — the targeted
+  // reclaim of a migrated directory entry whose manager died — and skips the
+  // base-placement filter, since the reclaiming host need not be the base.
+  std::vector<PageNum> wanted;
+  if (!ctx.body().empty()) {
+    base::WireReader r(ctx.body());
+    const std::uint16_t n = r.U16();
+    for (std::uint16_t i = 0; i < n; ++i) wanted.push_back(r.U32());
+    if (!r.ok()) {
+      stats_.Inc("dsm.malformed");
+      return;
+    }
+  }
   struct Claim {
     PageNum page = 0;
     std::uint64_t version = 0;
@@ -3321,12 +3703,13 @@ void Host::HandleRecoveryQuery(net::RequestContext ctx) {
     std::uint64_t op_id = 0;
     bool op_is_write = false;
     std::uint64_t op_new_version = 0;
+    std::uint16_t type = 0;
+    std::uint32_t alloc_bytes = 0;
   };
   std::vector<Claim> claims;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
-    for (PageNum p = 0; p < ptable_.num_pages(); ++p) {
-      if (ptable_.ManagerOf(p) != mgr) continue;
+    auto emit = [&](PageNum p) {
       const LocalPageEntry& e = ptable_.Local(p);
       Claim c;
       c.page = p;
@@ -3341,6 +3724,12 @@ void Host::HandleRecoveryQuery(net::RequestContext ctx) {
       }
       c.flags = static_cast<std::uint8_t>((e.owned ? 1 : 0) |
                                           (e.retained ? 2 : 0));
+      // Dynamic directory: flag pages this host currently manages, so the
+      // recovering base host installs a forward pointer instead of seizing
+      // management back from a live migrated entry.
+      if (dir_.dynamic() && dir_.ManagedHere(p) && !recovering_) c.flags |= 4;
+      c.type = static_cast<std::uint16_t>(e.type);
+      c.alloc_bytes = e.alloc_bytes;
       // The highest-id in-flight grant: a decoded-but-unconfirmed transfer
       // this host WILL install, which the manager must adopt as busy.
       for (auto it = inflight_ops_.lower_bound({p, 0});
@@ -3350,12 +3739,23 @@ void Host::HandleRecoveryQuery(net::RequestContext ctx) {
         c.op_new_version = it->second.new_version;
       }
       // Claim only pages with something to say: a copy, a retained image,
-      // an in-flight grant, or a version trace (evidence the page once
-      // lived, so a silent total loss is detected, not reinitialized).
+      // an in-flight grant, a managed entry, or a version trace (evidence
+      // the page once lived, so a silent total loss is detected, not
+      // reinitialized).
       if (c.version == 0 && c.access == 0 && c.flags == 0 && c.op_id == 0) {
-        continue;
+        return;
       }
       claims.push_back(c);
+    };
+    if (wanted.empty()) {
+      for (PageNum p = 0; p < ptable_.num_pages(); ++p) {
+        if (dir_.BaseManagerOf(p) != mgr) continue;
+        emit(p);
+      }
+    } else {
+      for (PageNum p : wanted) {
+        if (p < ptable_.num_pages()) emit(p);
+      }
     }
   }
   base::WireWriter w;
@@ -3368,6 +3768,10 @@ void Host::HandleRecoveryQuery(net::RequestContext ctx) {
     w.U64(c.op_id);
     w.U8(c.op_is_write ? 1 : 0);
     w.U64(c.op_new_version);
+    if (dir_.dynamic()) {
+      w.U16(c.type);
+      w.U32(c.alloc_bytes);
+    }
   }
   ctx.Reply(std::move(w).Take());
 }
@@ -3495,6 +3899,7 @@ void Host::RunManagerRecovery() {
     bool op_is_write = false;
     std::uint64_t op_new_version = 0;
     net::HostId host = 0;
+    bool manages = false;  // dynamic: claimant holds the migrated entry
   };
   std::vector<Claim> claims;
   std::vector<net::HostId> unanswered;
@@ -3545,6 +3950,11 @@ void Host::RunManagerRecovery() {
         c.op_id = r.U64();
         c.op_is_write = r.U8() != 0;
         c.op_new_version = r.U64();
+        if (dir_.dynamic()) {
+          c.manages = (flags & 4) != 0;
+          r.U16();  // type: the rebuilt entry keeps its re-applied type set
+          r.U32();  // alloc_bytes: likewise
+        }
         c.host = unanswered[i];
         if (r.ok()) claims.push_back(c);
       }
@@ -3557,7 +3967,7 @@ void Host::RunManagerRecovery() {
 
   std::map<PageNum, std::vector<const Claim*>> by_page;
   for (const Claim& c : claims) {
-    if (c.page < ptable_.num_pages() && ptable_.ManagedHere(c.page)) {
+    if (c.page < ptable_.num_pages() && dir_.BaseManagedHere(c.page)) {
       by_page[c.page].push_back(&c);
     }
   }
@@ -3574,10 +3984,11 @@ void Host::RunManagerRecovery() {
   std::vector<PageNum> rebuilt_pages;
   std::int64_t lost = 0;
   std::int64_t adopted = 0;
+  std::int64_t forwarded = 0;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (life != life_) return;
-    ptable_.ForEachManaged([&](PageNum p, ManagerEntry& m) {
+    auto rebuild = [&](PageNum p, ManagerEntry& m) {
       m.busy = false;
       m.pending.clear();  // queued requesters re-send after their timeouts
       m.copyset.clear();
@@ -3695,7 +4106,34 @@ void Host::RunManagerRecovery() {
         ++adopted;
         stats_.Inc("dsm.recovery_inflight_adopted");
       }
-    });
+    };
+    for (PageNum p : dir_.ManagedPages()) {
+      ManagerEntry* mp = dir_.FindManager(p);
+      if (mp == nullptr) continue;
+      if (dir_.dynamic()) {
+        // A survivor claiming `manages` holds the live migrated entry for
+        // this base page: this host is only its rally point again. Reinstall
+        // the forward pointer instead of seizing management back.
+        const Claim* live_mgr = nullptr;
+        if (auto it = by_page.find(p); it != by_page.end()) {
+          for (const Claim* c : it->second) {
+            if (c->manages &&
+                (live_mgr == nullptr || c->host < live_mgr->host)) {
+              live_mgr = c;
+            }
+          }
+        }
+        if (live_mgr != nullptr) {
+          dir_.EraseManager(p);
+          dir_.SetForward(p, live_mgr->host, IncOf(live_mgr->host));
+          dir_.LearnManager(p, live_mgr->host, IncOf(live_mgr->host));
+          ++forwarded;
+          continue;
+        }
+      }
+      rebuild(p, *mp);
+    }
+    if (forwarded > 0) stats_.Inc("dsm.recovery_forwards", forwarded);
     // Referee notification stays under the lock: a crash cannot interpose
     // between the wipe check above and the reinit becoming visible (the
     // wipe itself needs state_mu_), so the referee never records a reinit
@@ -3747,6 +4185,513 @@ void Host::RunManagerRecovery() {
   TraceEv(trace::EventKind::kRecoveryDone, trace::kNoPage, 0, 0,
           static_cast<std::int64_t>(rebuilt_pages.size()), lost);
   (void)adopted;
+}
+
+// --------------------------------------------------------------------------
+// Dynamic directory: migration daemon, handshake, and entry reclaim
+// --------------------------------------------------------------------------
+
+void Host::MigrationDaemon() {
+  for (;;) {
+    auto job = migrate_chan_.Recv();
+    if (!job.has_value()) return;  // engine shutdown
+    if (job->reclaim) {
+      RunReclaim(job->page);
+    } else {
+      RunMigration(job->page, job->target);
+    }
+  }
+}
+
+void Host::RunMigration(PageNum p, net::HostId target) {
+  // Snapshot the frozen entry. ManagerCommit set `migrating` under the lock
+  // before queueing this job; that flag blocks every grant path, so the
+  // snapshot cannot go stale while the handshake is in flight. The target is
+  // the owner of record: migration triggers only on its committed write.
+  std::uint64_t version = 0;
+  arch::TypeId type = arch::TypeRegistry::kChar;
+  std::uint32_t alloc_bytes = 0;
+  std::vector<net::HostId> copyset;
+  bool aborted = false;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry* m = dir_.FindManager(p);
+    if (m == nullptr || !m->migrating || m->busy) return;  // crash-wiped
+    if (recovering_ ||
+        (cfg_.crash_recovery && net_.HostDown(target, rt_.Now()))) {
+      m->migrating = false;
+      aborted = true;
+    } else {
+      version = m->version;
+      type = m->type;
+      alloc_bytes = m->alloc_bytes;
+      copyset.assign(m->copyset.begin(), m->copyset.end());
+    }
+  }
+  if (aborted) {
+    stats_.Inc("dsm.mgr_migrate_aborted");
+    ManagerDrain(p);
+    return;
+  }
+  base::WireWriter w;
+  w.U32(p);
+  w.U64(version);
+  w.U16(static_cast<std::uint16_t>(type));
+  w.U32(alloc_bytes);
+  w.U16(static_cast<std::uint16_t>(copyset.size()));
+  for (net::HostId h : copyset) w.U16(h);
+  auto resp = endpoint_.CallWithStatus(target, kOpMgrMigrate,
+                                       std::move(w).Take(),
+                                       net::MsgKind::kControl, DsmCallOpts());
+  if (resp.status == net::CallStatus::kShutdown) return;
+  bool accepted = false;
+  if (resp.status == net::CallStatus::kOk) {
+    const base::Buffer flat = resp.body.Flatten();
+    base::WireReader r(flat.span());
+    const std::uint8_t verdict = r.U8();
+    accepted = r.ok() && verdict == 0;
+  }
+  std::deque<PendingTransfer> moved;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ManagerEntry* m = dir_.FindManager(p);
+    if (m == nullptr || !m->migrating) return;  // crash-wiped mid-handshake
+    m->migrating = false;
+    if (accepted) {
+      moved = std::move(m->pending);
+      dir_.EraseManager(p);
+      dir_.SetForward(p, target, IncOf(target));
+      dir_.LearnManager(p, target, IncOf(target));
+    }
+  }
+  if (!accepted) {
+    // The target refused (raced state change, amnesiac restart) or never
+    // answered: thaw the entry and keep serving from here.
+    stats_.Inc("dsm.mgr_migrate_rejected");
+    ManagerDrain(p);
+    return;
+  }
+  stats_.Inc("dsm.mgr_migrations");
+  TraceEv(trace::EventKind::kMgrMigrate, p, 0,
+          TraceParent(trace::MgrMigrateKey(p)), target, 0);
+  // Parked requesters chase the entry to its new manager (reply duty moves
+  // with the forward); parked local faults wake on the op_id==0 sentinel and
+  // re-dispatch through the remote path.
+  for (PendingTransfer& t : moved) {
+    if (t.remote.has_value()) {
+      base::WireWriter fw;
+      fw.U8(kToManager);
+      fw.U32(p);
+      fw.U8(t.has_copy ? 1 : 0);
+      fw.U8(0);  // fresh forwarding-hop budget
+      t.remote->Forward(target, std::move(fw).Take());
+    } else {
+      t.local_grant.Send(ManagerGrant{});
+    }
+  }
+}
+
+void Host::HandleMgrMigrate(net::RequestContext ctx) {
+  base::WireReader r(ctx.body());
+  const PageNum p = r.U32();
+  const std::uint64_t version = r.U64();
+  const arch::TypeId type = static_cast<arch::TypeId>(r.U16());
+  const std::uint32_t alloc_bytes = r.U32();
+  const std::uint16_t n = r.U16();
+  std::set<net::HostId> copyset;
+  for (std::uint16_t i = 0; i < n; ++i) copyset.insert(r.U16());
+  if (!r.ok() || !dir_.dynamic() || p >= ptable_.num_pages()) {
+    stats_.Inc("dsm.malformed");
+    return;
+  }
+  rt_.Delay(profile_->server_op_cost);
+  bool accept = false;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    const LocalPageEntry& e = ptable_.Local(p);
+    // Adopt only when the local copy is exactly the committed owned page the
+    // source snapshotted: an amnesiac restart or any interleaved change
+    // makes this host refuse, and the source keeps the entry.
+    if (!recovering_ && dir_.FindManager(p) == nullptr && e.owned &&
+        e.access != Access::kNone && e.version == version) {
+      ManagerEntry& m = dir_.AdoptManager(p);
+      m.owner = self_;
+      m.copyset = std::move(copyset);
+      m.copyset.insert(self_);
+      m.version = version;
+      m.type = type;
+      m.alloc_bytes = alloc_bytes;
+      // The live entry supersedes any stale forward or learned location.
+      dir_.ClearForward(p);
+      dir_.ForgetManager(p);
+      accept = true;
+      // Referee + trace stay under the lock so no grant from the fresh
+      // entry can interleave before the migration is recorded.
+      const std::uint64_t ev =
+          TraceEv(trace::EventKind::kMgrMigrate, p, 0,
+                  TraceParent(trace::MgrMigrateKey(p)), ctx.origin(), 1);
+      TraceBind(trace::MgrMigrateKey(p), ev);
+      if (referee_ != nullptr) referee_->OnMgrMigrate(ctx.origin(), self_, p);
+    }
+  }
+  stats_.Inc(accept ? "dsm.mgr_migrate_adopted" : "dsm.mgr_migrate_refused");
+  base::WireWriter w;
+  w.U8(accept ? 0 : 1);
+  ctx.Reply(std::move(w).Take());
+}
+
+void Host::QueueReclaimLocked(PageNum p) {
+  if (!reclaiming_.insert(p).second) return;  // already queued or running
+  stats_.Inc("dsm.mgr_reclaims");
+  migrate_chan_.Send(MigrateJob{p, 0, /*reclaim=*/true});
+}
+
+bool Host::ForwardNotifyLocked(PageNum p, std::uint8_t op,
+                               std::span<const std::uint8_t> body) {
+  const Directory::Forward* fwd = dir_.ForwardOf(p);
+  if (fwd == nullptr) return false;
+  base::WireWriter w;
+  w.Raw(body);
+  endpoint_.Notify(fwd->to, op, std::move(w).Take());
+  stats_.Inc("dsm.mgr_notify_forwards");
+  return true;
+}
+
+void Host::RunReclaim(PageNum p) {
+  // The manager this page's entry migrated to died with the entry. This host
+  // holds the dangling forward pointer, so it rebuilds the entry locally
+  // from survivor claims — a one-page version of RunManagerRecovery.
+  std::uint32_t life;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    life = life_;
+    if (recovering_ || dir_.FindManager(p) != nullptr) {
+      // Full recovery owns the rebuild, or a migration adopted the entry
+      // here while this job sat in the queue.
+      reclaiming_.erase(p);
+      return;
+    }
+  }
+  stats_.Inc("dsm.mgr_reclaims_run");
+  base::WireWriter qw;
+  qw.U16(1);
+  qw.U32(p);
+  const net::Body qbody = std::move(qw).Take();
+  struct Claim {
+    std::uint64_t version = 0;
+    Access access = Access::kNone;
+    bool owned = false;
+    bool retained = false;
+    std::uint64_t op_id = 0;
+    bool op_is_write = false;
+    std::uint64_t op_new_version = 0;
+    net::HostId host = 0;
+    bool manages = false;
+    arch::TypeId type = arch::TypeRegistry::kChar;
+    std::uint32_t alloc_bytes = 0;
+  };
+  std::vector<Claim> claims;
+  std::vector<net::HostId> unanswered;
+  for (net::HostId h = 0; h < num_hosts_; ++h) {
+    if (h != self_) unanswered.push_back(h);
+  }
+  for (int round = 0;; ++round) {
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (life != life_) return;  // crashed meanwhile; the wipe cleaned up
+    }
+    std::erase_if(unanswered, [&](net::HostId h) {
+      return net_.HostDown(h, rt_.Now());
+    });
+    if (unanswered.empty()) break;
+    MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
+                      "manager reclaim query exhausted retries");
+    if (round > 0) rt_.Delay(FaultBackoff(cfg_, round));
+    auto acks = endpoint_.MultiCallWithStatus(unanswered, kOpRecoveryQuery,
+                                              qbody, net::MsgKind::kControl,
+                                              DsmCallOpts());
+    if (acks.status == net::CallStatus::kShutdown) return;
+    std::set<std::size_t> timed_out(acks.timed_out.begin(),
+                                    acks.timed_out.end());
+    std::vector<net::HostId> next;
+    for (std::size_t i = 0; i < unanswered.size(); ++i) {
+      if (timed_out.count(i) != 0) {
+        next.push_back(unanswered[i]);
+        continue;
+      }
+      const base::Buffer flat = acks.replies[i].Flatten();
+      base::WireReader cr(flat.span());
+      const std::uint16_t cn = cr.U16();
+      for (std::uint16_t k = 0; k < cn && cr.ok(); ++k) {
+        Claim c;
+        const PageNum cp = cr.U32();
+        c.version = cr.U64();
+        c.access = AccessFromByte(cr.U8());
+        const std::uint8_t flags = cr.U8();
+        c.owned = (flags & 1) != 0;
+        c.retained = (flags & 2) != 0;
+        c.manages = (flags & 4) != 0;
+        c.op_id = cr.U64();
+        c.op_is_write = cr.U8() != 0;
+        c.op_new_version = cr.U64();
+        c.type = static_cast<arch::TypeId>(cr.U16());
+        c.alloc_bytes = cr.U32();
+        c.host = unanswered[i];
+        if (cr.ok() && cp == p) claims.push_back(c);
+      }
+      if (!cr.ok()) stats_.Inc("dsm.malformed");
+    }
+    unanswered = std::move(next);
+  }
+  // A live migrated entry surfaced elsewhere (the dead manager had already
+  // handed the page on before dying): repoint the forward instead of
+  // seizing management.
+  const Claim* live_mgr = nullptr;
+  for (const Claim& c : claims) {
+    if (c.manages && (live_mgr == nullptr || c.host < live_mgr->host)) {
+      live_mgr = &c;
+    }
+  }
+  if (live_mgr != nullptr) {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (life != life_) return;
+    if (dir_.FindManager(p) == nullptr) {
+      dir_.SetForward(p, live_mgr->host, IncOf(live_mgr->host));
+      dir_.LearnManager(p, live_mgr->host, IncOf(live_mgr->host));
+    }
+    reclaiming_.erase(p);
+    return;
+  }
+  struct Out {
+    net::HostId dst = 0;
+    std::uint8_t mode = 0;  // 0 drop, 1 downgrade+disown, 2 promote
+    std::uint64_t version = 0;
+  };
+  std::vector<Out> outs;
+  bool reinit = false;
+  bool lost = false;
+  // Referee events from self-demotes, reported after the lock (recovery's
+  // lock-order rule: state_mu_ -> referee only).
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> self_evs;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (life != life_) return;
+    if (recovering_ || dir_.FindManager(p) != nullptr) {
+      reclaiming_.erase(p);
+      return;
+    }
+    // This host's own copy competes like any survivor's claim.
+    {
+      const LocalPageEntry& e = ptable_.Local(p);
+      Claim c;
+      c.host = self_;
+      c.version = e.version;
+      c.access = (cfg_.release_consistency && e.access == Access::kWrite)
+                     ? Access::kRead
+                     : e.access;
+      c.owned = e.owned;
+      c.retained = e.retained;
+      c.type = e.type;
+      c.alloc_bytes = e.alloc_bytes;
+      for (auto it = inflight_ops_.lower_bound({p, 0});
+           it != inflight_ops_.end() && it->first.first == p; ++it) {
+        c.op_id = it->first.second;
+        c.op_is_write = it->second.is_write;
+        c.op_new_version = it->second.new_version;
+      }
+      if (c.version > 0 || c.access != Access::kNone || c.owned ||
+          c.retained || c.op_id != 0) {
+        claims.push_back(c);
+      }
+    }
+    ManagerEntry& m = dir_.AdoptManager(p);
+    dir_.ClearForward(p);
+    dir_.ForgetManager(p);
+    const Claim* infl = nullptr;
+    bool evidence = false;
+    std::vector<const Claim*> valid;
+    std::uint64_t vmax = 0;
+    for (const Claim& c : claims) {
+      if (c.version > 0 || c.op_id != 0) evidence = true;
+      if (c.access != Access::kNone || c.retained) {
+        valid.push_back(&c);
+        vmax = std::max(vmax, c.version);
+      }
+      if (c.op_id != 0 && (infl == nullptr || c.op_id > infl->op_id)) {
+        infl = &c;
+      }
+      m.alloc_bytes = std::max(m.alloc_bytes, c.alloc_bytes);
+    }
+    if (valid.empty() && infl == nullptr) {
+      if (evidence) {
+        MERMAID_CHECK_MSG(
+            cfg_.lost_page_policy == SystemConfig::LostPagePolicy::kReinitZero,
+            "page lost with its migrated manager: every copy died");
+        stats_.Inc("dsm.recovery_pages_lost");
+        lost = true;
+      }
+      m.owner = self_;
+      m.copyset.insert(self_);
+      m.version = 0;
+      LocalPageEntry& e = ptable_.Local(p);
+      e.access = Access::kRead;
+      e.owned = true;
+      e.version = 0;
+      e.retained = false;
+      e.type = m.type;
+      e.alloc_bytes = m.alloc_bytes;
+      const std::size_t base = static_cast<std::size_t>(p) * page_bytes_;
+      const std::size_t end =
+          std::min<std::size_t>(base + page_bytes_, mem_.size());
+      std::fill(mem_.begin() + base, mem_.begin() + end, 0);
+      reinit = true;
+      if (referee_ != nullptr) referee_->OnReinit(self_, p, 0);
+    } else {
+      auto rank = [](const Claim* c) {
+        if (c->owned && c->access == Access::kWrite) return 3;
+        if (c->owned) return 2;
+        if (c->access != Access::kNone) return 1;
+        return 0;
+      };
+      const bool adopt = infl != nullptr && infl->op_new_version >= vmax;
+      const Claim* winner = nullptr;
+      for (const Claim* c : valid) {
+        if (c->version < vmax) continue;
+        if (winner == nullptr || rank(c) > rank(winner) ||
+            (rank(c) == rank(winner) && c->host < winner->host)) {
+          winner = c;
+        }
+      }
+      if (winner != nullptr) {
+        m.owner = winner->host;
+        m.version = vmax;
+        m.type = winner->type;
+        for (const Claim* c : valid) {
+          const bool pending_install = adopt && c->host == infl->host;
+          if (c->version < vmax) {
+            if (!pending_install) outs.push_back({c->host, 0, vmax});
+            continue;
+          }
+          if (c == winner) {
+            m.copyset.insert(c->host);
+            outs.push_back({c->host, 2, vmax});
+            continue;
+          }
+          if (c->access == Access::kNone) {
+            if (!pending_install) outs.push_back({c->host, 0, vmax});
+            continue;
+          }
+          m.copyset.insert(c->host);
+          if (c->owned || c->access == Access::kWrite) {
+            if (!pending_install) outs.push_back({c->host, 1, vmax});
+          }
+        }
+      }
+      if (adopt) {
+        if (winner == nullptr) {
+          m.owner = infl->host;
+          m.version = infl->op_new_version;
+          m.type = infl->type;
+        }
+        m.busy = true;
+        m.busy_op_id = infl->op_id;
+        m.busy_requester = infl->host;
+        m.busy_is_write = infl->op_is_write;
+        m.busy_new_version = infl->op_new_version;
+        m.busy_since = rt_.Now();
+        stats_.Inc("dsm.recovery_inflight_adopted");
+      }
+      // Demotes addressed to this host apply inline, mirroring
+      // HandleRecoveryDemote (fencing included).
+      std::erase_if(outs, [&](const Out& o) {
+        if (o.dst != self_) return false;
+        LocalPageEntry& e = ptable_.Local(p);
+        if (o.mode == 0 || o.mode == 1) {
+          for (auto it = inflight_ops_.lower_bound({p, 0});
+               it != inflight_ops_.end() && it->first.first == p;) {
+            FenceOpLocked(it->first.first, it->first.second);
+            it = inflight_ops_.erase(it);
+          }
+        }
+        if (o.mode == 0) {
+          if (e.access != Access::kNone) {
+            self_evs.push_back({0, 0});
+            stats_.Inc("dsm.recovery_demotions");
+          }
+          e.access = Access::kNone;
+          e.owned = false;
+          e.retained = false;
+          DropConvertCacheLocked(p);
+        } else if (o.mode == 1) {
+          if (e.access == Access::kWrite) {
+            e.access = Access::kRead;
+            self_evs.push_back({1, 0});
+            stats_.Inc("dsm.recovery_demotions");
+          }
+          e.owned = false;
+        } else {
+          if (e.access == Access::kNone && e.retained) {
+            e.access = Access::kRead;
+            e.retained = false;
+            self_evs.push_back({2, e.version});
+          } else if (e.access == Access::kWrite) {
+            e.access = Access::kRead;
+            self_evs.push_back({1, 0});
+          }
+          if (e.access != Access::kNone) {
+            e.owned = true;
+            stats_.Inc("dsm.recovery_promotions");
+          }
+        }
+        return true;
+      });
+    }
+    reclaiming_.erase(p);
+  }
+  for (const auto& [kind, version] : self_evs) {
+    if (referee_ == nullptr) break;
+    if (kind == 0) {
+      referee_->OnInvalidate(self_, p);
+    } else if (kind == 1) {
+      referee_->OnDowngrade(self_, p);
+    } else {
+      referee_->OnInstall(self_, p, version, Access::kRead);
+    }
+  }
+  if (reinit) {
+    TraceEv(trace::EventKind::kRecoveryLost, p, 0, 0, lost ? 1 : 0);
+  } else {
+    TraceEv(trace::EventKind::kRecoveryRebuild, p, 0, 0, 1 /* reclaim */);
+  }
+  // Apply the arbitration on remote claimants; reliable like recovery's
+  // demote delivery, skipped when the destination itself died.
+  std::map<net::HostId, std::vector<Out>> by_dst;
+  for (const Out& o : outs) by_dst[o.dst].push_back(o);
+  for (const auto& [dst, cmds] : by_dst) {
+    base::WireWriter w;
+    w.U16(static_cast<std::uint16_t>(cmds.size()));
+    for (const Out& o : cmds) {
+      w.U32(p);
+      w.U8(o.mode);
+      w.U64(o.version);
+    }
+    const net::Body body = std::move(w).Take();
+    for (int round = 0;; ++round) {
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        if (life != life_) return;
+      }
+      if (net_.HostDown(dst, rt_.Now())) break;
+      MERMAID_CHECK_MSG(round <= cfg_.fault_retry_limit,
+                        "reclaim demote exhausted retries");
+      if (round > 0) rt_.Delay(FaultBackoff(cfg_, round));
+      auto res = endpoint_.CallWithStatus(dst, kOpRecoveryDemote, body,
+                                          net::MsgKind::kControl,
+                                          DsmCallOpts());
+      if (res.status != net::CallStatus::kTimedOut) break;
+    }
+  }
+  ManagerDrain(p);
 }
 
 }  // namespace mermaid::dsm

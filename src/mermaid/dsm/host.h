@@ -41,6 +41,7 @@
 #include "mermaid/arch/type_registry.h"
 #include "mermaid/base/buffer.h"
 #include "mermaid/base/stats.h"
+#include "mermaid/dsm/directory.h"
 #include "mermaid/dsm/page_table.h"
 #include "mermaid/dsm/referee.h"
 #include "mermaid/dsm/types.h"
@@ -206,8 +207,22 @@ class Host {
                       bool reset);
 
   // Used by the System's allocation worker to push authoritative type and
-  // extent information to this host in its manager role.
-  void ApplyTypeSet(PageNum p, arch::TypeId type, std::uint32_t alloc_bytes);
+  // extent information to this host in its manager role. Returns the host
+  // the page's management migrated to when this host no longer manages it
+  // (dynamic directory) — the caller forwards the type-set there.
+  std::optional<net::HostId> ApplyTypeSet(PageNum p, arch::TypeId type,
+                                          std::uint32_t alloc_bytes);
+
+  // Pure base-placement lookup (fixed modulo or consistent-hash ring); the
+  // same on every host, safe without locks.
+  net::HostId BaseManagerOf(PageNum p) const {
+    return dir_.BaseManagerOf(p);
+  }
+
+  // Transfers granted in this host's manager role over its lifetime (plain
+  // counter, not a stats key, so knobs-off registries stay bit-identical).
+  // Feeds bench_directory's manager-load Gini coefficient.
+  std::uint64_t ManagerGrantsTotal();
 
   // Quiescence accounting for chaos tests: adds this host's still-busy
   // manager entries and queued transfers to the counters.
@@ -234,6 +249,14 @@ class Host {
     // The addressed host restarted with amnesia and no longer holds the
     // page: the requester must report the loss to the manager and retry.
     bool owner_lost = false;
+    // Dynamic directory: the manager that granted this transfer (wire field
+    // only when directory_mode == kDynamic). The requester confirms /
+    // rejects / reports losses to it and learns it as the page's location.
+    net::HostId mgr = 0;
+    // The addressed host does not manage the page (stale learned location or
+    // an exhausted forwarding chain): `owner` carries the suggested manager
+    // and the requester re-routes. No grant fields are valid.
+    bool mgr_redirect = false;
     base::BufferChain data;
   };
 
@@ -257,6 +280,8 @@ class Host {
   struct DeferredWrite {
     PageNum page = 0;
     FetchReply reply;
+    // The manager that granted this page (confirm target after the flush).
+    net::HostId manager = 0;
     // Host life at park time; a crash between park and flush fences the
     // entry (the wiped state can no longer back the grant).
     std::uint32_t life = 0;
@@ -339,11 +364,23 @@ class Host {
   // place, demotes the pages back to read access, and appends the resulting
   // write notices to rc_pending_notices_.
   void RcFlushTwins();
-  // Commits one flush at the home: bumps the manager + local version, drops
-  // stale cached conversions, notifies the referee. Caller holds state_mu_
-  // and has verified the entry is not busy. Returns {new, prev} versions.
+  // Commits one flush at the home: bumps the manager + local version,
+  // notifies the referee. Stale cached conversions are dropped when
+  // `drop_cache`; HandleDiffFlush passes false and instead patches the
+  // cached whole-page images with the (converted) diff ranges, so small
+  // diffs neither evict nor miss the cache. Caller holds state_mu_ and has
+  // verified the entry is not busy. Returns {new, prev} versions.
   std::pair<std::uint64_t, std::uint64_t> RcCommitFlushLocked(
-      PageNum p, net::HostId origin);
+      PageNum p, net::HostId origin, bool drop_cache = true);
+  // Re-keys every cached conversion of page p from `prev_version` to
+  // `new_version`, patching the flushed byte ranges (already applied to the
+  // master copy in this host's representation) into each image via the pure
+  // codec. Entries at other versions are dropped. Caller holds state_mu_.
+  void PatchConvertCacheLocked(PageNum p, std::uint64_t prev_version,
+                               std::uint64_t new_version,
+                               const std::vector<std::pair<std::uint32_t,
+                                                           std::uint32_t>>&
+                                   ranges);
   // Home-side handler for a remote kOpDiffFlush (rx daemon; never blocks):
   // busy-rejects while a transfer is in flight (the writer backs off and
   // retries), deduplicates retransmitted flushes by (origin, flush seq),
@@ -364,6 +401,36 @@ class Host {
   // pending queue. Used by grant rejects, lease expiry, and the local fault
   // path when its owner fetch times out.
   void ManagerRevoke(PageNum p, std::uint64_t op_id);
+
+  // --- dynamic directory (SystemConfig::directory_mode == kDynamic) -------
+  // A unit of work for the migration daemon: ship page p's management to
+  // `target` (reclaim == false), or rebuild the entry for a base-managed
+  // page whose adopted manager died (reclaim == true).
+  struct MigrateJob {
+    PageNum page = 0;
+    net::HostId target = 0;
+    bool reclaim = false;
+  };
+  // After a committed remote write by `requester`: updates the hot-page
+  // vote and decides whether management should follow the writer. On true
+  // the caller marks the entry migrating and queues a MigrateJob. Caller
+  // holds state_mu_.
+  bool ShouldMigrateLocked(ManagerEntry& m, net::HostId requester);
+  // Daemon body: drains migrate_chan_.
+  void MigrationDaemon();
+  void RunMigration(PageNum p, net::HostId target);
+  void RunReclaim(PageNum p);
+  // Queues a reclaim for base-managed page p unless one is already queued.
+  // Caller holds state_mu_.
+  void QueueReclaimLocked(PageNum p);
+  // Adoption side of the kOpMgrMigrate handshake (rx daemon).
+  void HandleMgrMigrate(net::RequestContext ctx);
+  // Receive-path forwarding for a manager-role notify that reached a host
+  // which migrated the page away: re-notifies the forward target (notifies
+  // are at-most-once already, so re-sending cannot double-apply). True when
+  // forwarded. Caller holds state_mu_.
+  bool ForwardNotifyLocked(PageNum p, std::uint8_t op,
+                           std::span<const std::uint8_t> body);
 
   // --- crash-stop recovery ------------------------------------------------
   // Crash-with-amnesia: resets the endpoint (new incarnation, zombie calls
@@ -394,14 +461,16 @@ class Host {
   // Serves a fetch against the local copy; fills reply fields that depend
   // on the local state and attaches the data (pre-converted for the
   // requester's representation class when the conversion cache is enabled).
-  // Caller provides grant info. State transitions happen under state_mu_;
-  // the page copy, codec work, and encode run outside it.
+  // Caller provides grant info (`mgr` = the granting manager, echoed in the
+  // reply under the dynamic directory). State transitions happen under
+  // state_mu_; the page copy, codec work, and encode run outside it.
   net::Body EncodeServeReply(PageNum p, net::HostId requester, bool is_write,
                              bool data_needed, std::uint64_t op_id,
                              std::uint64_t data_version,
                              std::uint64_t new_version, arch::TypeId type,
                              std::uint32_t alloc_bytes,
-                             const std::vector<net::HostId>& to_invalidate);
+                             const std::vector<net::HostId>& to_invalidate,
+                             net::HostId mgr);
 
   // --- handlers (run in the endpoint's rx daemon; never block) ------------
   void HandleTransferReq(net::RequestContext ctx, bool is_write);
@@ -436,6 +505,7 @@ class Host {
     bool data_needed = true;
     arch::TypeId type = 0;
     std::uint32_t alloc_bytes = 0;
+    net::HostId mgr = 0;         // kToOwner: granting manager (dynamic dir)
   };
   // One entry of a kOpGroupFetch reply.
   struct GroupReplyEntry {
@@ -448,15 +518,18 @@ class Host {
     GroupReqEntry redirect;   // status 2 (owner-role request parameters)
     net::HostId redirect_owner = 0;
   };
-  static net::Body EncodeGroupRequest(const std::vector<GroupReqEntry>& es);
-  static std::vector<GroupReqEntry> DecodeGroupRequest(
-      std::span<const std::uint8_t> body, bool* ok);
+  // Members (not statics): the dynamic directory adds wire fields that are
+  // encoded/decoded only when cfg_.directory_mode == kDynamic, keeping the
+  // knobs-off wire image bit-identical.
+  net::Body EncodeGroupRequest(const std::vector<GroupReqEntry>& es) const;
+  std::vector<GroupReqEntry> DecodeGroupRequest(
+      std::span<const std::uint8_t> body, bool* ok) const;
   // Serialized grant entries carry an encoded FetchReply head plus a slice
   // of the shared payload chain; nothing is copied on either side.
-  static net::Body EncodeGroupReply(std::vector<GroupReplyEntry> es,
-                                    std::vector<net::Body> grant_bodies);
-  static std::vector<GroupReplyEntry> DecodeGroupReply(
-      const base::BufferChain& body);
+  net::Body EncodeGroupReply(std::vector<GroupReplyEntry> es,
+                             std::vector<net::Body> grant_bodies) const;
+  std::vector<GroupReplyEntry> DecodeGroupReply(
+      const base::BufferChain& body) const;
 
   // --- helpers -------------------------------------------------------------
   // Charges the receiver-side modeled conversion delay and stats for an
@@ -485,8 +558,8 @@ class Host {
   // Adds {p, op_id} to the fenced set (bounded FIFO) so a decoded-but-not-
   // installed grant is discarded instead of installed. Caller holds state_mu_.
   void FenceOpLocked(PageNum p, std::uint64_t op_id);
-  static net::Body EncodeFetchReply(const FetchReply& r);
-  static FetchReply DecodeFetchReply(const base::BufferChain& body);
+  net::Body EncodeFetchReply(const FetchReply& r) const;
+  FetchReply DecodeFetchReply(const base::BufferChain& body) const;
   net::Endpoint::CallOpts DsmCallOpts() const;
 
   // Trace hook: records one protocol event on this host at the current sim
@@ -521,6 +594,16 @@ class Host {
   std::mutex state_mu_;
   std::vector<std::uint8_t> mem_;  // representation-faithful memory image
   PageTable ptable_;
+  Directory dir_;  // manager placement + this host's manager entries
+  // Dynamic-directory machinery (guarded by state_mu_ except the Chan):
+  //  - migrate_chan_: jobs for the migration daemon (Chan sends are
+  //    non-blocking, so handlers may enqueue).
+  //  - reclaiming_: base-managed pages with a reclaim queued or running.
+  //  - mgr_grants_total_: lifetime grants in the manager role; plain member
+  //    (not a stats key) so knobs-off stat registries stay bit-identical.
+  sim::Chan<MigrateJob> migrate_chan_;
+  std::set<PageNum> reclaiming_;
+  std::uint64_t mgr_grants_total_ = 0;
   // Local fault coalescing: threads faulting a page another thread is
   // already fetching wait here and re-check.
   std::map<PageNum, std::vector<sim::Chan<bool>>> fault_waiters_;

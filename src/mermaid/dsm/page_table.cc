@@ -4,32 +4,8 @@
 
 namespace mermaid::dsm {
 
-PageTable::PageTable(PageNum num_pages, net::HostId self,
-                     std::uint16_t num_hosts)
-    : self_(self),
-      num_hosts_(num_hosts),
-      local_(num_pages),
-      hints_(num_pages, kNoHint),
-      hint_inc_(num_pages, 0) {
-  MERMAID_CHECK(num_hosts > 0);
-  // Pages managed here: ceil over the strided assignment.
-  const PageNum mine =
-      (num_pages + num_hosts - 1 - (self % num_hosts)) / num_hosts;
-  managed_.resize(mine);
-  // Initially the manager host owns every page it manages, holding the
-  // zero-filled read copy.
-  for (PageNum i = 0; i < mine; ++i) {
-    ManagerEntry& m = managed_[i];
-    m.owner = self_;
-    m.copyset.insert(self_);
-  }
-  for (PageNum p = 0; p < num_pages; ++p) {
-    if (ManagerOf(p) == self_) {
-      local_[p].access = Access::kRead;
-      local_[p].owned = true;
-    }
-  }
-}
+PageTable::PageTable(PageNum num_pages)
+    : local_(num_pages), hints_(num_pages, kNoHint), hint_inc_(num_pages, 0) {}
 
 LocalPageEntry& PageTable::Local(PageNum p) {
   MERMAID_CHECK(p < local_.size());
@@ -39,19 +15,6 @@ LocalPageEntry& PageTable::Local(PageNum p) {
 const LocalPageEntry& PageTable::Local(PageNum p) const {
   MERMAID_CHECK(p < local_.size());
   return local_[p];
-}
-
-net::HostId PageTable::ManagerOf(PageNum p) const {
-  return static_cast<net::HostId>(p % num_hosts_);
-}
-
-bool PageTable::ManagedHere(PageNum p) const { return ManagerOf(p) == self_; }
-
-ManagerEntry& PageTable::Manager(PageNum p) {
-  MERMAID_CHECK(ManagedHere(p));
-  const PageNum idx = p / num_hosts_;
-  MERMAID_CHECK(idx < managed_.size());
-  return managed_[idx];
 }
 
 }  // namespace mermaid::dsm

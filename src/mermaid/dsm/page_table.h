@@ -1,10 +1,11 @@
 // Per-host DSM page table.
 //
-// Each host keeps a LocalPageEntry per DSM page (its own copy's state), and
-// a ManagerEntry for the pages it manages (owner, copyset, in-progress
-// transfer). Matching the paper: "It uses a page table for the shared
-// address space to maintain data consistency" and "each page has a fixed
-// manager that can identify the owner and the copy set of the page."
+// Each host keeps a LocalPageEntry per DSM page (its own copy's state) plus
+// the probable-owner hint array. Matching the paper: "It uses a page table
+// for the shared address space to maintain data consistency". The
+// manager-side state (ManagerEntry, declared here because grants reference
+// the same transfer types) is held by the Directory, which also decides
+// which host manages which page.
 #pragma once
 
 #include <algorithm>
@@ -80,19 +81,24 @@ struct ManagerEntry {
   std::uint64_t busy_new_version = 0;
   SimTime busy_since = 0;
   std::deque<PendingTransfer> pending;
+  // Dynamic directory (SystemConfig::DirectoryMode::kDynamic): set while a
+  // kOpMgrMigrate handshake for this page is in flight. Treated like busy by
+  // every grant path — no transfer may start under a moving manager entry.
+  bool migrating = false;
+  // Hot-page detector (hot_page_migration): Boyer–Moore majority vote over
+  // the remote writers that commit against this entry. When the candidate's
+  // score reaches hot_page_threshold, management migrates to it.
+  net::HostId hot_candidate = 0;
+  int hot_score = 0;
+  std::uint32_t hot_total = 0;  // votes since the entry last migrated/reset
 };
 
 class PageTable {
  public:
-  PageTable(PageNum num_pages, net::HostId self, std::uint16_t num_hosts);
+  explicit PageTable(PageNum num_pages);
 
   LocalPageEntry& Local(PageNum p);
   const LocalPageEntry& Local(PageNum p) const;
-
-  // Fixed distributed management: page p is managed by host (p % num_hosts).
-  net::HostId ManagerOf(PageNum p) const;
-  bool ManagedHere(PageNum p) const;
-  ManagerEntry& Manager(PageNum p);
 
   // Probable-owner hint: the last host observed to own page p (learned from
   // fetch replies and invalidation traffic; see SystemConfig::probable_owner).
@@ -129,35 +135,18 @@ class PageTable {
     return cleared;
   }
 
-  // Crash-with-amnesia: forgets everything — every local copy, every
-  // probable-owner hint, and all manager-side owner/copyset/transfer state
-  // (including queued transfers; their requesters' calls time out and
-  // retry). Manager entries do NOT return to their initial self-owned
-  // state: a restarted manager knows nothing until reconstruction
-  // (Host::RunManagerRecovery) rebuilds its entries from live hosts.
+  // Crash-with-amnesia: forgets every local copy and every probable-owner
+  // hint. The matching manager-side wipe lives in Directory::WipeForCrash.
   void WipeForCrash() {
     for (auto& e : local_) e = LocalPageEntry{};
-    for (auto& m : managed_) m = ManagerEntry{};
     std::fill(hints_.begin(), hints_.end(), kNoHint);
     std::fill(hint_inc_.begin(), hint_inc_.end(), 0u);
-  }
-
-  // Iterates the pages managed by this host (janitor scans).
-  template <typename Fn>
-  void ForEachManaged(Fn&& fn) {
-    for (PageNum i = 0; i < managed_.size(); ++i) {
-      const PageNum p = static_cast<PageNum>(i) * num_hosts_ + self_;
-      if (p < local_.size()) fn(p, managed_[i]);
-    }
   }
 
   PageNum num_pages() const { return static_cast<PageNum>(local_.size()); }
 
  private:
-  net::HostId self_;
-  std::uint16_t num_hosts_;
   std::vector<LocalPageEntry> local_;
-  std::vector<ManagerEntry> managed_;  // dense, indexed by p / num_hosts
   std::vector<net::HostId> hints_;     // probable owner per page (kNoHint)
   std::vector<std::uint32_t> hint_inc_;  // hinted owner's incarnation
 };

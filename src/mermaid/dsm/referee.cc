@@ -130,6 +130,18 @@ void CoherenceReferee::OnReinit(net::HostId h, PageNum page,
   st.orphaned = false;
 }
 
+void CoherenceReferee::OnMgrMigrate(net::HostId from, net::HostId to,
+                                    PageNum page) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MERMAID_CHECK_MSG(from != to, "manager migration to the current manager");
+  auto it = pages_.find(page);
+  MERMAID_CHECK_MSG(it != pages_.end(),
+                    "manager migration of an untracked page");
+  const PageState& st = it->second;
+  MERMAID_CHECK_MSG(st.holders.count(to) == 1,
+                    "management migrated to a host without a valid copy");
+}
+
 void CoherenceReferee::CheckAccess(net::HostId h, PageNum page,
                                    std::uint64_t local_version,
                                    Access access) const {

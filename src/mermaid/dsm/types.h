@@ -144,6 +144,40 @@ struct SystemConfig {
   // diffs (the range-header overhead would exceed the savings).
   int rc_diff_crossover_pct = 50;
 
+  // --- directory scale-out (default kFixed: the paper's p % N manager
+  // mapping, Tables 2–4 bit-identical; see DESIGN.md "Directory
+  // scale-out") -----------------------------------------------------------
+  //
+  // kFixed:   page p is managed by host p mod N (the paper's scheme).
+  // kSharded: pages are placed on a consistent-hash ring of
+  //           N x directory_shards_per_host virtual manager shards, so
+  //           stride-aliased page sets no longer melt one host and a crash
+  //           loses only that host's shards.
+  // kDynamic: sharded base map plus Li-style dynamic distributed managers —
+  //           management migrates toward the last (or dominant) writer via
+  //           a kOpMgrMigrate handshake; old managers keep a forward pointer
+  //           and requesters learn migrated locations from grant replies.
+  //           Incompatible with release_consistency (RC homes are fixed).
+  enum class DirectoryMode : std::uint8_t {
+    kFixed = 0,
+    kSharded = 1,
+    kDynamic = 2,
+  };
+  DirectoryMode directory_mode = DirectoryMode::kFixed;
+  // Virtual shards per host on the consistent-hash ring (kSharded/kDynamic).
+  std::uint32_t directory_shards_per_host = 8;
+  // kDynamic only: with hot_page_migration off, management follows every
+  // remote writer (pure Li dynamic managers). With it on, a per-entry
+  // Boyer–Moore majority vote over committing writers must reach
+  // hot_page_threshold before the page's management migrates — only
+  // genuinely contended pages with a dominant writer move.
+  bool hot_page_migration = false;
+  int hot_page_threshold = 16;
+  // Bound on the manager-forwarding chain a single request may ride
+  // (kDynamic): past it the forwarder answers with a redirect instead, and
+  // the requester re-routes from its learned location.
+  int directory_forward_limit = 8;
+
   // --- scheduler (default OFF: legacy engine, whose event order defines
   // every table) ---
   //
@@ -191,8 +225,12 @@ inline constexpr std::uint8_t kOpRecoveryDemote = 18; // manager -> holder (noti
 // twin-vs-page byte-range diffs to the page's home for application to the
 // master copy.
 inline constexpr std::uint8_t kOpDiffFlush = 19;      // writer -> home
+// Dynamic-directory manager migration (only sent when
+// SystemConfig::directory_mode is kDynamic): the current manager offers a
+// page's management to the last/dominant writer, which adopts it or rejects.
+inline constexpr std::uint8_t kOpMgrMigrate = 20;     // manager -> new manager
 // Highest opcode, for per-class stats iteration.
-inline constexpr std::uint8_t kOpMax = kOpDiffFlush;
+inline constexpr std::uint8_t kOpMax = kOpMgrMigrate;
 
 // Role byte inside kOpReadReq/kOpWriteReq/kOpGroupFetch bodies: the same
 // opcode serves the requester->manager leg, the forwarded manager->owner
@@ -225,6 +263,7 @@ inline const char* OpName(std::uint8_t op) {
     case kOpPageLost: return "page_lost";
     case kOpRecoveryDemote: return "recovery_demote";
     case kOpDiffFlush: return "diff_flush";
+    case kOpMgrMigrate: return "mgr_migrate";
     default: return "other";
   }
 }

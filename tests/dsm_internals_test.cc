@@ -3,6 +3,7 @@
 // malformed traffic.
 #include <gtest/gtest.h>
 
+#include "mermaid/dsm/directory.h"
 #include "mermaid/dsm/page_table.h"
 #include "mermaid/dsm/referee.h"
 #include "mermaid/dsm/system.h"
@@ -11,29 +12,32 @@
 namespace mermaid::dsm {
 namespace {
 
-TEST(PageTable, FixedDistributedManagerAssignment) {
-  PageTable pt(/*num_pages=*/10, /*self=*/1, /*num_hosts=*/3);
+TEST(Directory, FixedDistributedManagerAssignment) {
+  SystemConfig cfg;  // directory_mode defaults to kFixed: the paper's p % N
+  Directory dir(cfg, /*self=*/1, /*num_hosts=*/3, /*num_pages=*/10);
   for (PageNum p = 0; p < 10; ++p) {
-    EXPECT_EQ(pt.ManagerOf(p), p % 3);
-    EXPECT_EQ(pt.ManagedHere(p), p % 3 == 1);
+    EXPECT_EQ(dir.BaseManagerOf(p), p % 3);
+    EXPECT_EQ(dir.BaseManagedHere(p), p % 3 == 1);
+    EXPECT_EQ(dir.ManagedHere(p), p % 3 == 1);
   }
-  // Initial state: the manager host owns its pages with a read copy.
-  EXPECT_EQ(pt.Local(1).access, Access::kRead);
-  EXPECT_TRUE(pt.Local(1).owned);
-  EXPECT_EQ(pt.Local(0).access, Access::kNone);
-  EXPECT_FALSE(pt.Local(0).owned);
+  // Local copies start unknown; the Host constructor seeds the manager's
+  // initial read copies, not the bare table.
+  PageTable pt(/*num_pages=*/10);
+  EXPECT_EQ(pt.Local(1).access, Access::kNone);
+  EXPECT_FALSE(pt.Local(1).owned);
 
-  ManagerEntry& m = pt.Manager(4);
+  ManagerEntry& m = dir.Manager(4);
   EXPECT_EQ(m.owner, 1);
   EXPECT_EQ(m.copyset.size(), 1u);
   EXPECT_TRUE(m.copyset.count(1));
   EXPECT_FALSE(m.busy);
 }
 
-TEST(PageTable, ForEachManagedVisitsExactlyOwnPages) {
-  PageTable pt(11, /*self=*/2, /*num_hosts=*/4);
+TEST(Directory, ForEachManagedVisitsExactlyOwnPages) {
+  SystemConfig cfg;
+  Directory dir(cfg, /*self=*/2, /*num_hosts=*/4, /*num_pages=*/11);
   std::vector<PageNum> visited;
-  pt.ForEachManaged([&](PageNum p, ManagerEntry&) { visited.push_back(p); });
+  dir.ForEachManaged([&](PageNum p, ManagerEntry&) { visited.push_back(p); });
   EXPECT_EQ(visited, (std::vector<PageNum>{2, 6, 10}));
 }
 

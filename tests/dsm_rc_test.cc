@@ -514,5 +514,57 @@ TEST(RcEngineKnobs, AllEngineCombosAgreeOnRcProtocolStats) {
   }
 }
 
+// A diff flush names exactly the byte ranges it changed, so the home must
+// *patch* its cached converted images in place (re-keying them to the new
+// version) instead of evicting them: the unflushed bytes of a whole-page
+// conversion are still correct. The post-flush read must both hit the cache
+// and return the correctly converted new value.
+TEST(RcConvertCache, DiffFlushPatchesCachedImageInsteadOfEvicting) {
+  sim::Engine eng;
+  SystemConfig cfg = RcConfig();
+  cfg.net.seed = 8400;
+  System sys(eng, cfg,
+             {&arch::Sun3Profile(), &arch::FireflyProfile(),
+              &arch::FireflyProfile()});
+  sys.Start();
+
+  std::int64_t changed = -1, untouched = -1;
+  sys.SpawnThread(0, "master", [&](Host& h) {
+    GlobalAddr a = sys.Alloc(0, Reg::kLong, 4);  // page 0: home = host 0
+    h.Write<std::int64_t>(a, 1);
+    h.Write<std::int64_t>(a + 8, 2);
+    sys.sync(0).SemInit(1, 0);
+    sys.sync(0).SemInit(2, 0);
+    sys.sync(0).SemInit(3, 0);
+    // Reader (VAX-class) faults first: the Sun home converts the page and
+    // caches the converted image.
+    sys.SpawnThread(1, "reader", [&, a](Host& hh) {
+      EXPECT_EQ(hh.Read<std::int64_t>(a), 1);
+      sys.sync(1).V(1);
+      sys.sync(1).P(2);  // acquire: pull the writer's notice
+      changed = hh.Read<std::int64_t>(a + 8);
+      untouched = hh.Read<std::int64_t>(a);
+      sys.sync(1).V(3);
+    });
+    // Writer twins the page and releases: the diff flush carries only the
+    // changed range, and the home patches its cached image.
+    sys.SpawnThread(2, "writer", [&, a](Host& hh) {
+      sys.sync(2).P(1);
+      hh.Write<std::int64_t>(a + 8, 99);
+      sys.sync(2).V(2);  // release: flush the twin to the home
+    });
+    sys.sync(0).P(3);
+    h.runtime().Delay(Seconds(2));
+  });
+  eng.Run();
+  EXPECT_EQ(changed, 99) << "patched range must carry the flushed bytes";
+  EXPECT_EQ(untouched, 1) << "bytes outside the diff must survive the patch";
+  auto& st = sys.GatherStats();
+  EXPECT_GE(st.Count("dsm.rc_flushes"), 1);
+  EXPECT_GE(st.Count("dsm.convert_cache_patched"), 1)
+      << "the flush must patch the cached image, not drop it";
+  ExpectQuiescent(sys);
+}
+
 }  // namespace
 }  // namespace mermaid::dsm
